@@ -1,0 +1,74 @@
+//! Ablation benchmarks for the design choices DESIGN.md calls out:
+//!
+//! * order-aware plan grouping (Postgres path keys) versus a single group,
+//! * sound pruning (exact deletions) versus the unsound approximate-deletion
+//!   variant the paper warns about (§6.2) — faster, but the quality tests in
+//!   `moqo-core` show it loses the guarantee.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use moqo_core::{find_pareto_plans, Deadline, DpConfig};
+use moqo_cost::Weights;
+use moqo_costmodel::{CostModel, CostModelParams};
+use moqo_tpch::{catalog, query, weighted_test_case};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_ablation(c: &mut Criterion) {
+    let cat = catalog(1.0);
+    let params = CostModelParams::default();
+    let mut group = c.benchmark_group("ablation");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(8));
+
+    let qno = 3u8;
+    let q = query(&cat, qno);
+    let graph = &q.blocks[0];
+    let model = CostModel::new(&params, &cat, graph);
+    let mut rng = StdRng::seed_from_u64(5);
+    let pref = weighted_test_case(&mut rng, qno, 6).preference;
+    let alpha_i = 1.5f64.powf(1.0 / graph.n_rels() as f64);
+
+    let configs: [(&str, DpConfig); 4] = [
+        ("rta_sound_grouped", DpConfig::approximate(alpha_i)),
+        (
+            "rta_no_order_groups",
+            DpConfig {
+                group_by_order: false,
+                ..DpConfig::approximate(alpha_i)
+            },
+        ),
+        (
+            "rta_approx_deletion_unsound",
+            DpConfig {
+                approx_deletion: true,
+                ..DpConfig::approximate(alpha_i)
+            },
+        ),
+        ("exa_exact", DpConfig::exact()),
+    ];
+
+    for (name, config) in configs {
+        group.bench_with_input(
+            BenchmarkId::new(name, format!("Q{qno}_l6")),
+            &config,
+            |b, config| {
+                b.iter(|| {
+                    let result = find_pareto_plans(
+                        &model,
+                        pref.objectives,
+                        config,
+                        &Weights::single(moqo_cost::Objective::TotalTime),
+                        &Deadline::unlimited(),
+                    );
+                    result.final_plans.len()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ablation);
+criterion_main!(benches);

@@ -1,0 +1,94 @@
+//! Microbenchmarks for the dominance kernels — the innermost operations of
+//! every pruning step.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use moqo_cost::{approx_dominates, dominates, strictly_dominates, CostVector, ObjectiveSet};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn random_vectors(n: usize, seed: u64) -> Vec<CostVector> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            let mut a = [0.0; moqo_cost::NUM_OBJECTIVES];
+            for v in &mut a {
+                *v = rng.gen_range(0.0..1000.0);
+            }
+            CostVector::from_array(a)
+        })
+        .collect()
+}
+
+fn bench_dominance(c: &mut Criterion) {
+    let vectors = random_vectors(256, 7);
+    let objs = ObjectiveSet::all();
+    let mut group = c.benchmark_group("dominance");
+    group.sample_size(20);
+
+    group.bench_function("dominates_9obj", |b| {
+        b.iter(|| {
+            let mut count = 0u32;
+            for x in &vectors {
+                for y in &vectors {
+                    if dominates(black_box(x), black_box(y), objs) {
+                        count += 1;
+                    }
+                }
+            }
+            count
+        })
+    });
+
+    group.bench_function("strictly_dominates_9obj", |b| {
+        b.iter(|| {
+            let mut count = 0u32;
+            for x in &vectors {
+                for y in &vectors {
+                    if strictly_dominates(black_box(x), black_box(y), objs) {
+                        count += 1;
+                    }
+                }
+            }
+            count
+        })
+    });
+
+    group.bench_function("approx_dominates_9obj", |b| {
+        b.iter(|| {
+            let mut count = 0u32;
+            for x in &vectors {
+                for y in &vectors {
+                    if approx_dominates(black_box(x), black_box(y), 1.5, objs) {
+                        count += 1;
+                    }
+                }
+            }
+            count
+        })
+    });
+
+    // Fewer selected objectives ⇒ cheaper checks.
+    let objs3 = ObjectiveSet::from_objectives(&[
+        moqo_cost::Objective::TotalTime,
+        moqo_cost::Objective::BufferFootprint,
+        moqo_cost::Objective::TupleLoss,
+    ]);
+    group.bench_function("dominates_3obj", |b| {
+        b.iter(|| {
+            let mut count = 0u32;
+            for x in &vectors {
+                for y in &vectors {
+                    if dominates(black_box(x), black_box(y), objs3) {
+                        count += 1;
+                    }
+                }
+            }
+            count
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_dominance);
+criterion_main!(benches);

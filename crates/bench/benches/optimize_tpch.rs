@@ -1,0 +1,52 @@
+//! End-to-end optimizer benchmarks on TPC-H queries: EXA versus RTA versus
+//! IRA at representative precisions — the criterion-level counterpart of
+//! Figures 9/10.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use moqo_core::{Algorithm, Optimizer};
+use moqo_cost::Preference;
+use moqo_tpch::{catalog, query, weighted_test_case};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn preference(qno: u8, n_objs: usize) -> Preference {
+    let mut rng = StdRng::seed_from_u64(2024);
+    weighted_test_case(&mut rng, qno, n_objs).preference
+}
+
+fn bench_optimize(c: &mut Criterion) {
+    let cat = catalog(1.0);
+    let mut group = c.benchmark_group("optimize_tpch");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(8));
+
+    // (query, #objectives) cells small enough for repeated measurement.
+    for &(qno, n_objs) in &[(12u8, 3usize), (3, 3), (10, 3), (3, 6)] {
+        let q = query(&cat, qno);
+        let pref = preference(qno, n_objs);
+        for (name, algo) in [
+            ("EXA", Algorithm::Exhaustive),
+            ("RTA(1.15)", Algorithm::Rta { alpha: 1.15 }),
+            ("RTA(2)", Algorithm::Rta { alpha: 2.0 }),
+            ("IRA(1.5)", Algorithm::Ira { alpha: 1.5 }),
+        ] {
+            group.bench_with_input(
+                BenchmarkId::new(name, format!("Q{qno}_l{n_objs}")),
+                &(&q, &pref),
+                |b, (q, pref)| {
+                    let optimizer = Optimizer::new(&cat);
+                    b.iter(|| {
+                        let result = optimizer.optimize(q, pref, algo);
+                        result.weighted_cost
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_optimize);
+criterion_main!(benches);

@@ -1,0 +1,81 @@
+//! Benchmarks for the `Prune` procedure: exact (EXA) versus approximate
+//! (RTA) insertion over streams of random cost vectors — the operation
+//! whose per-set cardinality separates the two algorithms (paper §6).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use moqo_core::pareto::{PlanEntry, PlanSet, PruneStrategy};
+use moqo_cost::{CostVector, Objective, ObjectiveSet};
+use moqo_plan::{PlanId, PlanProps, SortOrder};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn random_entries(n: usize, objectives: usize, seed: u64) -> Vec<PlanEntry> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|i| {
+            let mut a = [0.0; moqo_cost::NUM_OBJECTIVES];
+            for v in a.iter_mut().take(objectives) {
+                *v = rng.gen_range(1.0..1000.0);
+            }
+            PlanEntry {
+                cost: CostVector::from_array(a),
+                props: PlanProps {
+                    rels: 1,
+                    rows: 1.0,
+                    width: 1.0,
+                    order: SortOrder::None,
+                    sampling_factor: 1.0,
+                },
+                plan: PlanId(i as u32),
+            }
+        })
+        .collect()
+}
+
+fn objective_set(count: usize) -> ObjectiveSet {
+    Objective::ALL.into_iter().take(count).collect()
+}
+
+fn bench_pruning(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pareto_pruning");
+    group.sample_size(20);
+
+    for &n_objs in &[2usize, 3, 6, 9] {
+        let entries = random_entries(2000, n_objs, 99);
+        let objs = objective_set(n_objs);
+
+        group.bench_with_input(
+            BenchmarkId::new("exact_insert_2000", n_objs),
+            &entries,
+            |b, entries| {
+                b.iter(|| {
+                    let mut set = PlanSet::new();
+                    let strategy = PruneStrategy::exact();
+                    for e in entries {
+                        set.prune_insert(*e, &strategy, objs);
+                    }
+                    set.len()
+                })
+            },
+        );
+
+        group.bench_with_input(
+            BenchmarkId::new("approx_insert_2000_alpha1.5", n_objs),
+            &entries,
+            |b, entries| {
+                b.iter(|| {
+                    let mut set = PlanSet::new();
+                    let strategy = PruneStrategy::approximate(1.5);
+                    for e in entries {
+                        set.prune_insert(*e, &strategy, objs);
+                    }
+                    set.len()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_pruning);
+criterion_main!(benches);

@@ -1,0 +1,123 @@
+//! Figure 10: optimizer performance comparison for bounded MOQO —
+//! EXA versus IRA with α ∈ {1.15, 1.5, 2}.
+//!
+//! All runs consider all nine objectives while the number of bounds varies
+//! over {3, 6, 9} (the paper's setup). Reports timeout percentage, average
+//! optimization time, memory (last iteration for the IRA), iteration count
+//! and the weighted cost relative to the best plan for the same test case,
+//! ranking bound-violating plans after feasible ones (Definition 3).
+
+use moqo_bench::{
+    bounded_rank_cost, fmt_memory_kb, run_case, Aggregate, CaseResult, HarnessConfig, Table,
+};
+use moqo_core::Algorithm;
+use moqo_costmodel::CostModelParams;
+use moqo_tpch::bounded_test_case;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const ALGOS: [(&str, Algorithm); 4] = [
+    ("EXA", Algorithm::Exhaustive),
+    ("IRA(1.15)", Algorithm::Ira { alpha: 1.15 }),
+    ("IRA(1.5)", Algorithm::Ira { alpha: 1.5 }),
+    ("IRA(2)", Algorithm::Ira { alpha: 2.0 }),
+];
+const N_OBJECTIVES: usize = 9;
+
+fn main() {
+    let cfg = HarnessConfig::from_env();
+    let catalog = moqo_tpch::catalog(cfg.scale_factor);
+    let params = CostModelParams::default();
+
+    println!("Figure 10: bounded MOQO — EXA vs IRA [{}]", cfg.describe());
+    println!("all nine objectives; bounds vary over {{3, 6, 9}}");
+    println!();
+
+    let mut table = Table::new(&[
+        "query",
+        "bounds",
+        "algorithm",
+        "timeouts_pct",
+        "time_ms",
+        "memory_kb",
+        "iterations",
+        "wcost_pct",
+    ]);
+
+    for &qno in &cfg.queries {
+        let query = moqo_tpch::query(&catalog, qno);
+        for n_bounds in [3usize, 6, 9] {
+            let mut agg: Vec<(Aggregate, Aggregate, Aggregate, Aggregate, usize)> = (0..ALGOS
+                .len())
+                .map(|_| {
+                    (
+                        Aggregate::new(), // time
+                        Aggregate::new(), // memory
+                        Aggregate::new(), // iterations
+                        Aggregate::new(), // wcost pct
+                        0usize,           // timeouts
+                    )
+                })
+                .collect();
+
+            for case_idx in 0..cfg.cases {
+                let seed = cfg.case_seed(qno, case_idx, 7000 + n_bounds as u64);
+                let mut rng = StdRng::seed_from_u64(seed);
+                let case = bounded_test_case(
+                    &mut rng,
+                    &catalog,
+                    &params,
+                    &query,
+                    qno,
+                    N_OBJECTIVES,
+                    n_bounds,
+                );
+                let results: Vec<CaseResult> = ALGOS
+                    .iter()
+                    .map(|(_, algo)| {
+                        run_case(&catalog, &params, &query, &case.preference, *algo, cfg.timeout)
+                    })
+                    .collect();
+                let any_feasible = results.iter().any(|r| r.respects_bounds);
+                let best = results
+                    .iter()
+                    .map(|r| bounded_rank_cost(r, any_feasible))
+                    .fold(f64::INFINITY, f64::min)
+                    .max(1e-12);
+                for (i, r) in results.iter().enumerate() {
+                    agg[i].0.push(r.elapsed.as_secs_f64() * 1e3);
+                    agg[i].1.push(r.memory_bytes as f64);
+                    agg[i].2.push(f64::from(r.iterations));
+                    agg[i]
+                        .3
+                        .push((100.0 * bounded_rank_cost(r, any_feasible) / best).min(1e4));
+                    if r.timed_out {
+                        agg[i].4 += 1;
+                    }
+                }
+            }
+
+            for (i, (name, _)) in ALGOS.iter().enumerate() {
+                let (time, memory, iterations, wcost, timeouts) = &agg[i];
+                table.row(vec![
+                    format!("Q{qno}"),
+                    n_bounds.to_string(),
+                    (*name).to_owned(),
+                    format!("{:.0}", 100.0 * *timeouts as f64 / cfg.cases as f64),
+                    format!("{:.2}", time.mean()),
+                    fmt_memory_kb(memory.mean() as usize),
+                    format!("{:.1}", iterations.mean()),
+                    format!("{:.2}", wcost.mean()),
+                ]);
+            }
+        }
+    }
+
+    println!("{}", table.render());
+    println!("CSV:");
+    println!("{}", table.render_csv());
+    println!("paper reference: the EXA's performance is insensitive to the number");
+    println!("of bounds; the IRA may need several iterations (up to ≈100) when");
+    println!("bounds are tight, yet the performance gap to the EXA stays large");
+    println!("(paper totals: >1200 h for the EXA vs <15 h for IRA(1.15)).");
+}

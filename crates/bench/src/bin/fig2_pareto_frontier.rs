@@ -1,0 +1,37 @@
+//! Figure 2: Pareto frontier and dominated area of the running example.
+
+use moqo_cost::pareto_front::{pareto_frontier, pareto_indices};
+use moqo_cost::running_example as ex;
+use moqo_cost::Objective;
+
+fn main() {
+    let objectives = ex::objectives();
+    let vectors = ex::plan_cost_vectors();
+    let frontier = pareto_frontier(&vectors, objectives);
+    let frontier_idx = pareto_indices(&vectors, objectives);
+
+    println!("Figure 2: Pareto frontier and dominated area (running example)");
+    println!();
+    println!("{:<12} {:>8} {:>6}", "status", "buffer", "time");
+    println!("{}", "-".repeat(30));
+    for (i, v) in vectors.iter().enumerate() {
+        let status = if frontier_idx.contains(&i) {
+            "PARETO"
+        } else {
+            "dominated"
+        };
+        println!(
+            "{:<12} {:>8.1} {:>6.1}",
+            status,
+            v.get(Objective::BufferFootprint),
+            v.get(Objective::TotalTime)
+        );
+    }
+    println!();
+    println!(
+        "frontier: {} of {} plan cost vectors",
+        frontier.len(),
+        vectors.len()
+    );
+    assert_eq!(frontier.len(), ex::PARETO_FRONTIER.len());
+}

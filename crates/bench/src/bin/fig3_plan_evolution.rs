@@ -1,0 +1,86 @@
+//! Figure 3: evolution of the optimal plan for TPC-H Query 3 when user
+//! preferences change.
+//!
+//! (a) time-optimal plan under a tuple-loss bound of zero → hash joins;
+//! (b) an additional weight on buffer footprint → memory-hungry hash joins
+//!     disappear in favour of sort-merge / index-nested-loop joins;
+//! (c) an additional bound on startup time → only pipelined
+//!     index-nested-loop joins remain (blocking builds/sorts are out).
+
+use moqo_core::{exa, select_best, Deadline};
+use moqo_cost::{Objective, ObjectiveSet, Preference};
+use moqo_costmodel::{CostModel, CostModelParams};
+use moqo_plan::{render_plan, JoinOp};
+
+fn main() {
+    let catalog = moqo_tpch::catalog(1.0);
+    let query = moqo_tpch::query(&catalog, 3);
+    let graph = &query.blocks[0];
+    let params = CostModelParams::default();
+    let model = CostModel::new(&params, &catalog, graph);
+    let deadline = Deadline::unlimited();
+
+    println!("Figure 3: optimal TPC-H Q3 plan under changing preferences");
+
+    // (a) Minimize execution time, no sampling allowed.
+    let pref_a = Preference::over(ObjectiveSet::empty())
+        .weight(Objective::TotalTime, 1.0)
+        .bound(Objective::TupleLoss, 0.0);
+    let result_a = exa(&model, &pref_a, &deadline);
+    let best_a = select_best(&result_a.final_plans, &pref_a).unwrap();
+    println!();
+    println!("(a) time-optimal, tuple loss ≤ 0:");
+    println!("{}", render_plan(&result_a.arena, best_a.plan, graph, &catalog));
+    let joins_a = result_a.arena.join_ops(best_a.plan);
+    assert!(
+        joins_a
+            .iter()
+            .any(|op| matches!(op, JoinOp::HashJoin { .. })),
+        "the time-optimal plan uses hash joins, got {joins_a:?}"
+    );
+
+    // (b) Additional weight on buffer footprint.
+    let pref_b = Preference::over(ObjectiveSet::empty())
+        .weight(Objective::TotalTime, 1.0)
+        .weight(Objective::BufferFootprint, 0.3)
+        .bound(Objective::TupleLoss, 0.0);
+    let result_b = exa(&model, &pref_b, &deadline);
+    let best_b = select_best(&result_b.final_plans, &pref_b).unwrap();
+    println!("(b) + weight on buffer footprint:");
+    println!("{}", render_plan(&result_b.arena, best_b.plan, graph, &catalog));
+    let joins_b = result_b.arena.join_ops(best_b.plan);
+    assert!(
+        !joins_b
+            .iter()
+            .any(|op| matches!(op, JoinOp::HashJoin { .. })),
+        "the buffer-aware plan avoids hash joins, got {joins_b:?}"
+    );
+
+    // (c) Additional bound on startup time, placed just above the minimal
+    // achievable startup (the pipelined index-nested-loop chain): blocking
+    // hash builds and sort-merge inputs cannot meet it.
+    let startup_bound = 2.0
+        * moqo_core::min_cost_for_objective(&model, Objective::StartupTime, &deadline);
+    let pref_c = pref_b.bound(Objective::StartupTime, startup_bound);
+    let result_c = exa(&model, &pref_c, &deadline);
+    let best_c = select_best(&result_c.final_plans, &pref_c).unwrap();
+    println!("(c) + bound on startup time ({startup_bound:.3} units):");
+    println!("{}", render_plan(&result_c.arena, best_c.plan, graph, &catalog));
+    let joins_c = result_c.arena.join_ops(best_c.plan);
+    assert!(
+        joins_c
+            .iter()
+            .all(|op| matches!(op, JoinOp::IndexNestedLoop)),
+        "under a tight startup bound only IdxNL joins survive, got {joins_c:?}"
+    );
+    assert!(best_c.cost.get(Objective::StartupTime) <= startup_bound);
+
+    println!("buffer footprints: (a) {:.0} B  (b) {:.0} B  (c) {:.0} B",
+        best_a.cost.get(Objective::BufferFootprint),
+        best_b.cost.get(Objective::BufferFootprint),
+        best_c.cost.get(Objective::BufferFootprint));
+    println!("startup times:     (a) {:.1}    (b) {:.1}    (c) {:.1}",
+        best_a.cost.get(Objective::StartupTime),
+        best_b.cost.get(Objective::StartupTime),
+        best_c.cost.get(Objective::StartupTime));
+}

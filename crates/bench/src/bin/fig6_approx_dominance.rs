@@ -1,0 +1,78 @@
+//! Figure 6: dominated versus approximately dominated area (α = 1.5).
+//!
+//! For each point of a probe grid over the cost space, classifies whether
+//! the running example's plan set dominates it exactly or only
+//! approximately — the two regions the RTA's pruning distinguishes.
+
+use moqo_cost::running_example as ex;
+use moqo_cost::{approx_dominates, dominates};
+
+fn main() {
+    let alpha = 1.5;
+    let objectives = ex::objectives();
+    let plans = ex::plan_cost_vectors();
+
+    println!("Figure 6: dominated vs approximately dominated area (α = {alpha})");
+    println!();
+    println!("legend: '#' dominated, '+' approximately dominated only, '.' neither");
+    println!("        (x: buffer 0..4, y: time 0..4; plan vectors marked 'o')");
+    println!();
+
+    // 21×21 grid over [0,4]².
+    let steps = 21;
+    for row in (0..=steps).rev() {
+        let time = 4.0 * f64::from(row) / f64::from(steps);
+        let mut line = String::new();
+        for col in 0..=steps {
+            let buffer = 4.0 * f64::from(col) / f64::from(steps);
+            let probe = ex::point(buffer, time);
+            let is_plan = ex::PLAN_POINTS
+                .iter()
+                .any(|&(b, t)| (b - buffer).abs() < 0.11 && (t - time).abs() < 0.11);
+            let dominated = plans.iter().any(|p| dominates(p, &probe, objectives));
+            let approx = plans
+                .iter()
+                .any(|p| approx_dominates(p, &probe, alpha, objectives));
+            line.push(if is_plan {
+                'o'
+            } else if dominated {
+                '#'
+            } else if approx {
+                '+'
+            } else {
+                '.'
+            });
+        }
+        println!("  {line}");
+    }
+    println!();
+
+    // Quantify the area growth (the reason the RTA stores fewer plans).
+    let mut dominated_cells = 0u32;
+    let mut approx_cells = 0u32;
+    let fine = 200;
+    for row in 0..=fine {
+        for col in 0..=fine {
+            let probe = ex::point(
+                4.0 * f64::from(col) / f64::from(fine),
+                4.0 * f64::from(row) / f64::from(fine),
+            );
+            if plans.iter().any(|p| dominates(p, &probe, objectives)) {
+                dominated_cells += 1;
+            }
+            if plans
+                .iter()
+                .any(|p| approx_dominates(p, &probe, alpha, objectives))
+            {
+                approx_cells += 1;
+            }
+        }
+    }
+    let total = (fine + 1) * (fine + 1);
+    println!(
+        "dominated area: {:.1}% of the window; approximately dominated: {:.1}%",
+        100.0 * f64::from(dominated_cells) / f64::from(total),
+        100.0 * f64::from(approx_cells) / f64::from(total)
+    );
+    assert!(approx_cells > dominated_cells);
+}

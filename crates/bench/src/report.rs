@@ -1,0 +1,190 @@
+//! Aggregation and aligned-table output for the figure binaries.
+
+use std::time::Duration;
+
+/// Running aggregate over one metric (arithmetic mean, as in the paper:
+/// "Every marker represents the arithmetic average value over 20 test
+/// cases").
+#[derive(Debug, Clone, Default)]
+pub struct Aggregate {
+    sum: f64,
+    count: usize,
+    max: f64,
+}
+
+impl Aggregate {
+    /// Empty aggregate.
+    #[must_use]
+    pub fn new() -> Self {
+        Aggregate::default()
+    }
+
+    /// Adds one observation.
+    pub fn push(&mut self, value: f64) {
+        self.sum += value;
+        self.count += 1;
+        if value > self.max {
+            self.max = value;
+        }
+    }
+
+    /// Arithmetic mean (0 for an empty aggregate).
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// Maximum observation.
+    #[must_use]
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// Number of observations.
+    #[must_use]
+    pub fn count(&self) -> usize {
+        self.count
+    }
+}
+
+/// A simple aligned text table: header row plus data rows.
+#[derive(Debug, Default)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    #[must_use]
+    pub fn new(header: &[&str]) -> Self {
+        Table {
+            header: header.iter().map(|s| (*s).to_owned()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a data row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row width differs from the header width.
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.header.len(), "row width mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Renders the table with aligned columns.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let cols = self.header.len();
+        let mut widths = vec![0usize; cols];
+        for (i, h) in self.header.iter().enumerate() {
+            widths[i] = h.len();
+        }
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            cells
+                .iter()
+                .zip(widths)
+                .map(|(c, w)| format!("{c:>w$}"))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        out.push_str(&fmt_row(&self.header, &widths));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (cols - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Renders as CSV (for EXPERIMENTS.md and plotting).
+    #[must_use]
+    pub fn render_csv(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&self.header.join(","));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.join(","));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Milliseconds with sub-millisecond precision, like the paper's log axes.
+#[must_use]
+pub fn fmt_duration_ms(d: Duration) -> String {
+    format!("{:.2}", d.as_secs_f64() * 1e3)
+}
+
+/// Kilobytes from a byte count.
+#[must_use]
+pub fn fmt_memory_kb(bytes: usize) -> String {
+    format!("{:.1}", bytes as f64 / 1024.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aggregate_mean_and_max() {
+        let mut a = Aggregate::new();
+        a.push(1.0);
+        a.push(3.0);
+        assert_eq!(a.mean(), 2.0);
+        assert_eq!(a.max(), 3.0);
+        assert_eq!(a.count(), 2);
+    }
+
+    #[test]
+    fn empty_aggregate_is_zero() {
+        assert_eq!(Aggregate::new().mean(), 0.0);
+    }
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = Table::new(&["q", "time"]);
+        t.row(vec!["Q1".into(), "0.5".into()]);
+        t.row(vec!["Q22".into(), "120.25".into()]);
+        let s = t.render();
+        assert!(s.contains("Q22"));
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[1].chars().all(|c| c == '-'));
+    }
+
+    #[test]
+    fn csv_output() {
+        let mut t = Table::new(&["a", "b"]);
+        t.row(vec!["1".into(), "2".into()]);
+        assert_eq!(t.render_csv(), "a,b\n1,2\n");
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn row_width_checked() {
+        let mut t = Table::new(&["a"]);
+        t.row(vec!["1".into(), "2".into()]);
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(fmt_duration_ms(Duration::from_millis(1500)), "1500.00");
+        assert_eq!(fmt_memory_kb(2048), "2.0");
+    }
+}

@@ -1,0 +1,269 @@
+//! Base-table and column statistics.
+
+use std::fmt;
+
+use crate::PAGE_BYTES;
+
+/// Identifier of a table inside a [`Catalog`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TableId(pub u32);
+
+/// Identifier of a column: table plus column ordinal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ColumnId {
+    /// The owning table.
+    pub table: TableId,
+    /// Zero-based column ordinal inside the table.
+    pub column: u16,
+}
+
+/// Statistics for one column.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ColumnStats {
+    /// Column name (unique within its table).
+    pub name: String,
+    /// Estimated number of distinct values.
+    pub distinct: f64,
+    /// Whether an index on this column exists (enables index scans and
+    /// index-nested-loop joins with this column as inner key).
+    pub indexed: bool,
+}
+
+impl ColumnStats {
+    /// A non-indexed column with the given distinct count.
+    #[must_use]
+    pub fn new(name: impl Into<String>, distinct: f64) -> Self {
+        ColumnStats {
+            name: name.into(),
+            distinct,
+            indexed: false,
+        }
+    }
+
+    /// Marks the column as indexed (builder style).
+    #[must_use]
+    pub fn indexed(mut self) -> Self {
+        self.indexed = true;
+        self
+    }
+}
+
+/// Statistics for one base table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TableStats {
+    /// Table name (unique within the catalog).
+    pub name: String,
+    /// Estimated row count.
+    pub cardinality: f64,
+    /// Average tuple width in bytes.
+    pub tuple_bytes: f64,
+    /// Column statistics in ordinal order.
+    pub columns: Vec<ColumnStats>,
+}
+
+impl TableStats {
+    /// Creates table statistics; columns are added with [`TableStats::with_column`].
+    #[must_use]
+    pub fn new(name: impl Into<String>, cardinality: f64, tuple_bytes: f64) -> Self {
+        debug_assert!(cardinality >= 0.0 && tuple_bytes > 0.0);
+        TableStats {
+            name: name.into(),
+            cardinality,
+            tuple_bytes,
+            columns: Vec::new(),
+        }
+    }
+
+    /// Adds a column (builder style).
+    #[must_use]
+    pub fn with_column(mut self, column: ColumnStats) -> Self {
+        self.columns.push(column);
+        self
+    }
+
+    /// Number of heap pages occupied by the table.
+    #[must_use]
+    pub fn pages(&self) -> f64 {
+        (self.cardinality * self.tuple_bytes / PAGE_BYTES).max(1.0)
+    }
+
+    /// Looks up a column ordinal by name.
+    #[must_use]
+    pub fn column_by_name(&self, name: &str) -> Option<u16> {
+        self.columns
+            .iter()
+            .position(|c| c.name == name)
+            .map(|i| i as u16)
+    }
+
+    /// Column stats by ordinal.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the ordinal is out of range.
+    #[must_use]
+    pub fn column(&self, ordinal: u16) -> &ColumnStats {
+        &self.columns[ordinal as usize]
+    }
+}
+
+/// A catalog of base tables with statistics — the planner-facing slice of
+/// what Postgres keeps in `pg_class` / `pg_statistic`.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Catalog {
+    tables: Vec<TableStats>,
+}
+
+impl Catalog {
+    /// An empty catalog.
+    #[must_use]
+    pub fn new() -> Self {
+        Catalog::default()
+    }
+
+    /// Adds a table and returns its id.
+    pub fn add_table(&mut self, table: TableStats) -> TableId {
+        debug_assert!(
+            self.table_by_name(&table.name).is_none(),
+            "duplicate table name {}",
+            table.name
+        );
+        let id = TableId(self.tables.len() as u32);
+        self.tables.push(table);
+        id
+    }
+
+    /// Table stats by id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id does not belong to this catalog.
+    #[must_use]
+    pub fn table(&self, id: TableId) -> &TableStats {
+        &self.tables[id.0 as usize]
+    }
+
+    /// Looks up a table id by name.
+    #[must_use]
+    pub fn table_by_name(&self, name: &str) -> Option<TableId> {
+        self.tables
+            .iter()
+            .position(|t| t.name == name)
+            .map(|i| TableId(i as u32))
+    }
+
+    /// Resolves a `table.column` pair by names.
+    #[must_use]
+    pub fn column_by_name(&self, table: &str, column: &str) -> Option<ColumnId> {
+        let table_id = self.table_by_name(table)?;
+        let ordinal = self.table(table_id).column_by_name(column)?;
+        Some(ColumnId {
+            table: table_id,
+            column: ordinal,
+        })
+    }
+
+    /// Number of tables in the catalog.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.tables.len()
+    }
+
+    /// Whether the catalog is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.tables.is_empty()
+    }
+
+    /// Maximum base-table cardinality (the paper's `m` used in complexity
+    /// bounds, §3).
+    #[must_use]
+    pub fn max_cardinality(&self) -> f64 {
+        self.tables
+            .iter()
+            .map(|t| t.cardinality)
+            .fold(0.0, f64::max)
+    }
+
+    /// Iterates over `(id, stats)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (TableId, &TableStats)> {
+        self.tables
+            .iter()
+            .enumerate()
+            .map(|(i, t)| (TableId(i as u32), t))
+    }
+}
+
+impl fmt::Display for Catalog {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (id, t) in self.iter() {
+            writeln!(
+                f,
+                "#{:<2} {:<12} rows={:>12.0} width={:>4.0}B pages={:>8.0}",
+                id.0,
+                t.name,
+                t.cardinality,
+                t.tuple_bytes,
+                t.pages()
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_catalog() -> Catalog {
+        let mut cat = Catalog::new();
+        cat.add_table(
+            TableStats::new("orders", 1_500_000.0, 100.0)
+                .with_column(ColumnStats::new("o_orderkey", 1_500_000.0).indexed())
+                .with_column(ColumnStats::new("o_custkey", 150_000.0)),
+        );
+        cat.add_table(
+            TableStats::new("lineitem", 6_000_000.0, 120.0)
+                .with_column(ColumnStats::new("l_orderkey", 1_500_000.0).indexed()),
+        );
+        cat
+    }
+
+    #[test]
+    fn add_and_lookup_tables() {
+        let cat = sample_catalog();
+        assert_eq!(cat.len(), 2);
+        let orders = cat.table_by_name("orders").unwrap();
+        assert_eq!(cat.table(orders).cardinality, 1_500_000.0);
+        assert!(cat.table_by_name("nope").is_none());
+    }
+
+    #[test]
+    fn column_lookup() {
+        let cat = sample_catalog();
+        let col = cat.column_by_name("orders", "o_custkey").unwrap();
+        assert_eq!(col.column, 1);
+        assert!(!cat.table(col.table).column(col.column).indexed);
+        assert!(cat.column_by_name("orders", "nope").is_none());
+    }
+
+    #[test]
+    fn pages_round_up_to_at_least_one() {
+        let tiny = TableStats::new("tiny", 5.0, 10.0);
+        assert_eq!(tiny.pages(), 1.0);
+        let big = TableStats::new("big", 1_000_000.0, 81.92);
+        assert!((big.pages() - 10_000.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn max_cardinality_is_m() {
+        assert_eq!(sample_catalog().max_cardinality(), 6_000_000.0);
+    }
+
+    #[test]
+    fn display_lists_tables() {
+        let s = sample_catalog().to_string();
+        assert!(s.contains("orders"));
+        assert!(s.contains("lineitem"));
+    }
+}

@@ -1,0 +1,125 @@
+//! The TPC-H schema with scale-factor-dependent statistics.
+//!
+//! The paper evaluates all algorithms on TPC-H queries (§5.1, §8); only the
+//! *statistics* matter for optimization, so this module builds a [`Catalog`]
+//! with the standard TPC-H cardinalities, average tuple widths, and indexes
+//! on the primary/foreign key columns used by the 22 queries' join
+//! predicates. The query definitions themselves live in the `moqo-tpch`
+//! crate.
+
+use crate::table::{Catalog, ColumnStats, TableStats};
+
+/// Builds the TPC-H catalog at the given scale factor (SF 1 ≈ 1 GB).
+///
+/// Row counts follow the TPC-H specification; `region` and `nation` are
+/// fixed-size. Average tuple widths are the commonly cited per-table values.
+#[must_use]
+pub fn catalog(scale_factor: f64) -> Catalog {
+    assert!(scale_factor > 0.0, "scale factor must be positive");
+    let sf = scale_factor;
+    let mut cat = Catalog::new();
+
+    cat.add_table(
+        TableStats::new("region", 5.0, 124.0)
+            .with_column(ColumnStats::new("r_regionkey", 5.0).indexed()),
+    );
+    cat.add_table(
+        TableStats::new("nation", 25.0, 118.0)
+            .with_column(ColumnStats::new("n_nationkey", 25.0).indexed())
+            .with_column(ColumnStats::new("n_regionkey", 5.0)),
+    );
+    cat.add_table(
+        TableStats::new("supplier", 10_000.0 * sf, 159.0)
+            .with_column(ColumnStats::new("s_suppkey", 10_000.0 * sf).indexed())
+            .with_column(ColumnStats::new("s_nationkey", 25.0)),
+    );
+    cat.add_table(
+        TableStats::new("customer", 150_000.0 * sf, 179.0)
+            .with_column(ColumnStats::new("c_custkey", 150_000.0 * sf).indexed())
+            .with_column(ColumnStats::new("c_nationkey", 25.0)),
+    );
+    cat.add_table(
+        TableStats::new("part", 200_000.0 * sf, 155.0)
+            .with_column(ColumnStats::new("p_partkey", 200_000.0 * sf).indexed()),
+    );
+    cat.add_table(
+        TableStats::new("partsupp", 800_000.0 * sf, 144.0)
+            .with_column(ColumnStats::new("ps_partkey", 200_000.0 * sf).indexed())
+            .with_column(ColumnStats::new("ps_suppkey", 10_000.0 * sf).indexed()),
+    );
+    cat.add_table(
+        TableStats::new("orders", 1_500_000.0 * sf, 121.0)
+            .with_column(ColumnStats::new("o_orderkey", 1_500_000.0 * sf).indexed())
+            .with_column(ColumnStats::new("o_custkey", 150_000.0 * sf).indexed()),
+    );
+    cat.add_table(
+        TableStats::new("lineitem", 6_000_000.0 * sf, 129.0)
+            .with_column(ColumnStats::new("l_orderkey", 1_500_000.0 * sf).indexed())
+            .with_column(ColumnStats::new("l_partkey", 200_000.0 * sf).indexed())
+            .with_column(ColumnStats::new("l_suppkey", 10_000.0 * sf).indexed()),
+    );
+    cat
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sf1_cardinalities_match_spec() {
+        let cat = catalog(1.0);
+        let expect = [
+            ("region", 5.0),
+            ("nation", 25.0),
+            ("supplier", 10_000.0),
+            ("customer", 150_000.0),
+            ("part", 200_000.0),
+            ("partsupp", 800_000.0),
+            ("orders", 1_500_000.0),
+            ("lineitem", 6_000_000.0),
+        ];
+        assert_eq!(cat.len(), expect.len());
+        for (name, rows) in expect {
+            let id = cat.table_by_name(name).unwrap_or_else(|| panic!("{name}"));
+            assert_eq!(cat.table(id).cardinality, rows, "{name}");
+        }
+    }
+
+    #[test]
+    fn scale_factor_scales_variable_tables_only() {
+        let cat = catalog(10.0);
+        let nation = cat.table_by_name("nation").unwrap();
+        let lineitem = cat.table_by_name("lineitem").unwrap();
+        assert_eq!(cat.table(nation).cardinality, 25.0);
+        assert_eq!(cat.table(lineitem).cardinality, 60_000_000.0);
+    }
+
+    #[test]
+    fn key_columns_are_indexed() {
+        let cat = catalog(1.0);
+        for (table, col) in [
+            ("orders", "o_orderkey"),
+            ("orders", "o_custkey"),
+            ("lineitem", "l_orderkey"),
+            ("customer", "c_custkey"),
+            ("partsupp", "ps_partkey"),
+        ] {
+            let cid = cat.column_by_name(table, col).unwrap();
+            assert!(
+                cat.table(cid.table).column(cid.column).indexed,
+                "{table}.{col} must be indexed"
+            );
+        }
+    }
+
+    #[test]
+    fn m_is_lineitem_cardinality() {
+        assert_eq!(catalog(1.0).max_cardinality(), 6_000_000.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "scale factor")]
+    fn zero_scale_factor_rejected() {
+        let _ = catalog(0.0);
+    }
+}

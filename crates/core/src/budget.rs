@@ -1,0 +1,128 @@
+//! Optimization-time budgets (the paper's two-hour timeout, §5.1).
+
+use std::time::{Duration, Instant};
+
+/// A wall-clock deadline for one optimizer run. The paper's experiments use
+/// a two-hour timeout; when it expires, the dynamic programming "finishes
+/// quickly by only generating one plan for all table sets that have not been
+/// treated so far" (§5.1). Checks are amortized: [`Deadline::expired`] only
+/// consults the clock every few thousand calls.
+#[derive(Debug)]
+pub struct Deadline {
+    start: Instant,
+    limit: Option<Duration>,
+    check_counter: std::cell::Cell<u32>,
+    expired_flag: std::cell::Cell<bool>,
+}
+
+/// How many `expired()` calls share one clock read.
+const CHECK_EVERY: u32 = 4096;
+
+impl Deadline {
+    /// A deadline `limit` from now; `None` means unlimited.
+    #[must_use]
+    pub fn new(limit: Option<Duration>) -> Self {
+        Deadline {
+            start: Instant::now(),
+            limit,
+            check_counter: std::cell::Cell::new(0),
+            expired_flag: std::cell::Cell::new(false),
+        }
+    }
+
+    /// An unlimited deadline.
+    #[must_use]
+    pub fn unlimited() -> Self {
+        Deadline::new(None)
+    }
+
+    /// Cheap amortized expiry check.
+    #[inline]
+    pub fn expired(&self) -> bool {
+        if self.expired_flag.get() {
+            return true;
+        }
+        let Some(limit) = self.limit else {
+            return false;
+        };
+        let n = self.check_counter.get();
+        if n == 0 {
+            self.check_counter.set(CHECK_EVERY);
+            if self.start.elapsed() >= limit {
+                self.expired_flag.set(true);
+                return true;
+            }
+        } else {
+            self.check_counter.set(n - 1);
+        }
+        false
+    }
+
+    /// Precise expiry check (always reads the clock).
+    #[must_use]
+    pub fn expired_now(&self) -> bool {
+        if self.expired_flag.get() {
+            return true;
+        }
+        match self.limit {
+            Some(limit) if self.start.elapsed() >= limit => {
+                self.expired_flag.set(true);
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Elapsed time since the deadline was created.
+    #[must_use]
+    pub fn elapsed(&self) -> Duration {
+        self.start.elapsed()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unlimited_never_expires() {
+        let d = Deadline::unlimited();
+        for _ in 0..10_000 {
+            assert!(!d.expired());
+        }
+        assert!(!d.expired_now());
+    }
+
+    #[test]
+    fn zero_limit_expires_immediately() {
+        let d = Deadline::new(Some(Duration::ZERO));
+        assert!(d.expired_now());
+        assert!(d.expired());
+    }
+
+    #[test]
+    fn expiry_is_sticky() {
+        let d = Deadline::new(Some(Duration::ZERO));
+        assert!(d.expired_now());
+        // Once expired, even amortized checks report true immediately.
+        for _ in 0..10 {
+            assert!(d.expired());
+        }
+    }
+
+    #[test]
+    fn generous_limit_does_not_expire() {
+        let d = Deadline::new(Some(Duration::from_secs(3600)));
+        for _ in 0..10_000 {
+            assert!(!d.expired());
+        }
+    }
+
+    #[test]
+    fn elapsed_grows() {
+        let d = Deadline::unlimited();
+        let a = d.elapsed();
+        let b = d.elapsed();
+        assert!(b >= a);
+    }
+}

@@ -1,0 +1,681 @@
+//! `FindParetoPlans`: the shared bottom-up dynamic programming of
+//! Algorithms 1 and 2.
+//!
+//! The enumeration follows the paper's pseudo-code, generating bushy plans:
+//!
+//! 1. plans for singleton table sets from all applicable scan operators,
+//! 2. for table sets of increasing cardinality, all splits into two
+//!    non-empty disjoint subsets, all join-operator configurations, and all
+//!    combinations of stored sub-plans — each candidate goes through
+//!    `Prune` (see [`crate::pareto`]).
+//!
+//! Two Postgres heuristics the paper deliberately kept (§4) are honoured:
+//! Cartesian products are considered only for table sets that admit no
+//! connected split, and (at the [`crate::Optimizer`] level) query blocks are
+//! optimized separately.
+//!
+//! Plans are additionally grouped by output [`SortOrder`] — the slice of
+//! Postgres path keys relevant here — and pruning happens within a group:
+//! a sorted plan may be arbitrarily worse on every cost objective and still
+//! be the key to a cheaper sort-merge join above, so comparing across orders
+//! would break the principle of optimality. The ablation flag
+//! [`DpConfig::group_by_order`] disables this for measurement.
+//!
+//! On deadline expiry the enumeration "finishes quickly by only generating
+//! one plan for all table sets that have not been treated so far" (§5.1):
+//! remaining sets get a single plan assembled greedily from the
+//! best-weighted stored sub-plans.
+
+use std::collections::HashMap;
+
+use moqo_catalog::RelMask;
+use moqo_cost::{ObjectiveSet, Weights};
+use moqo_costmodel::{CostModel, JoinKey};
+use moqo_plan::{JoinOp, PlanArena, PlanNode, ScanOp, SortOrder};
+
+use crate::budget::Deadline;
+use crate::pareto::{PlanSet, PruneStrategy};
+
+pub use crate::pareto::PlanEntry;
+
+/// Configuration of one `FindParetoPlans` run.
+#[derive(Debug, Clone, Copy)]
+pub struct DpConfig {
+    /// Internal pruning precision `α_i` (1.0 = exact algorithm).
+    pub alpha_internal: f64,
+    /// Unsound ablation: approximate deletions (see [`PruneStrategy`]).
+    pub approx_deletion: bool,
+    /// Set to `false` to ablate order-aware plan grouping (plans of all
+    /// output orders then compete in a single Pareto set).
+    pub group_by_order: bool,
+    /// Plan-tree shape to enumerate. The paper's Algorithm 1 is the
+    /// left-deep original of Ganguly et al. "slightly extended to generate
+    /// bushy plans in addition to left-deep plans" (§5); bushy is the
+    /// default everywhere.
+    pub tree_shape: TreeShape,
+}
+
+/// Which join-tree shapes the dynamic programming enumerates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TreeShape {
+    /// All bushy trees (the paper's extended Algorithm 1).
+    #[default]
+    Bushy,
+    /// Left-deep trees only: the inner (right) input of every join is a
+    /// base relation (the original Ganguly et al. formulation).
+    LeftDeep,
+}
+
+impl DpConfig {
+    /// Exact enumeration (EXA).
+    #[must_use]
+    pub fn exact() -> Self {
+        DpConfig {
+            alpha_internal: 1.0,
+            approx_deletion: false,
+            group_by_order: true,
+            tree_shape: TreeShape::Bushy,
+        }
+    }
+
+    /// Approximate enumeration with internal precision `alpha_internal`.
+    #[must_use]
+    pub fn approximate(alpha_internal: f64) -> Self {
+        DpConfig {
+            alpha_internal,
+            ..DpConfig::exact()
+        }
+    }
+}
+
+/// Counters and accounting collected during one run.
+#[derive(Debug, Clone, Default)]
+pub struct DpStats {
+    /// Plans constructed and offered to `Prune` (the paper's "considered
+    /// plans", which grow quadratically in the Pareto set sizes).
+    pub considered_plans: u64,
+    /// Plans currently stored across all table sets.
+    pub stored_plans: usize,
+    /// Peak of [`DpStats::stored_plans`] over the run.
+    pub peak_stored_plans: usize,
+    /// Deterministic memory model: peak stored plans × bytes per stored
+    /// plan (plan node + cost vector + entry bookkeeping), in bytes.
+    pub peak_memory_bytes: usize,
+    /// Number of stored plans for the last table set that was treated
+    /// completely (the paper's "#Pareto plans" metric, Figures 5 and 9).
+    pub pareto_last_complete: usize,
+    /// Maximum plan-set size over all (table set, order) groups.
+    pub max_group_size: usize,
+    /// Whether the deadline expired and the quick-finish path ran.
+    pub timed_out: bool,
+}
+
+impl DpStats {
+    /// Bytes accounted per stored plan: the O(1)-space representation of
+    /// Theorem 1 (plan node + cost vector + props + id).
+    #[must_use]
+    pub fn bytes_per_stored_plan() -> usize {
+        PlanArena::bytes_per_node() + std::mem::size_of::<PlanEntry>()
+    }
+
+    fn on_stored_delta(&mut self, inserted: bool, deleted: usize) {
+        if inserted {
+            self.stored_plans += 1;
+        }
+        self.stored_plans -= deleted;
+        if self.stored_plans > self.peak_stored_plans {
+            self.peak_stored_plans = self.stored_plans;
+            self.peak_memory_bytes = self.peak_stored_plans * Self::bytes_per_stored_plan();
+        }
+    }
+}
+
+/// Result of one `FindParetoPlans` run.
+#[derive(Debug)]
+pub struct DpResult {
+    /// Arena owning every plan generated during the run.
+    pub arena: PlanArena,
+    /// The (approximate) Pareto plan set for the full table set, flattened
+    /// over order groups.
+    pub final_plans: Vec<PlanEntry>,
+    /// Run statistics.
+    pub stats: DpStats,
+}
+
+/// Per-table-set state: one [`PlanSet`] per output order.
+#[derive(Debug, Default)]
+struct OrderGroups {
+    groups: HashMap<SortOrder, PlanSet>,
+    completed: bool,
+}
+
+impl OrderGroups {
+    fn total_plans(&self) -> usize {
+        self.groups.values().map(PlanSet::len).sum()
+    }
+
+    fn iter_entries(&self) -> impl Iterator<Item = &PlanEntry> {
+        self.groups.values().flat_map(PlanSet::iter)
+    }
+
+    fn best_weighted(&self, weights: &Weights) -> Option<PlanEntry> {
+        self.iter_entries()
+            .min_by(|a, b| {
+                weights
+                    .weighted_cost(&a.cost)
+                    .partial_cmp(&weights.weighted_cost(&b.cost))
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            })
+            .copied()
+    }
+}
+
+/// Computes the (approximate) Pareto plan set for the model's query block.
+///
+/// * `objectives` — the selected objective subset (dominance dimensions).
+/// * `config` — pruning precision and ablation switches.
+/// * `weights` — used only by the quick-finish path after a timeout, to pick
+///   the single surviving plan per remaining table set.
+/// * `deadline` — wall-clock budget; see module docs for expiry semantics.
+///
+/// # Panics
+///
+/// Panics if the query block is empty or has more than 24 relations.
+#[must_use]
+pub fn find_pareto_plans(
+    model: &CostModel<'_>,
+    objectives: ObjectiveSet,
+    config: &DpConfig,
+    weights: &Weights,
+    deadline: &Deadline,
+) -> DpResult {
+    let n = model.graph.n_rels();
+    assert!(n >= 1, "query block must contain at least one relation");
+    assert!(n <= 24, "query blocks beyond 24 relations are unsupported");
+
+    let strategy = PruneStrategy {
+        alpha_internal: config.alpha_internal,
+        approx_deletion: config.approx_deletion,
+    };
+    let full_mask: RelMask = model.graph.full_mask();
+    let mut arena = PlanArena::new();
+    let mut stats = DpStats::default();
+    // Dense DP table indexed by mask; entry 0 unused.
+    let mut table: Vec<OrderGroups> = Vec::with_capacity(1 << n);
+    for _ in 0..(1usize << n) {
+        table.push(OrderGroups::default());
+    }
+
+    // Phase 1: access paths for single tables.
+    for rel in 0..n {
+        let mask = 1u32 << rel;
+        for op in scan_configurations(model, rel) {
+            if let Some((cost, props)) = model.scan_cost(rel, op) {
+                stats.considered_plans += 1;
+                let plan = arena.scan(rel, op);
+                insert_entry(
+                    &mut table[mask as usize],
+                    PlanEntry { cost, props, plan },
+                    &strategy,
+                    objectives,
+                    config.group_by_order,
+                    &mut stats,
+                );
+            }
+        }
+        table[mask as usize].completed = true;
+        stats.pareto_last_complete = table[mask as usize].total_plans();
+    }
+
+    // Phase 2: table sets of increasing cardinality.
+    let masks_by_size = masks_grouped_by_cardinality(n);
+    'outer: for mask in masks_by_size {
+        if deadline.expired() {
+            stats.timed_out = true;
+            break 'outer;
+        }
+        let splits = enumerate_splits(model, mask, config.tree_shape);
+        for (m1, m2) in splits {
+            let key = join_key(model, m1, m2);
+            // Split the borrow: read sides, write target.
+            let (left_entries, right_entries) = {
+                let l: Vec<PlanEntry> =
+                    table[m1 as usize].iter_entries().copied().collect();
+                let r: Vec<PlanEntry> =
+                    table[m2 as usize].iter_entries().copied().collect();
+                (l, r)
+            };
+            for left in &left_entries {
+                for right in &right_entries {
+                    if deadline.expired() {
+                        stats.timed_out = true;
+                        break 'outer;
+                    }
+                    let right_canonical = is_canonical_index_scan(&arena, right, key.as_ref());
+                    for op in JoinOp::all_configurations() {
+                        let combined = model.join_cost(
+                            op,
+                            (&left.cost, &left.props),
+                            (&right.cost, &right.props),
+                            key.as_ref(),
+                            right_canonical,
+                        );
+                        let Some((cost, props)) = combined else {
+                            continue;
+                        };
+                        stats.considered_plans += 1;
+                        let plan = arena.join(op, left.plan, right.plan);
+                        insert_entry(
+                            &mut table[mask as usize],
+                            PlanEntry { cost, props, plan },
+                            &strategy,
+                            objectives,
+                            config.group_by_order,
+                            &mut stats,
+                        );
+                    }
+                }
+            }
+        }
+        table[mask as usize].completed = true;
+        stats.pareto_last_complete = table[mask as usize].total_plans();
+    }
+
+    if stats.timed_out {
+        quick_finish(model, &mut table, &mut arena, weights, objectives, &mut stats);
+    }
+
+    let final_plans: Vec<PlanEntry> = table[full_mask as usize]
+        .iter_entries()
+        .copied()
+        .collect();
+    debug_assert!(
+        !final_plans.is_empty(),
+        "the DP must produce at least one plan for the full table set"
+    );
+    DpResult {
+        arena,
+        final_plans,
+        stats,
+    }
+}
+
+/// Scan operator configurations for one relation: sequential scan, index
+/// scans on every indexed column, and the five sampling rates.
+fn scan_configurations(model: &CostModel<'_>, rel: usize) -> Vec<ScanOp> {
+    let table = model.catalog.table(model.graph.rels[rel].table);
+    let mut ops = vec![ScanOp::SeqScan];
+    for (ordinal, col) in table.columns.iter().enumerate() {
+        if col.indexed {
+            ops.push(ScanOp::IndexScan {
+                column: ordinal as u16,
+            });
+        }
+    }
+    if model.params.enable_sampling {
+        for rate_pct in moqo_plan::SAMPLING_RATES_PCT {
+            ops.push(ScanOp::SamplingScan { rate_pct });
+        }
+    }
+    ops
+}
+
+/// All masks with 2..=n bits, grouped by increasing cardinality.
+fn masks_grouped_by_cardinality(n: usize) -> Vec<RelMask> {
+    let mut masks: Vec<RelMask> = (1..(1u32 << n)).filter(|m| m.count_ones() >= 2).collect();
+    masks.sort_by_key(|m| m.count_ones());
+    masks
+}
+
+/// Ordered splits of `mask` into two non-empty disjoint subsets, honouring
+/// the Cartesian-product heuristic: if any split is connected by a join
+/// edge, unconnected splits are dropped. Left-deep enumeration restricts
+/// the inner (right) side to singletons.
+fn enumerate_splits(
+    model: &CostModel<'_>,
+    mask: RelMask,
+    shape: TreeShape,
+) -> Vec<(RelMask, RelMask)> {
+    let mut connected = Vec::new();
+    let mut all = Vec::new();
+    // Standard sub-mask enumeration; each ordered pair appears once.
+    let mut m1 = (mask - 1) & mask;
+    while m1 != 0 {
+        let m2 = mask ^ m1;
+        if shape == TreeShape::Bushy || m2.count_ones() == 1 {
+            all.push((m1, m2));
+            if model.graph.connects(m1, m2) {
+                connected.push((m1, m2));
+            }
+        }
+        m1 = (m1 - 1) & mask;
+    }
+    if connected.is_empty() {
+        all
+    } else {
+        connected
+    }
+}
+
+/// The equi-join predicate for a split: the first edge crossing the two
+/// sides, normalized so the left fields refer to the `m1` (outer) side.
+fn join_key(model: &CostModel<'_>, m1: RelMask, m2: RelMask) -> Option<JoinKey> {
+    let edge = model.graph.edges.iter().find(|e| e.crosses(m1, m2))?;
+    let left_in_m1 = m1 & (1u32 << edge.left_rel) != 0;
+    let (left_rel, left_col, right_rel, right_col) = if left_in_m1 {
+        (edge.left_rel, edge.left_col, edge.right_rel, edge.right_col)
+    } else {
+        (edge.right_rel, edge.right_col, edge.left_rel, edge.left_col)
+    };
+    let inner_indexed = model
+        .catalog
+        .table(model.graph.rels[right_rel].table)
+        .column(right_col)
+        .indexed;
+    Some(JoinKey {
+        left_rel,
+        left_col,
+        right_rel,
+        right_col,
+        inner_indexed,
+    })
+}
+
+/// Whether `entry` is exactly the canonical index-scan plan on the join
+/// key's inner column (precondition of index-nested-loop joins).
+fn is_canonical_index_scan(arena: &PlanArena, entry: &PlanEntry, key: Option<&JoinKey>) -> bool {
+    let Some(key) = key else { return false };
+    if entry.props.rels.count_ones() != 1 {
+        return false;
+    }
+    matches!(
+        arena.node(entry.plan),
+        PlanNode::Scan {
+            rel,
+            op: ScanOp::IndexScan { column },
+        } if rel == key.right_rel && column == key.right_col
+    )
+}
+
+/// Inserts an entry into the right order group, maintaining statistics.
+fn insert_entry(
+    groups: &mut OrderGroups,
+    entry: PlanEntry,
+    strategy: &PruneStrategy,
+    objectives: ObjectiveSet,
+    group_by_order: bool,
+    stats: &mut DpStats,
+) {
+    let order_key = if group_by_order {
+        entry.props.order
+    } else {
+        SortOrder::None
+    };
+    let set = groups.groups.entry(order_key).or_default();
+    let before = set.len();
+    let inserted = set.prune_insert(entry, strategy, objectives);
+    let after = set.len();
+    if inserted {
+        // after = before + 1 − deleted.
+        let deleted = before + 1 - after;
+        stats.on_stored_delta(true, deleted);
+        if after > stats.max_group_size {
+            stats.max_group_size = after;
+        }
+    }
+}
+
+/// §5.1 timeout semantics: give every untreated table set exactly one plan,
+/// assembled from the best-weighted stored sub-plans.
+fn quick_finish(
+    model: &CostModel<'_>,
+    table: &mut [OrderGroups],
+    arena: &mut PlanArena,
+    weights: &Weights,
+    objectives: ObjectiveSet,
+    stats: &mut DpStats,
+) {
+    let n = model.graph.n_rels();
+    for mask in masks_grouped_by_cardinality(n) {
+        if table[mask as usize].completed {
+            continue;
+        }
+        let splits = enumerate_splits(model, mask, TreeShape::Bushy);
+        let mut best: Option<PlanEntry> = None;
+        for (m1, m2) in splits {
+            let (Some(left), Some(right)) = (
+                table[m1 as usize].best_weighted(weights),
+                table[m2 as usize].best_weighted(weights),
+            ) else {
+                continue;
+            };
+            let key = join_key(model, m1, m2);
+            let right_canonical = is_canonical_index_scan(arena, &right, key.as_ref());
+            for op in JoinOp::all_configurations() {
+                let Some((cost, props)) = model.join_cost(
+                    op,
+                    (&left.cost, &left.props),
+                    (&right.cost, &right.props),
+                    key.as_ref(),
+                    right_canonical,
+                ) else {
+                    continue;
+                };
+                let better = best.as_ref().is_none_or(|b| {
+                    weights.weighted_cost(&cost) < weights.weighted_cost(&b.cost)
+                });
+                if better {
+                    let plan = arena.join(op, left.plan, right.plan);
+                    best = Some(PlanEntry { cost, props, plan });
+                }
+            }
+            // One split suffices for the quick path once a plan exists.
+            if best.is_some() {
+                break;
+            }
+        }
+        let entry = best.expect("every table set admits at least a nested-loop plan");
+        let groups = &mut table[mask as usize];
+        insert_entry(
+            groups,
+            entry,
+            &PruneStrategy::exact(),
+            objectives,
+            true,
+            stats,
+        );
+        groups.completed = true;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use moqo_catalog::{Catalog, ColumnStats, JoinGraph, JoinGraphBuilder, TableStats};
+    use moqo_cost::Objective;
+    use moqo_costmodel::CostModelParams;
+    use std::time::Duration;
+
+    fn setup3() -> (CostModelParams, Catalog, JoinGraph) {
+        let params = CostModelParams::default();
+        let mut cat = Catalog::new();
+        cat.add_table(
+            TableStats::new("customer", 15_000.0, 179.0)
+                .with_column(ColumnStats::new("c_custkey", 15_000.0).indexed()),
+        );
+        cat.add_table(
+            TableStats::new("orders", 150_000.0, 121.0)
+                .with_column(ColumnStats::new("o_orderkey", 150_000.0).indexed())
+                .with_column(ColumnStats::new("o_custkey", 15_000.0).indexed()),
+        );
+        cat.add_table(
+            TableStats::new("lineitem", 600_000.0, 129.0)
+                .with_column(ColumnStats::new("l_orderkey", 150_000.0).indexed()),
+        );
+        let graph = JoinGraphBuilder::new(&cat)
+            .rel("customer", 0.2)
+            .rel("orders", 0.5)
+            .rel("lineitem", 0.6)
+            .join(("customer", "c_custkey"), ("orders", "o_custkey"))
+            .join(("orders", "o_orderkey"), ("lineitem", "l_orderkey"))
+            .build();
+        (params, cat, graph)
+    }
+
+    fn objs2() -> ObjectiveSet {
+        ObjectiveSet::from_objectives(&[Objective::TotalTime, Objective::BufferFootprint])
+    }
+
+    #[test]
+    fn exact_dp_produces_plans_for_full_set() {
+        let (p, cat, g) = setup3();
+        let model = CostModel::new(&p, &cat, &g);
+        let result = find_pareto_plans(
+            &model,
+            objs2(),
+            &DpConfig::exact(),
+            &Weights::single(Objective::TotalTime),
+            &Deadline::unlimited(),
+        );
+        assert!(!result.final_plans.is_empty());
+        assert!(!result.stats.timed_out);
+        assert!(result.stats.considered_plans > 0);
+        for entry in &result.final_plans {
+            assert_eq!(entry.props.rels, g.full_mask());
+            assert_eq!(result.arena.leaf_count(entry.plan), 3);
+        }
+    }
+
+    #[test]
+    fn approximate_dp_stores_fewer_plans() {
+        let (p, cat, g) = setup3();
+        let model = CostModel::new(&p, &cat, &g);
+        let w = Weights::single(Objective::TotalTime);
+        let exact = find_pareto_plans(
+            &model,
+            objs2(),
+            &DpConfig::exact(),
+            &w,
+            &Deadline::unlimited(),
+        );
+        let approx = find_pareto_plans(
+            &model,
+            objs2(),
+            &DpConfig::approximate(2.0f64.powf(1.0 / 3.0)),
+            &w,
+            &Deadline::unlimited(),
+        );
+        assert!(approx.stats.peak_stored_plans <= exact.stats.peak_stored_plans);
+        assert!(approx.stats.considered_plans <= exact.stats.considered_plans);
+        assert!(!approx.final_plans.is_empty());
+    }
+
+    #[test]
+    fn single_objective_keeps_one_plan_per_group() {
+        let (p, cat, g) = setup3();
+        let model = CostModel::new(&p, &cat, &g);
+        let objs = ObjectiveSet::single(Objective::TotalTime);
+        let result = find_pareto_plans(
+            &model,
+            objs,
+            &DpConfig::exact(),
+            &Weights::single(Objective::TotalTime),
+            &Deadline::unlimited(),
+        );
+        // Per (set, order) group at most one plan survives with one objective.
+        assert!(result.stats.max_group_size == 1);
+    }
+
+    #[test]
+    fn timeout_still_yields_full_plan() {
+        let (p, cat, g) = setup3();
+        let model = CostModel::new(&p, &cat, &g);
+        let result = find_pareto_plans(
+            &model,
+            ObjectiveSet::all(),
+            &DpConfig::exact(),
+            &Weights::single(Objective::TotalTime),
+            &Deadline::new(Some(Duration::ZERO)),
+        );
+        assert!(result.stats.timed_out);
+        assert!(!result.final_plans.is_empty());
+        for entry in &result.final_plans {
+            assert_eq!(entry.props.rels, g.full_mask());
+        }
+    }
+
+    #[test]
+    fn cartesian_only_without_edges() {
+        let params = CostModelParams::default();
+        let mut cat = Catalog::new();
+        cat.add_table(TableStats::new("a", 100.0, 50.0).with_column(ColumnStats::new("id", 100.0)));
+        cat.add_table(TableStats::new("b", 200.0, 50.0).with_column(ColumnStats::new("id", 200.0)));
+        let graph = JoinGraphBuilder::new(&cat).rel("a", 1.0).rel("b", 1.0).build();
+        let model = CostModel::new(&params, &cat, &graph);
+        let result = find_pareto_plans(
+            &model,
+            objs2(),
+            &DpConfig::exact(),
+            &Weights::single(Objective::TotalTime),
+            &Deadline::unlimited(),
+        );
+        // All full-set plans must be nested-loop joins (the only Cartesian op).
+        for entry in &result.final_plans {
+            let joins = result.arena.join_ops(entry.plan);
+            assert!(joins.iter().all(|op| matches!(op, JoinOp::NestedLoop)));
+        }
+    }
+
+    #[test]
+    fn pareto_metric_tracks_last_completed_set() {
+        let (p, cat, g) = setup3();
+        let model = CostModel::new(&p, &cat, &g);
+        let result = find_pareto_plans(
+            &model,
+            objs2(),
+            &DpConfig::exact(),
+            &Weights::single(Objective::TotalTime),
+            &Deadline::unlimited(),
+        );
+        assert_eq!(
+            result.stats.pareto_last_complete,
+            result.final_plans.len(),
+            "last completed set is the full set on an untimed run"
+        );
+    }
+
+    #[test]
+    fn memory_accounting_is_consistent() {
+        let (p, cat, g) = setup3();
+        let model = CostModel::new(&p, &cat, &g);
+        let result = find_pareto_plans(
+            &model,
+            objs2(),
+            &DpConfig::exact(),
+            &Weights::single(Objective::TotalTime),
+            &Deadline::unlimited(),
+        );
+        assert!(result.stats.peak_stored_plans >= result.stats.stored_plans);
+        assert_eq!(
+            result.stats.peak_memory_bytes,
+            result.stats.peak_stored_plans * DpStats::bytes_per_stored_plan()
+        );
+    }
+
+    #[test]
+    fn splits_enumeration_is_exhaustive_and_ordered() {
+        let (p, cat, g) = setup3();
+        let model = CostModel::new(&p, &cat, &g);
+        // Mask {customer, orders} = 0b011: splits (01|10) and (10|01).
+        let splits = enumerate_splits(&model, 0b011, TreeShape::Bushy);
+        assert_eq!(splits.len(), 2);
+        assert!(splits.contains(&(0b001, 0b010)));
+        assert!(splits.contains(&(0b010, 0b001)));
+        // Full mask: customer–lineitem is not an edge, so the connected
+        // splits exclude ({customer},{lineitem}) pairs joined directly —
+        // but 0b101 vs 0b010 IS connected via both edges.
+        let full_splits = enumerate_splits(&model, 0b111, TreeShape::Bushy);
+        assert!(full_splits.contains(&(0b101, 0b010)));
+        assert_eq!(full_splits.len(), 6);
+    }
+}

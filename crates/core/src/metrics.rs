@@ -1,0 +1,136 @@
+//! Optimization reports: the metrics the paper's evaluation plots
+//! (optimization time, memory, Pareto-plan counts, iterations, timeouts).
+
+use std::time::Duration;
+
+use crate::dp::DpStats;
+
+/// Metrics for optimizing one query block.
+#[derive(Debug, Clone, Default)]
+pub struct BlockReport {
+    /// Wall-clock optimization time for the block.
+    pub elapsed: Duration,
+    /// Whether the block's optimization hit the deadline.
+    pub timed_out: bool,
+    /// Peak deterministic memory (bytes of stored plans; see DESIGN.md).
+    pub peak_memory_bytes: usize,
+    /// Plans stored for the last table set treated completely.
+    pub pareto_last_complete: usize,
+    /// Maximum plan-set size over all (table set, order) groups.
+    pub max_group_size: usize,
+    /// Plans constructed and offered to `Prune`.
+    pub considered_plans: u64,
+    /// IRA iterations executed (1 for EXA/RTA).
+    pub iterations: u32,
+    /// Final per-iteration precision used (IRA), or the configured internal
+    /// precision (RTA), or 1.0 (EXA).
+    pub alpha_final: f64,
+}
+
+impl BlockReport {
+    /// Builds a report from DP statistics plus timing.
+    #[must_use]
+    pub fn from_stats(stats: &DpStats, elapsed: Duration, iterations: u32, alpha: f64) -> Self {
+        BlockReport {
+            elapsed,
+            timed_out: stats.timed_out,
+            peak_memory_bytes: stats.peak_memory_bytes,
+            pareto_last_complete: stats.pareto_last_complete,
+            max_group_size: stats.max_group_size,
+            considered_plans: stats.considered_plans,
+            iterations,
+            alpha_final: alpha,
+        }
+    }
+}
+
+/// Aggregated metrics over all blocks of one query.
+#[derive(Debug, Clone, Default)]
+pub struct OptimizationReport {
+    /// Per-block reports in block order.
+    pub blocks: Vec<BlockReport>,
+}
+
+impl OptimizationReport {
+    /// Total optimization time across blocks.
+    #[must_use]
+    pub fn total_elapsed(&self) -> Duration {
+        self.blocks.iter().map(|b| b.elapsed).sum()
+    }
+
+    /// Whether any block timed out.
+    #[must_use]
+    pub fn timed_out(&self) -> bool {
+        self.blocks.iter().any(|b| b.timed_out)
+    }
+
+    /// Sum of per-block peak memory (blocks are optimized sequentially but
+    /// their results all stay resident, mirroring the paper's "allocated
+    /// memory during optimization").
+    #[must_use]
+    pub fn peak_memory_bytes(&self) -> usize {
+        self.blocks.iter().map(|b| b.peak_memory_bytes).sum()
+    }
+
+    /// Largest "Pareto plans for the last completely treated table set"
+    /// value over the blocks (the figure metric for multi-block queries).
+    #[must_use]
+    pub fn pareto_last_complete(&self) -> usize {
+        self.blocks
+            .iter()
+            .map(|b| b.pareto_last_complete)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Maximum iteration count over blocks (IRA).
+    #[must_use]
+    pub fn iterations(&self) -> u32 {
+        self.blocks.iter().map(|b| b.iterations).max().unwrap_or(0)
+    }
+
+    /// Total number of considered plans over blocks.
+    #[must_use]
+    pub fn considered_plans(&self) -> u64 {
+        self.blocks.iter().map(|b| b.considered_plans).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn block(ms: u64, mem: usize, pareto: usize, iters: u32, timed_out: bool) -> BlockReport {
+        BlockReport {
+            elapsed: Duration::from_millis(ms),
+            timed_out,
+            peak_memory_bytes: mem,
+            pareto_last_complete: pareto,
+            max_group_size: pareto,
+            considered_plans: 10,
+            iterations: iters,
+            alpha_final: 1.0,
+        }
+    }
+
+    #[test]
+    fn aggregates_over_blocks() {
+        let report = OptimizationReport {
+            blocks: vec![block(5, 100, 3, 1, false), block(7, 200, 8, 4, true)],
+        };
+        assert_eq!(report.total_elapsed(), Duration::from_millis(12));
+        assert!(report.timed_out());
+        assert_eq!(report.peak_memory_bytes(), 300);
+        assert_eq!(report.pareto_last_complete(), 8);
+        assert_eq!(report.iterations(), 4);
+        assert_eq!(report.considered_plans(), 20);
+    }
+
+    #[test]
+    fn empty_report_defaults() {
+        let report = OptimizationReport::default();
+        assert_eq!(report.total_elapsed(), Duration::ZERO);
+        assert!(!report.timed_out());
+        assert_eq!(report.pareto_last_complete(), 0);
+    }
+}

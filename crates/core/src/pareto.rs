@@ -1,0 +1,297 @@
+//! The `Prune` procedure of Algorithms 1 and 2: incremental (approximate)
+//! Pareto plan sets.
+//!
+//! A [`PlanSet`] holds the plans generated so far for one `(table set,
+//! output order)` group. Insertion follows the paper exactly:
+//!
+//! * **EXA** (Algorithm 1): insert unless an existing plan *dominates* the
+//!   new one; then delete stored plans the new plan dominates.
+//! * **RTA** (Algorithm 2): insert unless an existing plan *approximately
+//!   dominates* the new one with internal precision `α_i`; deletions still
+//!   use exact dominance. The paper's §6.2 remark explains that also
+//!   deleting approximately dominated plans would let the stored set drift
+//!   arbitrarily far from the frontier — that unsound variant is available
+//!   behind [`PruneStrategy::approx_deletion`] purely as an ablation.
+
+use moqo_cost::{approx_dominates, dominates, CostVector, ObjectiveSet};
+use moqo_plan::{PlanId, PlanProps};
+
+/// One stored plan: its cost vector, physical properties and arena id.
+#[derive(Debug, Clone, Copy)]
+pub struct PlanEntry {
+    /// Full nine-dimensional cost vector.
+    pub cost: CostVector,
+    /// Physical properties (rows, width, order, sampling factor).
+    pub props: PlanProps,
+    /// Plan node in the arena.
+    pub plan: PlanId,
+}
+
+/// Pruning configuration shared by one dynamic-programming run.
+#[derive(Debug, Clone, Copy)]
+pub struct PruneStrategy {
+    /// Internal approximation precision `α_i ≥ 1`; `1.0` yields the exact
+    /// algorithm's pruning.
+    pub alpha_internal: f64,
+    /// Unsound ablation: also delete stored plans that the new plan merely
+    /// *approximately* dominates (destroys the near-optimality guarantee,
+    /// §6.2 remark).
+    pub approx_deletion: bool,
+}
+
+impl PruneStrategy {
+    /// Exact pruning (EXA).
+    #[must_use]
+    pub fn exact() -> Self {
+        PruneStrategy {
+            alpha_internal: 1.0,
+            approx_deletion: false,
+        }
+    }
+
+    /// Approximate pruning with internal precision `alpha_internal` (RTA).
+    #[must_use]
+    pub fn approximate(alpha_internal: f64) -> Self {
+        debug_assert!(alpha_internal >= 1.0);
+        PruneStrategy {
+            alpha_internal,
+            approx_deletion: false,
+        }
+    }
+}
+
+/// An incrementally pruned plan set for one `(table set, order)` group.
+#[derive(Debug, Clone, Default)]
+pub struct PlanSet {
+    entries: Vec<PlanEntry>,
+}
+
+impl PlanSet {
+    /// An empty set.
+    #[must_use]
+    pub fn new() -> Self {
+        PlanSet::default()
+    }
+
+    /// The `Prune(P, pN)` procedure. Returns `true` if the new plan was
+    /// inserted, `false` if it was discarded. The net change in stored-entry
+    /// count is `1 − deleted` on insertion and `0` otherwise; the caller
+    /// tracks memory via [`PlanSet::len`].
+    pub fn prune_insert(
+        &mut self,
+        entry: PlanEntry,
+        strategy: &PruneStrategy,
+        objectives: ObjectiveSet,
+    ) -> bool {
+        // "Check whether new plan useful": some stored plan (approximately)
+        // dominates the new one?
+        let rejected = self.entries.iter().any(|e| {
+            approx_dominates(&e.cost, &entry.cost, strategy.alpha_internal, objectives)
+        });
+        if rejected {
+            return false;
+        }
+        // "Delete dominated plans". Exact dominance unless the unsound
+        // ablation is requested.
+        if strategy.approx_deletion {
+            self.entries.retain(|e| {
+                !approx_dominates(&entry.cost, &e.cost, strategy.alpha_internal, objectives)
+            });
+        } else {
+            self.entries
+                .retain(|e| !dominates(&entry.cost, &e.cost, objectives));
+        }
+        self.entries.push(entry);
+        true
+    }
+
+    /// Number of stored plans.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the set is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterates over the stored plans.
+    pub fn iter(&self) -> impl Iterator<Item = &PlanEntry> {
+        self.entries.iter()
+    }
+
+    /// The stored plans as a slice.
+    #[must_use]
+    pub fn as_slice(&self) -> &[PlanEntry] {
+        &self.entries
+    }
+
+    /// Invariant check (test helper): with exact pruning no entry may
+    /// strictly dominate another.
+    #[must_use]
+    pub fn is_antichain(&self, objectives: ObjectiveSet) -> bool {
+        for (i, a) in self.entries.iter().enumerate() {
+            for (j, b) in self.entries.iter().enumerate() {
+                if i != j && moqo_cost::strictly_dominates(&a.cost, &b.cost, objectives) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use moqo_cost::Objective;
+    use moqo_plan::SortOrder;
+
+    fn objs() -> ObjectiveSet {
+        ObjectiveSet::from_objectives(&[Objective::TotalTime, Objective::BufferFootprint])
+    }
+
+    fn entry(t: f64, b: f64) -> PlanEntry {
+        PlanEntry {
+            cost: CostVector::from_pairs(&[
+                (Objective::TotalTime, t),
+                (Objective::BufferFootprint, b),
+            ]),
+            props: PlanProps {
+                rels: 1,
+                rows: 1.0,
+                width: 1.0,
+                order: SortOrder::None,
+                sampling_factor: 1.0,
+            },
+            plan: PlanId(0),
+        }
+    }
+
+    #[test]
+    fn exact_prune_keeps_incomparable_plans() {
+        let mut set = PlanSet::new();
+        let s = PruneStrategy::exact();
+        assert!(set.prune_insert(entry(1.0, 3.0), &s, objs()));
+        assert!(set.prune_insert(entry(3.0, 1.0), &s, objs()));
+        assert_eq!(set.len(), 2);
+        assert!(set.is_antichain(objs()));
+    }
+
+    #[test]
+    fn exact_prune_rejects_dominated_insert() {
+        let mut set = PlanSet::new();
+        let s = PruneStrategy::exact();
+        assert!(set.prune_insert(entry(1.0, 1.0), &s, objs()));
+        assert!(!set.prune_insert(entry(2.0, 2.0), &s, objs()));
+        assert!(!set.prune_insert(entry(1.0, 1.0), &s, objs())); // equal ⇒ dominated
+        assert_eq!(set.len(), 1);
+    }
+
+    #[test]
+    fn exact_prune_deletes_newly_dominated() {
+        let mut set = PlanSet::new();
+        let s = PruneStrategy::exact();
+        set.prune_insert(entry(2.0, 2.0), &s, objs());
+        set.prune_insert(entry(3.0, 0.5), &s, objs());
+        // (1,1) dominates (2,2) but not (3,0.5) — buffer 0.5 < 1.
+        assert!(set.prune_insert(entry(1.0, 1.0), &s, objs()));
+        assert_eq!(set.len(), 2);
+        assert!(set
+            .iter()
+            .all(|e| e.cost.get(Objective::TotalTime) != 2.0));
+    }
+
+    #[test]
+    fn approximate_prune_thins_the_set() {
+        let mut exact = PlanSet::new();
+        let mut approx = PlanSet::new();
+        let se = PruneStrategy::exact();
+        let sa = PruneStrategy::approximate(2.0);
+        // A dense frontier: exact keeps all, 2-approximate keeps far fewer.
+        for i in 0..32 {
+            let t = 1.0 + f64::from(i) * 0.1;
+            let b = 10.0 / t;
+            exact.prune_insert(entry(t, b), &se, objs());
+            approx.prune_insert(entry(t, b), &sa, objs());
+        }
+        assert_eq!(exact.len(), 32);
+        assert!(approx.len() < exact.len() / 2, "approx kept {}", approx.len());
+    }
+
+    #[test]
+    fn approximate_prune_still_covers_frontier() {
+        // Every exact-frontier point must be α-approximately dominated by a
+        // kept representative (the invariant behind Theorem 3's base case).
+        let alpha = 1.5;
+        let mut approx = PlanSet::new();
+        let sa = PruneStrategy::approximate(alpha);
+        let mut all = Vec::new();
+        for i in 0..64 {
+            let t = 1.0 + f64::from(i) * 0.07;
+            let b = 20.0 / t;
+            let e = entry(t, b);
+            all.push(e.cost);
+            approx.prune_insert(e, &sa, objs());
+        }
+        let frontier = moqo_cost::pareto_front::pareto_frontier(&all, objs());
+        let kept: Vec<CostVector> = approx.iter().map(|e| e.cost).collect();
+        assert!(moqo_cost::pareto_front::is_approx_pareto_set(
+            &kept, &frontier, alpha, objs()
+        ));
+    }
+
+    #[test]
+    fn approx_deletion_ablation_can_drift() {
+        // Demonstrates the §6.2 remark: deleting approximately dominated
+        // plans lets the stored set depart more and more from the frontier.
+        // Chain construction: each new point is slightly worse in time
+        // (×1.1 < α) and much better in buffer (÷1.3), so it is NOT rejected
+        // (buffer improves beyond α) but it α-dominates and thus deletes its
+        // predecessor. All chain points are mutually incomparable, hence all
+        // lie on the true frontier; the single survivor ends up more than α
+        // away from the early frontier points.
+        let alpha = 1.2f64;
+        let mut unsound = PlanSet::new();
+        let s = PruneStrategy {
+            alpha_internal: alpha,
+            approx_deletion: true,
+        };
+        let mut all = Vec::new();
+        let (mut t, mut b) = (1.0f64, 1000.0f64);
+        for _ in 0..12 {
+            let e = entry(t, b);
+            all.push(e.cost);
+            unsound.prune_insert(e, &s, objs());
+            t *= 1.1;
+            b /= 1.3;
+        }
+        assert_eq!(unsound.len(), 1, "chain keeps replacing its predecessor");
+        let kept: Vec<CostVector> = unsound.iter().map(|e| e.cost).collect();
+        let factor =
+            moqo_cost::pareto_front::approximation_factor(&kept, &all, objs()).unwrap();
+        assert!(
+            factor > alpha * 1.5,
+            "unsound deletion drifted to factor {factor}, beyond α = {alpha}"
+        );
+        // The sound strategy on the same input keeps every chain point.
+        let mut sound = PlanSet::new();
+        let ss = PruneStrategy::approximate(alpha);
+        let (mut t, mut b) = (1.0f64, 1000.0f64);
+        let mut kept_count = 0;
+        for _ in 0..12 {
+            if sound.prune_insert(entry(t, b), &ss, objs()) {
+                kept_count += 1;
+            }
+            t *= 1.1;
+            b /= 1.3;
+        }
+        assert_eq!(kept_count, 12);
+        let kept: Vec<CostVector> = sound.iter().map(|e| e.cost).collect();
+        let factor =
+            moqo_cost::pareto_front::approximation_factor(&kept, &all, objs()).unwrap();
+        assert!(factor <= alpha, "sound pruning stays within α; got {factor}");
+    }
+}

@@ -1,0 +1,108 @@
+//! `SelectBest` (Algorithm 1, lines 36–41): choose the best plan from a
+//! Pareto set under weights and bounds.
+
+use moqo_cost::Preference;
+
+use crate::pareto::PlanEntry;
+
+/// Selects the best plan in `plans` for the given preference: among the
+/// plans that respect the bounds the one with minimal weighted cost; if no
+/// plan respects the bounds, the plan with minimal weighted cost overall
+/// (Definition 2's fallback).
+///
+/// Returns `None` only for an empty input.
+#[must_use]
+pub fn select_best(plans: &[PlanEntry], preference: &Preference) -> Option<PlanEntry> {
+    let weighted = |e: &PlanEntry| preference.weighted_cost(&e.cost);
+    let min_by_weight = |iter: &mut dyn Iterator<Item = &PlanEntry>| -> Option<PlanEntry> {
+        iter.min_by(|a, b| {
+            weighted(a)
+                .partial_cmp(&weighted(b))
+                .unwrap_or(std::cmp::Ordering::Equal)
+        })
+        .copied()
+    };
+    let mut respecting = plans.iter().filter(|e| preference.respects_bounds(&e.cost));
+    if let Some(best) = min_by_weight(&mut respecting) {
+        return Some(best);
+    }
+    min_by_weight(&mut plans.iter())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use moqo_cost::{CostVector, Objective, ObjectiveSet, Preference};
+    use moqo_plan::{PlanId, PlanProps, SortOrder};
+
+    fn entry(t: f64, b: f64, id: u32) -> PlanEntry {
+        PlanEntry {
+            cost: CostVector::from_pairs(&[
+                (Objective::TotalTime, t),
+                (Objective::BufferFootprint, b),
+            ]),
+            props: PlanProps {
+                rels: 1,
+                rows: 1.0,
+                width: 1.0,
+                order: SortOrder::None,
+                sampling_factor: 1.0,
+            },
+            plan: PlanId(id),
+        }
+    }
+
+    fn pref() -> Preference {
+        Preference::over(ObjectiveSet::from_objectives(&[
+            Objective::TotalTime,
+            Objective::BufferFootprint,
+        ]))
+        .weight(Objective::TotalTime, 1.5)
+        .weight(Objective::BufferFootprint, 1.0)
+    }
+
+    #[test]
+    fn picks_minimal_weighted_without_bounds() {
+        // The running example: weighted optimum is (buffer 1.0, time 1.5).
+        let plans: Vec<PlanEntry> = moqo_cost::running_example::PLAN_POINTS
+            .iter()
+            .enumerate()
+            .map(|(i, &(b, t))| entry(t, b, i as u32))
+            .collect();
+        let best = select_best(&plans, &pref()).unwrap();
+        assert_eq!(best.cost.get(Objective::BufferFootprint), 1.0);
+        assert_eq!(best.cost.get(Objective::TotalTime), 1.5);
+    }
+
+    #[test]
+    fn bounds_switch_the_winner() {
+        // Figure 1(b): with time ≤ 1.2 and buffer ≤ 2.5 the optimum moves
+        // to (buffer 2.0, time 1.0).
+        let plans: Vec<PlanEntry> = moqo_cost::running_example::PLAN_POINTS
+            .iter()
+            .enumerate()
+            .map(|(i, &(b, t))| entry(t, b, i as u32))
+            .collect();
+        let p = pref()
+            .bound(Objective::TotalTime, 1.2)
+            .bound(Objective::BufferFootprint, 2.5);
+        let best = select_best(&plans, &p).unwrap();
+        assert_eq!(best.cost.get(Objective::BufferFootprint), 2.0);
+        assert_eq!(best.cost.get(Objective::TotalTime), 1.0);
+    }
+
+    #[test]
+    fn infeasible_bounds_fall_back_to_weighted() {
+        let plans = vec![entry(2.0, 2.0, 0), entry(1.0, 4.0, 1)];
+        let p = pref().bound(Objective::TotalTime, 0.1);
+        let best = select_best(&plans, &p).unwrap();
+        // No plan respects the bound; minimal weighted cost wins:
+        // 1.5·2+2 = 5 vs 1.5·1+4 = 5.5.
+        assert_eq!(best.plan, PlanId(0));
+    }
+
+    #[test]
+    fn empty_input_returns_none() {
+        assert!(select_best(&[], &pref()).is_none());
+    }
+}

@@ -1,0 +1,224 @@
+//! Property tests of the optimizer algorithms over *random* catalogs and
+//! join graphs — not just TPC-H. Sampling scans are disabled so that plan
+//! cardinalities are deterministic per table set; in this plan space the
+//! RTA/IRA guarantees are exact theorems, and we check them verbatim.
+
+use moqo_catalog::{Catalog, ColumnStats, JoinEdge, JoinGraph, TableStats};
+use moqo_core::{exa, ira, rta, select_best, Deadline};
+use moqo_cost::{dominates, Objective, ObjectiveSet, Preference};
+use moqo_costmodel::{CostModel, CostModelParams};
+use proptest::prelude::*;
+
+/// Random catalog with `n` tables and a random connected join graph
+/// (spanning tree plus optional extra edges).
+#[derive(Debug, Clone)]
+struct RandomInstance {
+    catalog: Catalog,
+    graph: JoinGraph,
+    objectives: ObjectiveSet,
+    weights: Vec<(Objective, f64)>,
+}
+
+fn arb_instance(max_rels: usize) -> impl Strategy<Value = RandomInstance> {
+    (
+        2..=max_rels,
+        prop::collection::vec(100.0f64..200_000.0, max_rels),
+        prop::collection::vec(any::<bool>(), max_rels),
+        prop::collection::vec(0.05f64..1.0, max_rels),
+        prop::collection::vec(0usize..usize::MAX, max_rels),
+        prop::collection::vec(0.0f64..1.0, 9),
+        2u16..((1 << 9) - 1),
+    )
+        .prop_map(
+            |(n, cards, indexed, filters, parents, weight_vals, obj_bits)| {
+                let mut catalog = Catalog::new();
+                let mut rels = Vec::new();
+                for i in 0..n {
+                    let mut col = ColumnStats::new("k", cards[i].max(2.0));
+                    if indexed[i] {
+                        col = col.indexed();
+                    }
+                    catalog.add_table(
+                        TableStats::new(format!("t{i}"), cards[i], 80.0).with_column(col),
+                    );
+                    rels.push(moqo_catalog::BaseRel {
+                        table: moqo_catalog::TableId(i as u32),
+                        alias: format!("t{i}"),
+                        filter_selectivity: filters[i],
+                    });
+                }
+                // Spanning tree: node i > 0 connects to a random earlier node.
+                let mut edges = Vec::new();
+                for i in 1..n {
+                    let parent = parents[i] % i;
+                    let sel = 1.0 / cards[i].max(cards[parent]).max(2.0);
+                    edges.push(JoinEdge {
+                        left_rel: parent,
+                        left_col: 0,
+                        right_rel: i,
+                        right_col: 0,
+                        selectivity: sel,
+                    });
+                }
+                let graph = JoinGraph { rels, edges };
+                // Random non-empty objective subset with random weights.
+                let mut objectives = ObjectiveSet::empty();
+                let mut weights = Vec::new();
+                for o in Objective::ALL {
+                    if obj_bits & (1 << o.index()) != 0 {
+                        objectives.insert(o);
+                        weights.push((o, weight_vals[o.index()]));
+                    }
+                }
+                RandomInstance {
+                    catalog,
+                    graph,
+                    objectives,
+                    weights,
+                }
+            },
+        )
+}
+
+fn sampling_free_params() -> CostModelParams {
+    CostModelParams {
+        enable_sampling: false,
+        ..CostModelParams::default()
+    }
+}
+
+fn preference(inst: &RandomInstance) -> Preference {
+    let mut pref = Preference::over(inst.objectives);
+    for &(o, w) in &inst.weights {
+        pref.weights.set(o, w);
+    }
+    pref
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Corollary 1, exact form: on a sampling-free plan space the RTA's
+    /// weighted cost is within α_U of the exact optimum — always.
+    #[test]
+    fn rta_guarantee_is_exact_without_sampling(
+        inst in arb_instance(4),
+        alpha in 1.0f64..3.0,
+    ) {
+        let params = sampling_free_params();
+        let model = CostModel::new(&params, &inst.catalog, &inst.graph);
+        let pref = preference(&inst);
+        let deadline = Deadline::unlimited();
+        let exact = exa(&model, &pref, &deadline);
+        let opt = select_best(&exact.final_plans, &pref).unwrap();
+        let approx = rta(&model, &pref, alpha, &deadline);
+        let best = select_best(&approx.final_plans, &pref).unwrap();
+        let (got, want) = (pref.weighted_cost(&best.cost), pref.weighted_cost(&opt.cost));
+        prop_assert!(
+            got <= alpha * want + 1e-6,
+            "ρ = {} exceeds α = {alpha}",
+            got / want.max(1e-12)
+        );
+    }
+
+    /// Theorem 3, exact form: the RTA's final plan set α_U-covers the exact
+    /// Pareto frontier.
+    #[test]
+    fn rta_frontier_coverage_without_sampling(
+        inst in arb_instance(3),
+        alpha in 1.0f64..2.5,
+    ) {
+        let params = sampling_free_params();
+        let model = CostModel::new(&params, &inst.catalog, &inst.graph);
+        let pref = preference(&inst);
+        let deadline = Deadline::unlimited();
+        let exact = exa(&model, &pref, &deadline);
+        let approx = rta(&model, &pref, alpha, &deadline);
+        let exact_vectors: Vec<_> = exact.final_plans.iter().map(|e| e.cost).collect();
+        let approx_vectors: Vec<_> = approx.final_plans.iter().map(|e| e.cost).collect();
+        prop_assert!(moqo_cost::pareto_front::is_approx_pareto_set(
+            &approx_vectors,
+            &exact_vectors,
+            alpha + 1e-9,
+            inst.objectives,
+        ));
+    }
+
+    /// The EXA's final plan set never contains a plan strictly dominated by
+    /// another plan of the same output order (per-group antichain).
+    #[test]
+    fn exa_final_plans_are_per_order_antichains(inst in arb_instance(4)) {
+        let params = sampling_free_params();
+        let model = CostModel::new(&params, &inst.catalog, &inst.graph);
+        let pref = preference(&inst);
+        let exact = exa(&model, &pref, &Deadline::unlimited());
+        for a in &exact.final_plans {
+            for b in &exact.final_plans {
+                if a.plan != b.plan && a.props.order == b.props.order {
+                    prop_assert!(
+                        !moqo_cost::strictly_dominates(&a.cost, &b.cost, inst.objectives),
+                        "stored plan strictly dominated within its order group"
+                    );
+                }
+            }
+        }
+    }
+
+    /// Theorem 6, exact form: on bounded instances with a feasible plan the
+    /// IRA returns a feasible plan within α_U of the bounded optimum.
+    #[test]
+    fn ira_guarantee_without_sampling(
+        inst in arb_instance(3),
+        alpha in 1.05f64..2.5,
+        bound_slack in 1.05f64..3.0,
+    ) {
+        let params = sampling_free_params();
+        let model = CostModel::new(&params, &inst.catalog, &inst.graph);
+        let mut pref = preference(&inst);
+        // Bound the first selected objective at slack × its minimum: always
+        // feasible by construction.
+        let bounded_obj = inst.objectives.iter().next().unwrap();
+        let min = moqo_core::min_cost_for_objective(&model, bounded_obj, &Deadline::unlimited());
+        pref.bounds.set(bounded_obj, min * bound_slack + 1e-9);
+
+        let deadline = Deadline::unlimited();
+        let exact = exa(&model, &pref, &deadline);
+        let opt = select_best(&exact.final_plans, &pref).unwrap();
+        prop_assert!(pref.respects_bounds(&opt.cost), "instance must be feasible");
+
+        let out = ira(&model, &pref, alpha, &deadline);
+        prop_assert!(
+            pref.respects_bounds(&out.best.cost),
+            "IRA must return a feasible plan when one exists"
+        );
+        let (got, want) = (
+            pref.weighted_cost(&out.best.cost),
+            pref.weighted_cost(&opt.cost),
+        );
+        prop_assert!(got <= alpha * want + 1e-6, "ρ = {}", got / want.max(1e-12));
+    }
+
+    /// Every plan dominated on *all nine* objectives is also dominated on
+    /// any subset — so optimizing over subsets never invents new plans
+    /// (consistency of the projection).
+    #[test]
+    fn full_frontier_projects_onto_subset_frontiers(inst in arb_instance(3)) {
+        let params = sampling_free_params();
+        let model = CostModel::new(&params, &inst.catalog, &inst.graph);
+        let all = Preference::over(ObjectiveSet::all()).weight(Objective::TotalTime, 1.0);
+        let sub = preference(&inst);
+        let deadline = Deadline::unlimited();
+        let full = exa(&model, &all, &deadline);
+        let subset = exa(&model, &sub, &deadline);
+        // Every subset-frontier cost vector is matched (dominated-or-equal
+        // on the subset) by some member of the full nine-dimensional set.
+        for e in &subset.final_plans {
+            prop_assert!(
+                full.final_plans
+                    .iter()
+                    .any(|f| dominates(&f.cost, &e.cost, inst.objectives)),
+                "subset frontier must be covered by the full frontier"
+            );
+        }
+    }
+}

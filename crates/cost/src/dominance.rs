@@ -1,0 +1,135 @@
+//! The three dominance relations of the paper's formal model (§3).
+//!
+//! * `c1 ⪯ c2` — [`dominates`]: `c1` has lower-or-equal cost in *every*
+//!   selected objective.
+//! * `c1 ≺ c2` — [`strictly_dominates`]: `c1 ⪯ c2` and the vectors are not
+//!   equivalent on the selected objectives.
+//! * `c1 ⪯_α c2` — [`approx_dominates`]: the cost of `c1` is higher than the
+//!   one of `c2` by at most factor `α` in every selected objective, i.e.
+//!   `∀o: c1^o ≤ c2^o · α`.
+//!
+//! Note the direction of approximate dominance: `c1` may be *worse* than `c2`
+//! by up to factor `α` and still approximately dominate it — with `α = 1` the
+//! relation coincides with plain dominance.
+
+use crate::objective::ObjectiveSet;
+use crate::vector::CostVector;
+
+/// `c1 ⪯ c2`: `c1` has lower or equivalent cost than `c2` in every selected
+/// objective.
+#[inline]
+#[must_use]
+pub fn dominates(c1: &CostVector, c2: &CostVector, objectives: ObjectiveSet) -> bool {
+    objectives.iter().all(|o| c1.get(o) <= c2.get(o))
+}
+
+/// `c1 ≺ c2`: `c1 ⪯ c2` and the two vectors differ on at least one selected
+/// objective.
+#[inline]
+#[must_use]
+pub fn strictly_dominates(c1: &CostVector, c2: &CostVector, objectives: ObjectiveSet) -> bool {
+    let mut strictly_better = false;
+    for o in objectives.iter() {
+        let (a, b) = (c1.get(o), c2.get(o));
+        if a > b {
+            return false;
+        }
+        if a < b {
+            strictly_better = true;
+        }
+    }
+    strictly_better
+}
+
+/// `c1 ⪯_α c2`: `c1^o ≤ α · c2^o` for every selected objective `o`.
+///
+/// # Panics
+///
+/// Debug-asserts `α ≥ 1` (the paper only defines approximate dominance for
+/// `α ≥ 1`).
+#[inline]
+#[must_use]
+pub fn approx_dominates(
+    c1: &CostVector,
+    c2: &CostVector,
+    alpha: f64,
+    objectives: ObjectiveSet,
+) -> bool {
+    debug_assert!(alpha >= 1.0, "approximate dominance requires α ≥ 1");
+    objectives.iter().all(|o| c1.get(o) <= alpha * c2.get(o))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::objective::Objective;
+
+    fn objs2() -> ObjectiveSet {
+        ObjectiveSet::from_objectives(&[Objective::TotalTime, Objective::BufferFootprint])
+    }
+
+    fn v(t: f64, b: f64) -> CostVector {
+        CostVector::from_pairs(&[(Objective::TotalTime, t), (Objective::BufferFootprint, b)])
+    }
+
+    #[test]
+    fn dominance_is_reflexive() {
+        let a = v(1.0, 2.0);
+        assert!(dominates(&a, &a, objs2()));
+        assert!(!strictly_dominates(&a, &a, objs2()));
+    }
+
+    #[test]
+    fn dominance_requires_all_dimensions() {
+        assert!(dominates(&v(1.0, 2.0), &v(1.0, 3.0), objs2()));
+        assert!(!dominates(&v(1.0, 4.0), &v(1.0, 3.0), objs2()));
+        assert!(!dominates(&v(2.0, 2.0), &v(1.0, 3.0), objs2()));
+    }
+
+    #[test]
+    fn strict_dominance_needs_one_strict_dimension() {
+        assert!(strictly_dominates(&v(1.0, 2.0), &v(1.0, 3.0), objs2()));
+        assert!(!strictly_dominates(&v(1.0, 3.0), &v(1.0, 3.0), objs2()));
+    }
+
+    #[test]
+    fn approx_dominance_with_alpha_one_is_dominance() {
+        let a = v(1.0, 3.0);
+        let b = v(1.0, 2.9);
+        assert_eq!(
+            approx_dominates(&a, &b, 1.0, objs2()),
+            dominates(&a, &b, objs2())
+        );
+        assert!(approx_dominates(&b, &a, 1.0, objs2()));
+    }
+
+    #[test]
+    fn approx_dominance_allows_alpha_slack() {
+        // 1.5-approximate dominance: c1 may be up to 50% worse per dimension.
+        assert!(approx_dominates(&v(1.4, 2.8), &v(1.0, 2.0), 1.5, objs2()));
+        assert!(!approx_dominates(&v(1.6, 2.0), &v(1.0, 2.0), 1.5, objs2()));
+    }
+
+    #[test]
+    fn unselected_dimensions_are_ignored() {
+        let only_time = ObjectiveSet::single(Objective::TotalTime);
+        // Worse buffer cost is irrelevant when only time is selected.
+        assert!(dominates(&v(1.0, 99.0), &v(2.0, 1.0), only_time));
+    }
+
+    #[test]
+    fn zero_cost_edge_case() {
+        // c2 with a zero component: only a zero component of c1 can
+        // approximately dominate it.
+        let z = v(0.0, 1.0);
+        assert!(approx_dominates(&v(0.0, 1.0), &z, 2.0, objs2()));
+        assert!(!approx_dominates(&v(0.1, 1.0), &z, 2.0, objs2()));
+    }
+
+    #[test]
+    fn empty_objective_set_everything_dominates() {
+        let none = ObjectiveSet::empty();
+        assert!(dominates(&v(9.0, 9.0), &v(1.0, 1.0), none));
+        assert!(!strictly_dominates(&v(9.0, 9.0), &v(1.0, 1.0), none));
+    }
+}

@@ -1,0 +1,132 @@
+//! The discretization function `δ` from the proof of Lemma 2.
+//!
+//! `δ` maps continuous cost vectors to discrete grid cells such that
+//! `δ^o(c) = ⌊log_{α_i}(c^o)⌋` per objective. Two vectors in the same cell
+//! mutually approximately dominate each other with precision `α_i`, so the
+//! RTA can never store two plans whose cost vectors share a cell — this is
+//! what bounds the stored-plan count by `O((n·log_{α_i} m)^{l−1})` and it
+//! is asserted as an invariant over real optimizer runs in
+//! `moqo-core`'s tests.
+
+use crate::objective::{ObjectiveSet, NUM_OBJECTIVES};
+use crate::vector::CostVector;
+
+/// A discrete grid cell: one `⌊log_{α_i}(c^o)⌋` coordinate per selected
+/// objective (unselected dimensions are fixed to 0). Zero-cost dimensions
+/// get the sentinel `i32::MIN` (the paper treats zero costs separately via
+/// Observation 3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct GridCell {
+    coords: [i32; NUM_OBJECTIVES],
+}
+
+/// Computes `δ(c)` for precision `alpha_i > 1` on the selected objectives.
+///
+/// # Panics
+///
+/// Panics if `alpha_i <= 1` (the grid degenerates at exact precision).
+#[must_use]
+pub fn cell_of(cost: &CostVector, alpha_i: f64, objectives: ObjectiveSet) -> GridCell {
+    assert!(alpha_i > 1.0, "the δ grid requires α_i > 1");
+    let ln_alpha = alpha_i.ln();
+    let mut coords = [0i32; NUM_OBJECTIVES];
+    for o in objectives.iter() {
+        let v = cost.get(o);
+        coords[o.index()] = if v <= 0.0 {
+            i32::MIN
+        } else {
+            (v.ln() / ln_alpha).floor() as i32
+        };
+    }
+    GridCell { coords }
+}
+
+/// Whether two cost vectors fall into the same `δ` cell — in which case
+/// they mutually approximately dominate each other with precision `α_i`
+/// (Lemma 2's key observation).
+#[must_use]
+pub fn same_cell(
+    a: &CostVector,
+    b: &CostVector,
+    alpha_i: f64,
+    objectives: ObjectiveSet,
+) -> bool {
+    cell_of(a, alpha_i, objectives) == cell_of(b, alpha_i, objectives)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dominance::approx_dominates;
+    use crate::objective::Objective;
+
+    fn objs() -> ObjectiveSet {
+        ObjectiveSet::from_objectives(&[Objective::TotalTime, Objective::BufferFootprint])
+    }
+
+    fn v(t: f64, b: f64) -> CostVector {
+        CostVector::from_pairs(&[(Objective::TotalTime, t), (Objective::BufferFootprint, b)])
+    }
+
+    #[test]
+    fn same_cell_implies_mutual_approx_dominance() {
+        // Lemma 2: if δ(c1) = δ(c2) then c1 ⪯_α c2 and c2 ⪯_α c1.
+        let alpha = 1.5;
+        let cases = [
+            (v(10.0, 100.0), v(12.0, 110.0)),
+            (v(1.0, 1.0), v(1.2, 1.3)),
+            (v(1e6, 3.0), v(1.4e6, 3.5)),
+        ];
+        for (a, b) in cases {
+            if same_cell(&a, &b, alpha, objs()) {
+                assert!(approx_dominates(&a, &b, alpha, objs()));
+                assert!(approx_dominates(&b, &a, alpha, objs()));
+            }
+        }
+        // A pair constructed to share cells: within one α-band per dim.
+        let a = v(2.0, 8.0);
+        let b = v(2.2, 8.8);
+        assert!(same_cell(&a, &b, 1.5, objs()));
+        assert!(approx_dominates(&a, &b, 1.5, objs()));
+        assert!(approx_dominates(&b, &a, 1.5, objs()));
+    }
+
+    #[test]
+    fn distant_vectors_are_in_different_cells() {
+        assert!(!same_cell(&v(1.0, 1.0), &v(100.0, 1.0), 1.5, objs()));
+    }
+
+    #[test]
+    fn zero_cost_gets_sentinel_cell() {
+        let zero_t = v(0.0, 5.0);
+        let tiny_t = v(1e-12, 5.0);
+        assert!(!same_cell(&zero_t, &tiny_t, 1.5, objs()));
+        assert!(same_cell(&zero_t, &v(0.0, 5.0), 1.5, objs()));
+    }
+
+    #[test]
+    fn unselected_dimensions_are_ignored() {
+        let only_time = ObjectiveSet::single(Objective::TotalTime);
+        assert!(same_cell(&v(5.0, 1.0), &v(5.0, 9999.0), 1.5, only_time));
+    }
+
+    #[test]
+    #[should_panic(expected = "α_i > 1")]
+    fn exact_precision_rejected() {
+        let _ = cell_of(&v(1.0, 1.0), 1.0, objs());
+    }
+
+    #[test]
+    fn finer_alpha_means_more_cells() {
+        // Count distinct cells of a geometric chain under two precisions.
+        let chain: Vec<CostVector> = (0..40).map(|i| v(1.1f64.powi(i), 1.0)).collect();
+        let count = |alpha: f64| {
+            let mut cells: Vec<GridCell> =
+                chain.iter().map(|c| cell_of(c, alpha, objs())).collect();
+            cells.dedup();
+            cells.len()
+        };
+        assert!(count(1.05) > count(1.5));
+        assert!(count(1.5) > count(4.0));
+    }
+}

@@ -1,0 +1,277 @@
+//! The nine cost objectives of the extended Postgres cost model (paper §4)
+//! and bitmask sets over them.
+
+use std::fmt;
+
+/// Number of objectives supported by the cost model (paper §4: "The extended
+/// cost model supports nine objectives").
+pub const NUM_OBJECTIVES: usize = 9;
+
+/// A cost objective of the extended Postgres cost model (paper §4).
+///
+/// Each objective has a fixed index used as the dimension of
+/// [`CostVector`](crate::CostVector)s. Cost values are real-valued and
+/// non-negative for every objective (§3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[repr(u8)]
+pub enum Objective {
+    /// Time until all result tuples have been produced (Postgres total cost).
+    TotalTime = 0,
+    /// Time until the first result tuple is produced (Postgres startup cost).
+    StartupTime = 1,
+    /// Accumulated I/O work (page reads/writes) over all operators.
+    IoLoad = 2,
+    /// Accumulated CPU work over all operators.
+    CpuLoad = 3,
+    /// Number of cores dedicated to the plan (degree-of-parallelism driven).
+    UsedCores = 4,
+    /// Temporary hard-disc footprint (spilled sort runs / hash partitions).
+    DiskFootprint = 5,
+    /// Peak buffer-memory footprint.
+    BufferFootprint = 6,
+    /// Energy consumption (Flach-style model: CPU + I/O + coordination).
+    Energy = 7,
+    /// Expected fraction of lost result tuples due to sampling, in `[0, 1]`.
+    TupleLoss = 8,
+}
+
+impl Objective {
+    /// All nine objectives in index order.
+    pub const ALL: [Objective; NUM_OBJECTIVES] = [
+        Objective::TotalTime,
+        Objective::StartupTime,
+        Objective::IoLoad,
+        Objective::CpuLoad,
+        Objective::UsedCores,
+        Objective::DiskFootprint,
+        Objective::BufferFootprint,
+        Objective::Energy,
+        Objective::TupleLoss,
+    ];
+
+    /// The dimension index of this objective inside a cost vector.
+    #[inline]
+    #[must_use]
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Objective for a given dimension index, if in range.
+    #[must_use]
+    pub fn from_index(index: usize) -> Option<Objective> {
+        Objective::ALL.get(index).copied()
+    }
+
+    /// Whether the objective's value domain is a-priori bounded to `[0, 1]`
+    /// (paper §8: bounds for such objectives are drawn uniformly from the
+    /// domain; Observation 3 holds trivially for them).
+    #[must_use]
+    pub fn has_bounded_domain(self) -> bool {
+        matches!(self, Objective::TupleLoss)
+    }
+
+    /// Short human-readable name.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Objective::TotalTime => "total_time",
+            Objective::StartupTime => "startup_time",
+            Objective::IoLoad => "io_load",
+            Objective::CpuLoad => "cpu_load",
+            Objective::UsedCores => "used_cores",
+            Objective::DiskFootprint => "disk_footprint",
+            Objective::BufferFootprint => "buffer_footprint",
+            Objective::Energy => "energy",
+            Objective::TupleLoss => "tuple_loss",
+        }
+    }
+}
+
+impl fmt::Display for Objective {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A set of objectives, represented as a bitmask over the nine dimensions.
+///
+/// Test cases in the paper's evaluation (§8) consider random subsets of the
+/// nine implemented objectives; dominance and weighted cost are evaluated on
+/// the *selected* dimensions only, while cost vectors always carry all nine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ObjectiveSet(u16);
+
+impl ObjectiveSet {
+    /// The empty objective set.
+    #[must_use]
+    pub fn empty() -> Self {
+        ObjectiveSet(0)
+    }
+
+    /// The set of all nine objectives.
+    #[must_use]
+    pub fn all() -> Self {
+        ObjectiveSet((1u16 << NUM_OBJECTIVES) - 1)
+    }
+
+    /// A single-objective set (classical query optimization).
+    #[must_use]
+    pub fn single(objective: Objective) -> Self {
+        ObjectiveSet(1u16 << objective.index())
+    }
+
+    /// Builds a set from a slice of objectives.
+    #[must_use]
+    pub fn from_objectives(objectives: &[Objective]) -> Self {
+        let mut set = ObjectiveSet::empty();
+        for &o in objectives {
+            set.insert(o);
+        }
+        set
+    }
+
+    /// Inserts an objective into the set.
+    pub fn insert(&mut self, objective: Objective) {
+        self.0 |= 1u16 << objective.index();
+    }
+
+    /// Removes an objective from the set.
+    pub fn remove(&mut self, objective: Objective) {
+        self.0 &= !(1u16 << objective.index());
+    }
+
+    /// Whether the set contains `objective`.
+    #[inline]
+    #[must_use]
+    pub fn contains(self, objective: Objective) -> bool {
+        self.0 & (1u16 << objective.index()) != 0
+    }
+
+    /// Number of objectives in the set (the paper's `l = |O|`).
+    #[inline]
+    #[must_use]
+    pub fn len(self) -> usize {
+        self.0.count_ones() as usize
+    }
+
+    /// Whether the set is empty.
+    #[must_use]
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Iterates over the contained objectives in index order.
+    pub fn iter(self) -> impl Iterator<Item = Objective> {
+        Objective::ALL
+            .into_iter()
+            .filter(move |o| self.contains(*o))
+    }
+
+    /// Whether `self` is a subset of `other`.
+    #[must_use]
+    pub fn is_subset(self, other: ObjectiveSet) -> bool {
+        self.0 & !other.0 == 0
+    }
+
+    /// Set union.
+    #[must_use]
+    pub fn union(self, other: ObjectiveSet) -> ObjectiveSet {
+        ObjectiveSet(self.0 | other.0)
+    }
+
+    /// Raw bitmask (stable across the process; bit `i` is objective index `i`).
+    #[must_use]
+    pub fn bits(self) -> u16 {
+        self.0
+    }
+}
+
+impl fmt::Display for ObjectiveSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        let mut first = true;
+        for o in self.iter() {
+            if !first {
+                write!(f, ", ")?;
+            }
+            first = false;
+            write!(f, "{o}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+impl FromIterator<Objective> for ObjectiveSet {
+    fn from_iter<T: IntoIterator<Item = Objective>>(iter: T) -> Self {
+        let mut set = ObjectiveSet::empty();
+        for o in iter {
+            set.insert(o);
+        }
+        set
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn indices_are_dense_and_stable() {
+        for (i, o) in Objective::ALL.iter().enumerate() {
+            assert_eq!(o.index(), i);
+            assert_eq!(Objective::from_index(i), Some(*o));
+        }
+        assert_eq!(Objective::from_index(NUM_OBJECTIVES), None);
+    }
+
+    #[test]
+    fn all_set_has_nine_members() {
+        assert_eq!(ObjectiveSet::all().len(), NUM_OBJECTIVES);
+        assert_eq!(ObjectiveSet::all().iter().count(), NUM_OBJECTIVES);
+    }
+
+    #[test]
+    fn insert_remove_roundtrip() {
+        let mut set = ObjectiveSet::empty();
+        assert!(set.is_empty());
+        set.insert(Objective::Energy);
+        set.insert(Objective::TotalTime);
+        assert_eq!(set.len(), 2);
+        assert!(set.contains(Objective::Energy));
+        assert!(!set.contains(Objective::IoLoad));
+        set.remove(Objective::Energy);
+        assert_eq!(set.len(), 1);
+        assert!(!set.contains(Objective::Energy));
+    }
+
+    #[test]
+    fn subset_and_union() {
+        let a = ObjectiveSet::from_objectives(&[Objective::TotalTime]);
+        let b = ObjectiveSet::from_objectives(&[Objective::TotalTime, Objective::Energy]);
+        assert!(a.is_subset(b));
+        assert!(!b.is_subset(a));
+        assert_eq!(a.union(b), b);
+    }
+
+    #[test]
+    fn only_tuple_loss_has_bounded_domain() {
+        let bounded: Vec<_> = Objective::ALL
+            .into_iter()
+            .filter(|o| o.has_bounded_domain())
+            .collect();
+        assert_eq!(bounded, vec![Objective::TupleLoss]);
+    }
+
+    #[test]
+    fn display_is_stable() {
+        assert_eq!(Objective::TotalTime.to_string(), "total_time");
+        let set = ObjectiveSet::from_objectives(&[Objective::TotalTime, Objective::TupleLoss]);
+        assert_eq!(set.to_string(), "{total_time, tuple_loss}");
+    }
+
+    #[test]
+    fn from_iterator_collects() {
+        let set: ObjectiveSet = [Objective::IoLoad, Objective::CpuLoad].into_iter().collect();
+        assert_eq!(set.len(), 2);
+    }
+}

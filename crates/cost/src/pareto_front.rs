@@ -1,0 +1,179 @@
+//! Pareto-frontier utilities over raw cost vectors (paper §3, Figure 2).
+//!
+//! These helpers operate on plain vector collections — independent of any
+//! plan representation — and serve as the *oracle* against which the
+//! optimizer's incremental pruning structures are tested.
+
+use crate::dominance::{approx_dominates, strictly_dominates};
+use crate::objective::ObjectiveSet;
+use crate::vector::CostVector;
+
+/// Returns the indices of the Pareto-optimal vectors in `vectors`: those not
+/// strictly dominated by any other vector (Definition of Pareto vector, §3).
+///
+/// Duplicate Pareto vectors are all kept (a Pareto *set* contains at least
+/// one cost-equivalent plan per Pareto plan; keeping all equals the frontier
+/// plus equivalents and is convenient for testing).
+#[must_use]
+pub fn pareto_indices(vectors: &[CostVector], objectives: ObjectiveSet) -> Vec<usize> {
+    (0..vectors.len())
+        .filter(|&i| {
+            !vectors
+                .iter()
+                .any(|other| strictly_dominates(other, &vectors[i], objectives))
+        })
+        .collect()
+}
+
+/// Computes the Pareto frontier (deduplicated on the selected objectives).
+#[must_use]
+pub fn pareto_frontier(vectors: &[CostVector], objectives: ObjectiveSet) -> Vec<CostVector> {
+    let mut frontier: Vec<CostVector> = Vec::new();
+    for &i in &pareto_indices(vectors, objectives) {
+        let v = vectors[i];
+        let duplicate = frontier
+            .iter()
+            .any(|f| objectives.iter().all(|o| f.get(o) == v.get(o)));
+        if !duplicate {
+            frontier.push(v);
+        }
+    }
+    frontier
+}
+
+/// Whether `candidate_set` is an α-approximate Pareto set for the plan space
+/// whose full vector list is `all_vectors` (§3): for every Pareto vector `c*`
+/// there must be a candidate `c` with `c ⪯_α c*`.
+#[must_use]
+pub fn is_approx_pareto_set(
+    candidate_set: &[CostVector],
+    all_vectors: &[CostVector],
+    alpha: f64,
+    objectives: ObjectiveSet,
+) -> bool {
+    let frontier = pareto_frontier(all_vectors, objectives);
+    frontier.iter().all(|c_star| {
+        candidate_set
+            .iter()
+            .any(|c| approx_dominates(c, c_star, alpha, objectives))
+    })
+}
+
+/// The worst-case approximation factor of `candidate_set` against the true
+/// frontier of `all_vectors`: the smallest `α` such that the candidate set is
+/// an α-approximate Pareto set. Returns `None` for an empty frontier.
+#[must_use]
+pub fn approximation_factor(
+    candidate_set: &[CostVector],
+    all_vectors: &[CostVector],
+    objectives: ObjectiveSet,
+) -> Option<f64> {
+    let frontier = pareto_frontier(all_vectors, objectives);
+    if frontier.is_empty() {
+        return None;
+    }
+    let mut worst: f64 = 1.0;
+    for c_star in &frontier {
+        // Smallest α for which *some* candidate α-dominates c_star.
+        let mut best_alpha = f64::INFINITY;
+        for c in candidate_set {
+            let mut alpha: f64 = 1.0;
+            let mut feasible = true;
+            for o in objectives.iter() {
+                let (a, b) = (c.get(o), c_star.get(o));
+                if b == 0.0 {
+                    if a > 0.0 {
+                        feasible = false;
+                        break;
+                    }
+                } else {
+                    alpha = alpha.max(a / b);
+                }
+            }
+            if feasible {
+                best_alpha = best_alpha.min(alpha);
+            }
+        }
+        worst = worst.max(best_alpha);
+    }
+    Some(worst)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::objective::Objective;
+
+    fn objs() -> ObjectiveSet {
+        ObjectiveSet::from_objectives(&[Objective::BufferFootprint, Objective::TotalTime])
+    }
+
+    fn v(buffer: f64, time: f64) -> CostVector {
+        CostVector::from_pairs(&[
+            (Objective::BufferFootprint, buffer),
+            (Objective::TotalTime, time),
+        ])
+    }
+
+    #[test]
+    fn frontier_of_running_example() {
+        let vectors = crate::running_example::plan_cost_vectors();
+        let frontier = pareto_frontier(&vectors, objs());
+        let mut points: Vec<(f64, f64)> = frontier
+            .iter()
+            .map(|c| (c.get(Objective::BufferFootprint), c.get(Objective::TotalTime)))
+            .collect();
+        points.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        assert_eq!(points, crate::running_example::PARETO_FRONTIER.to_vec());
+    }
+
+    #[test]
+    fn dominated_point_is_excluded() {
+        let vectors = vec![v(1.0, 1.0), v(2.0, 2.0)];
+        let frontier = pareto_frontier(&vectors, objs());
+        assert_eq!(frontier.len(), 1);
+        assert_eq!(frontier[0].get(Objective::TotalTime), 1.0);
+    }
+
+    #[test]
+    fn incomparable_points_are_both_on_frontier() {
+        let vectors = vec![v(1.0, 3.0), v(3.0, 1.0)];
+        assert_eq!(pareto_frontier(&vectors, objs()).len(), 2);
+    }
+
+    #[test]
+    fn duplicates_are_deduplicated_in_frontier() {
+        let vectors = vec![v(1.0, 1.0), v(1.0, 1.0)];
+        assert_eq!(pareto_frontier(&vectors, objs()).len(), 1);
+        // ... but pareto_indices keeps both (cost-equivalent plans).
+        assert_eq!(pareto_indices(&vectors, objs()).len(), 2);
+    }
+
+    #[test]
+    fn full_set_is_one_approximate() {
+        let vectors = crate::running_example::plan_cost_vectors();
+        assert!(is_approx_pareto_set(&vectors, &vectors, 1.0, objs()));
+        assert_eq!(
+            approximation_factor(&vectors, &vectors, objs()),
+            Some(1.0)
+        );
+    }
+
+    #[test]
+    fn thinned_set_needs_larger_alpha() {
+        let all = vec![v(1.0, 4.0), v(2.0, 2.0), v(4.0, 1.0)];
+        // Keep only the middle point: it 2-approximates both extremes
+        // (2 ≤ 2·1 on each coordinate where the extreme is better).
+        let candidate = vec![v(2.0, 2.0)];
+        assert!(!is_approx_pareto_set(&candidate, &all, 1.5, objs()));
+        assert!(is_approx_pareto_set(&candidate, &all, 2.0, objs()));
+        let factor = approximation_factor(&candidate, &all, objs()).unwrap();
+        assert!((factor - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_input_has_empty_frontier() {
+        assert!(pareto_frontier(&[], objs()).is_empty());
+        assert_eq!(approximation_factor(&[], &[], objs()), None);
+    }
+}

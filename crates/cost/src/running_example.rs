@@ -1,0 +1,167 @@
+//! The paper's two-dimensional running example (Figures 1, 2, 6 and 8).
+//!
+//! The paper illustrates weighted and bounded-weighted MOQO with a fixed set
+//! of plan cost vectors over the objectives *buffer space* and *time*. The
+//! figures show the geometry but not numeric coordinates, so this module
+//! fixes a concrete reconstruction with the same qualitative structure:
+//!
+//! * a four-point Pareto frontier,
+//! * a weight vector whose weighted optimum is an interior frontier point,
+//! * a bounds vector that excludes the weighted optimum so that the
+//!   bounded-weighted optimum is a *different* frontier point (Figure 1(b)).
+//!
+//! All example coordinates live in the `[0, 4] × [0, 3]` window used by the
+//! paper's plots.
+
+use crate::objective::{Objective, ObjectiveSet};
+use crate::preference::{Bounds, Preference, Weights};
+use crate::vector::CostVector;
+
+/// `(buffer space, time)` coordinates of all example plan cost vectors.
+pub const PLAN_POINTS: [(f64, f64); 8] = [
+    (0.5, 2.5),
+    (1.0, 1.5),
+    (1.0, 3.0),
+    (1.5, 2.5),
+    (2.0, 1.0),
+    (2.5, 2.0),
+    (3.0, 0.5),
+    (3.5, 1.5),
+];
+
+/// The Pareto frontier of [`PLAN_POINTS`], sorted by buffer space.
+pub const PARETO_FRONTIER: [(f64, f64); 4] =
+    [(0.5, 2.5), (1.0, 1.5), (2.0, 1.0), (3.0, 0.5)];
+
+/// The weighted optimum under [`weights`] — an interior frontier point.
+pub const WEIGHTED_OPTIMUM: (f64, f64) = (1.0, 1.5);
+
+/// The bounded-weighted optimum under [`weights`] + [`bounds`]; differs from
+/// the weighted optimum because the bounds exclude it (Figure 1(b)).
+pub const BOUNDED_OPTIMUM: (f64, f64) = (2.0, 1.0);
+
+/// The objective set of the running example: buffer space and time.
+#[must_use]
+pub fn objectives() -> ObjectiveSet {
+    ObjectiveSet::from_objectives(&[Objective::BufferFootprint, Objective::TotalTime])
+}
+
+/// Builds a cost vector from an example `(buffer, time)` point.
+#[must_use]
+pub fn point(buffer: f64, time: f64) -> CostVector {
+    CostVector::from_pairs(&[
+        (Objective::BufferFootprint, buffer),
+        (Objective::TotalTime, time),
+    ])
+}
+
+/// All example plan cost vectors.
+#[must_use]
+pub fn plan_cost_vectors() -> Vec<CostVector> {
+    PLAN_POINTS.iter().map(|&(b, t)| point(b, t)).collect()
+}
+
+/// The example weight vector (buffer weight 1, time weight 1.5).
+#[must_use]
+pub fn weights() -> Weights {
+    Weights::from_pairs(&[
+        (Objective::BufferFootprint, 1.0),
+        (Objective::TotalTime, 1.5),
+    ])
+}
+
+/// The example bounds of Figure 1(b): time ≤ 1.2 and buffer ≤ 2.5, which
+/// exclude the weighted optimum `(1.0, 1.5)` and the cheap-time plans with
+/// large buffers.
+#[must_use]
+pub fn bounds() -> Bounds {
+    Bounds::from_pairs(&[
+        (Objective::TotalTime, 1.2),
+        (Objective::BufferFootprint, 2.5),
+    ])
+}
+
+/// The full bounded-weighted preference of the running example.
+#[must_use]
+pub fn preference() -> Preference {
+    Preference {
+        objectives: objectives(),
+        weights: weights(),
+        bounds: bounds(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dominance::strictly_dominates;
+
+    #[test]
+    fn frontier_points_are_not_dominated() {
+        let all = plan_cost_vectors();
+        for &(b, t) in &PARETO_FRONTIER {
+            let c = point(b, t);
+            assert!(
+                !all.iter().any(|o| strictly_dominates(o, &c, objectives())),
+                "({b}, {t}) should be Pareto-optimal"
+            );
+        }
+    }
+
+    #[test]
+    fn weighted_optimum_minimizes_weighted_cost() {
+        let w = weights();
+        let best = plan_cost_vectors()
+            .into_iter()
+            .min_by(|a, b| {
+                w.weighted_cost(a)
+                    .partial_cmp(&w.weighted_cost(b))
+                    .unwrap()
+            })
+            .unwrap();
+        assert_eq!(
+            (
+                best.get(Objective::BufferFootprint),
+                best.get(Objective::TotalTime)
+            ),
+            WEIGHTED_OPTIMUM
+        );
+    }
+
+    #[test]
+    fn bounds_exclude_weighted_optimum() {
+        let b = bounds();
+        let opt = point(WEIGHTED_OPTIMUM.0, WEIGHTED_OPTIMUM.1);
+        assert!(!b.respected_by(&opt, objectives()));
+    }
+
+    #[test]
+    fn bounded_optimum_is_best_feasible() {
+        let pref = preference();
+        let feasible: Vec<_> = plan_cost_vectors()
+            .into_iter()
+            .filter(|c| pref.respects_bounds(c))
+            .collect();
+        assert!(!feasible.is_empty());
+        let best = feasible
+            .into_iter()
+            .min_by(|a, b| {
+                pref.weighted_cost(a)
+                    .partial_cmp(&pref.weighted_cost(b))
+                    .unwrap()
+            })
+            .unwrap();
+        assert_eq!(
+            (
+                best.get(Objective::BufferFootprint),
+                best.get(Objective::TotalTime)
+            ),
+            BOUNDED_OPTIMUM
+        );
+    }
+
+    #[test]
+    fn optima_differ_between_problem_variants() {
+        assert_ne!(WEIGHTED_OPTIMUM, BOUNDED_OPTIMUM);
+    }
+}

@@ -1,0 +1,140 @@
+//! Tunable cost-model parameters (the Postgres GUC analogues).
+
+/// Parameters of the nine-objective cost model. Defaults follow the
+/// Postgres planner constants (`seq_page_cost = 1.0`, `cpu_tuple_cost =
+/// 0.01`, …) extended with parallelism and energy coefficients.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CostModelParams {
+    /// Bytes per buffer/heap page (Postgres BLCKSZ).
+    pub page_bytes: f64,
+    /// Cost of a sequential page fetch (Postgres `seq_page_cost`).
+    pub seq_page_cost: f64,
+    /// Cost of a random page fetch (Postgres `random_page_cost`).
+    pub random_page_cost: f64,
+    /// CPU cost of emitting one tuple (Postgres `cpu_tuple_cost`).
+    pub cpu_tuple_cost: f64,
+    /// CPU cost of processing one index entry (Postgres `cpu_index_tuple_cost`).
+    pub cpu_index_tuple_cost: f64,
+    /// CPU cost of a generic operator/qual evaluation (Postgres `cpu_operator_cost`).
+    pub cpu_operator_cost: f64,
+    /// CPU cost per inner tuple inserted into a hash table.
+    pub hash_build_cost: f64,
+    /// CPU cost per outer tuple probing a hash table.
+    pub hash_probe_cost: f64,
+    /// CPU cost per comparison in sorting (multiplied by `n·log2(n)`).
+    pub sort_cmp_cost: f64,
+    /// Memory available per sort/hash before spilling to disk, in bytes
+    /// (Postgres `work_mem`).
+    pub work_mem_bytes: f64,
+    /// Per-entry memory overhead of a hash table, in bytes.
+    pub hash_entry_overhead: f64,
+    /// Fractional CPU-work overhead per additional parallel worker
+    /// (coordination, tuple exchange).
+    pub parallel_cpu_overhead: f64,
+    /// Fixed startup/teardown time cost per additional parallel worker.
+    pub parallel_setup_cost: f64,
+    /// Energy per unit of CPU work.
+    pub energy_per_cpu_unit: f64,
+    /// Energy per page of IO.
+    pub energy_per_io_page: f64,
+    /// Fractional energy overhead per additional core (Flach-style
+    /// coordination overhead: parallel plans may be faster but consume more
+    /// total energy, paper §4).
+    pub energy_coordination: f64,
+    /// Buffer memory held by a scan, in bytes.
+    pub scan_buffer_bytes: f64,
+    /// Whether the plan space includes sampling scans. Disabling sampling
+    /// makes all plan cardinalities deterministic per table set, which
+    /// upgrades the RTA/IRA guarantees from empirical to exact (see the
+    /// fidelity caveat in DESIGN.md).
+    pub enable_sampling: bool,
+}
+
+impl Default for CostModelParams {
+    fn default() -> Self {
+        CostModelParams {
+            page_bytes: 8192.0,
+            seq_page_cost: 1.0,
+            random_page_cost: 4.0,
+            cpu_tuple_cost: 0.01,
+            cpu_index_tuple_cost: 0.005,
+            cpu_operator_cost: 0.0025,
+            hash_build_cost: 0.015,
+            hash_probe_cost: 0.01,
+            sort_cmp_cost: 0.002,
+            work_mem_bytes: 4.0 * 1024.0 * 1024.0,
+            hash_entry_overhead: 16.0,
+            parallel_cpu_overhead: 0.05,
+            parallel_setup_cost: 10.0,
+            energy_per_cpu_unit: 1.0,
+            energy_per_io_page: 2.0,
+            energy_coordination: 0.08,
+            scan_buffer_bytes: 8192.0,
+            enable_sampling: true,
+        }
+    }
+}
+
+impl CostModelParams {
+    /// CPU-work multiplier for running an operator at the given degree of
+    /// parallelism (total work grows with coordination overhead).
+    #[must_use]
+    pub fn cpu_overhead_factor(&self, dop: u8) -> f64 {
+        1.0 + self.parallel_cpu_overhead * f64::from(dop - 1)
+    }
+
+    /// Energy multiplier at the given degree of parallelism.
+    #[must_use]
+    pub fn energy_overhead_factor(&self, dop: u8) -> f64 {
+        1.0 + self.energy_coordination * f64::from(dop - 1)
+    }
+
+    /// Wall-clock time for `work` units of own work at the given DOP:
+    /// the work parallelizes, plus a fixed setup cost per extra worker.
+    #[must_use]
+    pub fn parallel_time(&self, work: f64, dop: u8) -> f64 {
+        work * self.cpu_overhead_factor(dop) / f64::from(dop)
+            + self.parallel_setup_cost * f64::from(dop - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_postgres_constants() {
+        let p = CostModelParams::default();
+        assert_eq!(p.seq_page_cost, 1.0);
+        assert_eq!(p.random_page_cost, 4.0);
+        assert_eq!(p.cpu_tuple_cost, 0.01);
+        assert_eq!(p.page_bytes, 8192.0);
+    }
+
+    #[test]
+    fn serial_operator_has_no_overhead() {
+        let p = CostModelParams::default();
+        assert_eq!(p.cpu_overhead_factor(1), 1.0);
+        assert_eq!(p.energy_overhead_factor(1), 1.0);
+        assert_eq!(p.parallel_time(100.0, 1), 100.0);
+    }
+
+    #[test]
+    fn parallelism_trades_time_for_energy() {
+        let p = CostModelParams::default();
+        let work = 1e6;
+        // More cores: less wall-clock time ...
+        assert!(p.parallel_time(work, 4) < p.parallel_time(work, 1));
+        // ... but more total energy (the paper's §4 observation).
+        assert!(p.energy_overhead_factor(4) > p.energy_overhead_factor(1));
+        assert!(p.cpu_overhead_factor(4) > 1.0);
+    }
+
+    #[test]
+    fn tiny_work_not_worth_parallelizing() {
+        // Fixed setup cost makes high DOP a loss for small inputs, so DOP
+        // choices form a genuine tradeoff rather than a dominant strategy.
+        let p = CostModelParams::default();
+        assert!(p.parallel_time(10.0, 4) > p.parallel_time(10.0, 1));
+    }
+}

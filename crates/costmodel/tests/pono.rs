@@ -1,0 +1,195 @@
+//! Property tests for the principle of near-optimality (PONO, paper
+//! Definition 7) at the cost-formula level: for every join operator and
+//! every objective, replacing the children of a plan by children whose cost
+//! is worse by at most factor α must not make the parent worse by more than
+//! factor α.
+//!
+//! Cardinality-derived quantities are operator constants here (both child
+//! variants share the same physical properties), which is exactly the
+//! setting of the paper's proof by structural induction over {sum, max,
+//! min, ×const} formulas plus the tuple-loss composition.
+
+use moqo_catalog::{Catalog, ColumnStats, JoinGraph, JoinGraphBuilder, TableStats};
+use moqo_cost::{approx_dominates, CostVector, Objective, ObjectiveSet, NUM_OBJECTIVES};
+use moqo_costmodel::{CostModel, CostModelParams, JoinKey};
+use moqo_plan::{JoinOp, PlanProps, SortOrder};
+use proptest::prelude::*;
+
+fn setup() -> (CostModelParams, Catalog, JoinGraph) {
+    let params = CostModelParams::default();
+    let mut cat = Catalog::new();
+    cat.add_table(
+        TableStats::new("left_t", 50_000.0, 100.0)
+            .with_column(ColumnStats::new("lk", 50_000.0).indexed()),
+    );
+    cat.add_table(
+        TableStats::new("right_t", 200_000.0, 120.0)
+            .with_column(ColumnStats::new("rk", 50_000.0).indexed()),
+    );
+    let graph = JoinGraphBuilder::new(&cat)
+        .rel("left_t", 1.0)
+        .rel("right_t", 1.0)
+        .join(("left_t", "lk"), ("right_t", "rk"))
+        .build();
+    (params, cat, graph)
+}
+
+fn key() -> JoinKey {
+    JoinKey {
+        left_rel: 0,
+        left_col: 0,
+        right_rel: 1,
+        right_col: 0,
+        inner_indexed: true,
+    }
+}
+
+/// A child cost vector with sensible magnitudes per objective; tuple loss
+/// stays in [0, 1].
+fn arb_child_cost() -> impl Strategy<Value = CostVector> {
+    (
+        prop::array::uniform8(1.0f64..1e6),
+        0.0f64..0.9,
+    )
+        .prop_map(|(vals, loss)| {
+            let mut a = [0.0; NUM_OBJECTIVES];
+            a[..8].copy_from_slice(&vals);
+            a[Objective::UsedCores.index()] = 1.0 + vals[4] % 4.0; // 1..5 cores
+            a[Objective::TupleLoss.index()] = loss;
+            CostVector::from_array(a)
+        })
+}
+
+/// Per-dimension degradation factors in [1, α]; tuple loss is clamped to
+/// its domain.
+fn degrade(c: &CostVector, factors: &[f64; NUM_OBJECTIVES], alpha: f64) -> CostVector {
+    let mut out = [0.0; NUM_OBJECTIVES];
+    for (i, v) in c.as_array().iter().enumerate() {
+        let f = 1.0 + (factors[i] % 1.0) * (alpha - 1.0);
+        out[i] = v * f;
+    }
+    let loss_i = Objective::TupleLoss.index();
+    out[loss_i] = out[loss_i].min(1.0);
+    CostVector::from_array(out)
+}
+
+fn child_props(rel: usize, rows: f64, order: SortOrder) -> PlanProps {
+    PlanProps {
+        rels: 1 << rel,
+        rows,
+        width: 110.0,
+        order,
+        sampling_factor: 1.0,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// PONO over all join operators: degraded children yield a parent within
+    /// α of the original parent in every objective.
+    #[test]
+    fn pono_holds_for_all_join_operators(
+        lc in arb_child_cost(),
+        rc in arb_child_cost(),
+        lf in prop::array::uniform9(0.0f64..100.0),
+        rf in prop::array::uniform9(0.0f64..100.0),
+        alpha in 1.0f64..3.0,
+        lrows in 10.0f64..100_000.0,
+        rrows in 10.0f64..100_000.0,
+        l_sorted in any::<bool>(),
+        r_sorted in any::<bool>(),
+    ) {
+        let (params, cat, graph) = setup();
+        let model = CostModel::new(&params, &cat, &graph);
+        let k = key();
+
+        let l_order = if l_sorted { k.outer_order() } else { SortOrder::None };
+        let r_order = if r_sorted { k.inner_order() } else { SortOrder::None };
+        let lp = child_props(0, lrows, l_order);
+        let rp = child_props(1, rrows, r_order);
+
+        let lc_bad = degrade(&lc, &lf, alpha);
+        let rc_bad = degrade(&rc, &rf, alpha);
+        // Precondition of PONO: the degraded children are α-dominated.
+        prop_assert!(approx_dominates(&lc_bad, &lc, alpha + 1e-9, ObjectiveSet::all()));
+        prop_assert!(approx_dominates(&rc_bad, &rc, alpha + 1e-9, ObjectiveSet::all()));
+
+        for op in JoinOp::all_configurations() {
+            // Index-nested-loop needs the canonical inner; exercise it too.
+            let canonical = matches!(op, JoinOp::IndexNestedLoop);
+            let base = model.join_cost(op, (&lc, &lp), (&rc, &rp), Some(&k), canonical);
+            let degraded =
+                model.join_cost(op, (&lc_bad, &lp), (&rc_bad, &rp), Some(&k), canonical);
+            let (Some((base, _)), Some((deg, _))) = (base, degraded) else {
+                continue;
+            };
+            for o in Objective::ALL {
+                prop_assert!(
+                    deg.get(o) <= alpha * base.get(o) + 1e-6,
+                    "{op}: objective {o} violates PONO: {} > {} × {}",
+                    deg.get(o),
+                    alpha,
+                    base.get(o)
+                );
+            }
+        }
+    }
+
+    /// POO (Definition 6) as the α = 1 special case: dominated children
+    /// yield a dominated parent.
+    #[test]
+    fn poo_holds_for_all_join_operators(
+        lc in arb_child_cost(),
+        rc in arb_child_cost(),
+        shrink in prop::array::uniform9(0.1f64..1.0),
+        lrows in 10.0f64..100_000.0,
+        rrows in 10.0f64..100_000.0,
+    ) {
+        let (params, cat, graph) = setup();
+        let model = CostModel::new(&params, &cat, &graph);
+        let k = key();
+        let lp = child_props(0, lrows, SortOrder::None);
+        let rp = child_props(1, rrows, SortOrder::None);
+
+        // Better children: every dimension shrunk.
+        let mut better = [0.0; NUM_OBJECTIVES];
+        for (i, v) in lc.as_array().iter().enumerate() {
+            better[i] = v * shrink[i];
+        }
+        let lc_better = CostVector::from_array(better);
+
+        for op in JoinOp::all_configurations() {
+            let canonical = matches!(op, JoinOp::IndexNestedLoop);
+            let base = model.join_cost(op, (&lc, &lp), (&rc, &rp), Some(&k), canonical);
+            let improved =
+                model.join_cost(op, (&lc_better, &lp), (&rc, &rp), Some(&k), canonical);
+            let (Some((base, _)), Some((imp, _))) = (base, improved) else {
+                continue;
+            };
+            for o in Objective::ALL {
+                prop_assert!(
+                    imp.get(o) <= base.get(o) + 1e-9,
+                    "{op}: objective {o} violates POO"
+                );
+            }
+        }
+    }
+
+    /// Scan costs are monotone in the sampling rate for time/io/cpu and
+    /// anti-monotone for tuple loss — the tradeoff sampling exists for.
+    #[test]
+    fn sampling_rate_tradeoff_is_monotone(rate in 1u8..5) {
+        let (params, cat, graph) = setup();
+        let model = CostModel::new(&params, &cat, &graph);
+        let (lo, _) = model
+            .scan_cost(0, moqo_plan::ScanOp::SamplingScan { rate_pct: rate })
+            .unwrap();
+        let (hi, _) = model
+            .scan_cost(0, moqo_plan::ScanOp::SamplingScan { rate_pct: rate + 1 })
+            .unwrap();
+        prop_assert!(lo.get(Objective::TotalTime) <= hi.get(Objective::TotalTime));
+        prop_assert!(lo.get(Objective::CpuLoad) <= hi.get(Objective::CpuLoad));
+        prop_assert!(lo.get(Objective::TupleLoss) >= hi.get(Objective::TupleLoss));
+    }
+}

@@ -1,0 +1,124 @@
+//! ASCII rendering of plan trees in the spirit of the paper's Figure 3.
+
+use moqo_catalog::{Catalog, JoinGraph};
+
+use crate::arena::{PlanArena, PlanId, PlanNode};
+
+/// Renders a plan tree as indented ASCII, e.g.
+///
+/// ```text
+/// SMJ(dop=1)
+/// ├─ IdxNL
+/// │  ├─ SeqScan(orders)
+/// │  └─ IdxScan(customer.c_custkey)
+/// └─ IdxScan(lineitem.l_orderkey)
+/// ```
+#[must_use]
+pub fn render_plan(
+    arena: &PlanArena,
+    root: PlanId,
+    graph: &JoinGraph,
+    catalog: &Catalog,
+) -> String {
+    let mut out = String::new();
+    render_node(arena, root, graph, catalog, "", "", &mut out);
+    out
+}
+
+fn render_node(
+    arena: &PlanArena,
+    id: PlanId,
+    graph: &JoinGraph,
+    catalog: &Catalog,
+    prefix: &str,
+    child_prefix: &str,
+    out: &mut String,
+) {
+    match arena.node(id) {
+        PlanNode::Scan { rel, op } => {
+            let base = &graph.rels[rel];
+            let table = catalog.table(base.table);
+            let label = match op {
+                crate::ScanOp::SeqScan => format!("SeqScan({})", base.alias),
+                crate::ScanOp::IndexScan { column } => format!(
+                    "IdxScan({}.{})",
+                    base.alias,
+                    table.column(column).name
+                ),
+                crate::ScanOp::SamplingScan { rate_pct } => {
+                    format!("SampleScan({}, {rate_pct}%)", base.alias)
+                }
+            };
+            out.push_str(prefix);
+            out.push_str(&label);
+            out.push('\n');
+        }
+        PlanNode::Join { op, left, right } => {
+            out.push_str(prefix);
+            out.push_str(&op.to_string());
+            out.push('\n');
+            let left_prefix = format!("{child_prefix}├─ ");
+            let left_child_prefix = format!("{child_prefix}│  ");
+            render_node(arena, left, graph, catalog, &left_prefix, &left_child_prefix, out);
+            let right_prefix = format!("{child_prefix}└─ ");
+            let right_child_prefix = format!("{child_prefix}   ");
+            render_node(
+                arena,
+                right,
+                graph,
+                catalog,
+                &right_prefix,
+                &right_child_prefix,
+                out,
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{JoinOp, ScanOp};
+    use moqo_catalog::{ColumnStats, JoinGraphBuilder, TableStats};
+
+    #[test]
+    fn renders_figure3_style_tree() {
+        let mut catalog = Catalog::new();
+        catalog.add_table(
+            TableStats::new("orders", 1000.0, 100.0)
+                .with_column(ColumnStats::new("o_orderkey", 1000.0).indexed()),
+        );
+        catalog.add_table(
+            TableStats::new("lineitem", 4000.0, 120.0)
+                .with_column(ColumnStats::new("l_orderkey", 1000.0).indexed()),
+        );
+        let graph = JoinGraphBuilder::new(&catalog)
+            .rel("orders", 1.0)
+            .rel("lineitem", 1.0)
+            .join(("orders", "o_orderkey"), ("lineitem", "l_orderkey"))
+            .build();
+
+        let mut arena = PlanArena::new();
+        let o = arena.scan(0, ScanOp::SeqScan);
+        let l = arena.scan(1, ScanOp::IndexScan { column: 0 });
+        let root = arena.join(JoinOp::HashJoin { dop: 1 }, o, l);
+
+        let s = render_plan(&arena, root, &graph, &catalog);
+        assert!(s.contains("HashJ(dop=1)"), "{s}");
+        assert!(s.contains("├─ SeqScan(orders)"), "{s}");
+        assert!(s.contains("└─ IdxScan(lineitem.l_orderkey)"), "{s}");
+    }
+
+    #[test]
+    fn renders_sampling_scan() {
+        let mut catalog = Catalog::new();
+        catalog.add_table(
+            TableStats::new("t", 10.0, 10.0).with_column(ColumnStats::new("id", 10.0)),
+        );
+        let graph = JoinGraphBuilder::new(&catalog).rel("t", 1.0).build();
+        let mut arena = PlanArena::new();
+        let s = arena.scan(0, ScanOp::SamplingScan { rate_pct: 3 });
+        let out = render_plan(&arena, s, &graph, &catalog);
+        assert_eq!(out, "SampleScan(t, 3%)\n");
+    }
+}

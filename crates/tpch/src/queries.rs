@@ -1,0 +1,388 @@
+//! The 22 TPC-H queries as join-graph blocks.
+//!
+//! Each query is translated into one or more [`JoinGraph`] blocks: the main
+//! from-clause plus one block per (decorrelated) subquery or view, since the
+//! Postgres optimizer — and therefore the paper's experimental platform —
+//! optimizes different subqueries of the same query separately (§4).
+//!
+//! Filter selectivities are the standard TPC-H predicate selectivities at
+//! the reference substitution parameters (e.g. Q6's `0.019`, Q3's segment
+//! `1/5`); join selectivities follow the System-R rule
+//! `1/max(distinct)` derived from the catalog, which is exact for the
+//! key–foreign-key joins TPC-H uses.
+
+use moqo_catalog::{Catalog, JoinGraph, JoinGraphBuilder, Query};
+
+/// The paper's x-axis query order for Figures 5, 9 and 10: queries sorted by
+/// the maximal number of tables in any of their from-clauses.
+pub const FIGURE_ORDER: [u8; 22] = [
+    1, 4, 6, 22, 12, 13, 14, 15, 16, 17, 19, 20, 3, 11, 18, 10, 21, 2, 5, 7, 9, 8,
+];
+
+/// Builds TPC-H query `number` (1–22) against `catalog`.
+///
+/// # Panics
+///
+/// Panics if `number` is outside `1..=22` or the catalog is not the TPC-H
+/// catalog.
+#[must_use]
+pub fn query(catalog: &Catalog, number: u8) -> Query {
+    let b = || JoinGraphBuilder::new(catalog);
+    let blocks: Vec<JoinGraph> = match number {
+        // Q1: pricing summary report — single scan of lineitem.
+        1 => vec![b().rel("lineitem", 0.98).build()],
+        // Q2: minimum-cost supplier; main block joins 5 tables, the
+        // correlated min-subquery re-joins partsupp/supplier/nation/region.
+        2 => vec![
+            b()
+                .rel("part", 0.001)
+                .rel("supplier", 1.0)
+                .rel("partsupp", 1.0)
+                .rel("nation", 1.0)
+                .rel("region", 0.2)
+                .join(("part", "p_partkey"), ("partsupp", "ps_partkey"))
+                .join(("supplier", "s_suppkey"), ("partsupp", "ps_suppkey"))
+                .join(("supplier", "s_nationkey"), ("nation", "n_nationkey"))
+                .join(("nation", "n_regionkey"), ("region", "r_regionkey"))
+                .build(),
+            b()
+                .rel("partsupp", 1.0)
+                .rel("supplier", 1.0)
+                .rel("nation", 1.0)
+                .rel("region", 0.2)
+                .join(("supplier", "s_suppkey"), ("partsupp", "ps_suppkey"))
+                .join(("supplier", "s_nationkey"), ("nation", "n_nationkey"))
+                .join(("nation", "n_regionkey"), ("region", "r_regionkey"))
+                .build(),
+        ],
+        // Q3: shipping priority.
+        3 => vec![b()
+            .rel("customer", 0.2)
+            .rel("orders", 0.48)
+            .rel("lineitem", 0.54)
+            .join(("customer", "c_custkey"), ("orders", "o_custkey"))
+            .join(("orders", "o_orderkey"), ("lineitem", "l_orderkey"))
+            .build()],
+        // Q4: order priority checking — orders plus an EXISTS subquery.
+        4 => vec![
+            b().rel("orders", 0.038).build(),
+            b().rel("lineitem", 0.63).build(),
+        ],
+        // Q5: local supplier volume — the classic 6-way join.
+        5 => vec![b()
+            .rel("customer", 1.0)
+            .rel("orders", 0.15)
+            .rel("lineitem", 1.0)
+            .rel("supplier", 1.0)
+            .rel("nation", 1.0)
+            .rel("region", 0.2)
+            .join(("customer", "c_custkey"), ("orders", "o_custkey"))
+            .join(("orders", "o_orderkey"), ("lineitem", "l_orderkey"))
+            .join(("lineitem", "l_suppkey"), ("supplier", "s_suppkey"))
+            .join(("customer", "c_nationkey"), ("supplier", "s_nationkey"))
+            .join(("supplier", "s_nationkey"), ("nation", "n_nationkey"))
+            .join(("nation", "n_regionkey"), ("region", "r_regionkey"))
+            .build()],
+        // Q6: forecasting revenue change — single highly selective scan.
+        6 => vec![b().rel("lineitem", 0.019).build()],
+        // Q7: volume shipping with two nation aliases.
+        7 => vec![b()
+            .rel("supplier", 1.0)
+            .rel("lineitem", 0.3)
+            .rel("orders", 1.0)
+            .rel("customer", 1.0)
+            .rel_aliased("nation", "n1", 0.08)
+            .rel_aliased("nation", "n2", 0.08)
+            .join(("supplier", "s_suppkey"), ("lineitem", "l_suppkey"))
+            .join(("orders", "o_orderkey"), ("lineitem", "l_orderkey"))
+            .join(("customer", "c_custkey"), ("orders", "o_custkey"))
+            .join(("supplier", "s_nationkey"), ("n1", "n_nationkey"))
+            .join(("customer", "c_nationkey"), ("n2", "n_nationkey"))
+            .build()],
+        // Q8: national market share — the 8-way join, the paper's largest
+        // from-clause.
+        8 => vec![b()
+            .rel("part", 0.0067)
+            .rel("supplier", 1.0)
+            .rel("lineitem", 1.0)
+            .rel("orders", 0.3)
+            .rel("customer", 1.0)
+            .rel_aliased("nation", "n1", 1.0)
+            .rel_aliased("nation", "n2", 1.0)
+            .rel("region", 0.2)
+            .join(("part", "p_partkey"), ("lineitem", "l_partkey"))
+            .join(("supplier", "s_suppkey"), ("lineitem", "l_suppkey"))
+            .join(("lineitem", "l_orderkey"), ("orders", "o_orderkey"))
+            .join(("orders", "o_custkey"), ("customer", "c_custkey"))
+            .join(("customer", "c_nationkey"), ("n1", "n_nationkey"))
+            .join(("n1", "n_regionkey"), ("region", "r_regionkey"))
+            .join(("supplier", "s_nationkey"), ("n2", "n_nationkey"))
+            .build()],
+        // Q9: product type profit measure.
+        9 => vec![b()
+            .rel("part", 0.055)
+            .rel("supplier", 1.0)
+            .rel("lineitem", 1.0)
+            .rel("partsupp", 1.0)
+            .rel("orders", 1.0)
+            .rel("nation", 1.0)
+            .join(("supplier", "s_suppkey"), ("lineitem", "l_suppkey"))
+            .join(("partsupp", "ps_suppkey"), ("lineitem", "l_suppkey"))
+            .join(("partsupp", "ps_partkey"), ("lineitem", "l_partkey"))
+            .join(("part", "p_partkey"), ("lineitem", "l_partkey"))
+            .join(("orders", "o_orderkey"), ("lineitem", "l_orderkey"))
+            .join(("supplier", "s_nationkey"), ("nation", "n_nationkey"))
+            .build()],
+        // Q10: returned item reporting.
+        10 => vec![b()
+            .rel("customer", 1.0)
+            .rel("orders", 0.038)
+            .rel("lineitem", 0.25)
+            .rel("nation", 1.0)
+            .join(("customer", "c_custkey"), ("orders", "o_custkey"))
+            .join(("lineitem", "l_orderkey"), ("orders", "o_orderkey"))
+            .join(("customer", "c_nationkey"), ("nation", "n_nationkey"))
+            .build()],
+        // Q11: important stock identification; the HAVING subquery repeats
+        // the same 3-way join.
+        11 => {
+            let block = |builder: JoinGraphBuilder| {
+                builder
+                    .rel("partsupp", 1.0)
+                    .rel("supplier", 1.0)
+                    .rel("nation", 0.04)
+                    .join(("partsupp", "ps_suppkey"), ("supplier", "s_suppkey"))
+                    .join(("supplier", "s_nationkey"), ("nation", "n_nationkey"))
+                    .build()
+            };
+            vec![block(b()), block(b())]
+        }
+        // Q12: shipping modes and order priority.
+        12 => vec![b()
+            .rel("orders", 1.0)
+            .rel("lineitem", 0.005)
+            .join(("orders", "o_orderkey"), ("lineitem", "l_orderkey"))
+            .build()],
+        // Q13: customer distribution (outer join, modelled as a join).
+        13 => vec![b()
+            .rel("customer", 1.0)
+            .rel("orders", 0.98)
+            .join(("customer", "c_custkey"), ("orders", "o_custkey"))
+            .build()],
+        // Q14: promotion effect.
+        14 => vec![b()
+            .rel("lineitem", 0.0126)
+            .rel("part", 1.0)
+            .join(("lineitem", "l_partkey"), ("part", "p_partkey"))
+            .build()],
+        // Q15: top supplier; the revenue view is its own lineitem block.
+        15 => vec![
+            b()
+                .rel("supplier", 1.0)
+                .rel("lineitem", 0.0376)
+                .join(("supplier", "s_suppkey"), ("lineitem", "l_suppkey"))
+                .build(),
+            b().rel("lineitem", 0.0376).build(),
+        ],
+        // Q16: parts/supplier relationship + NOT IN supplier subquery.
+        16 => vec![
+            b()
+                .rel("partsupp", 1.0)
+                .rel("part", 0.1)
+                .join(("partsupp", "ps_partkey"), ("part", "p_partkey"))
+                .build(),
+            b().rel("supplier", 0.001).build(),
+        ],
+        // Q17: small-quantity-order revenue + correlated avg subquery.
+        17 => vec![
+            b()
+                .rel("lineitem", 1.0)
+                .rel("part", 0.001)
+                .join(("lineitem", "l_partkey"), ("part", "p_partkey"))
+                .build(),
+            b().rel("lineitem", 1.0).build(),
+        ],
+        // Q18: large volume customer + grouped HAVING subquery on lineitem.
+        18 => vec![
+            b()
+                .rel("customer", 1.0)
+                .rel("orders", 1.0)
+                .rel("lineitem", 1.0)
+                .join(("customer", "c_custkey"), ("orders", "o_custkey"))
+                .join(("orders", "o_orderkey"), ("lineitem", "l_orderkey"))
+                .build(),
+            b().rel("lineitem", 1.0).build(),
+        ],
+        // Q19: discounted revenue (disjunctive predicates).
+        19 => vec![b()
+            .rel("lineitem", 0.02)
+            .rel("part", 0.002)
+            .join(("lineitem", "l_partkey"), ("part", "p_partkey"))
+            .build()],
+        // Q20: potential part promotion; nested subqueries become blocks.
+        20 => vec![
+            b()
+                .rel("supplier", 1.0)
+                .rel("nation", 0.04)
+                .join(("supplier", "s_nationkey"), ("nation", "n_nationkey"))
+                .build(),
+            b()
+                .rel("partsupp", 1.0)
+                .rel("part", 0.011)
+                .join(("partsupp", "ps_partkey"), ("part", "p_partkey"))
+                .build(),
+            b().rel("lineitem", 0.0376).build(),
+        ],
+        // Q21: suppliers who kept orders waiting; two EXISTS subqueries on
+        // lineitem become singleton blocks.
+        21 => vec![
+            b()
+                .rel("supplier", 0.04)
+                .rel("lineitem", 0.5)
+                .rel("orders", 0.49)
+                .rel("nation", 0.04)
+                .join(("supplier", "s_suppkey"), ("lineitem", "l_suppkey"))
+                .join(("orders", "o_orderkey"), ("lineitem", "l_orderkey"))
+                .join(("supplier", "s_nationkey"), ("nation", "n_nationkey"))
+                .build(),
+            b().rel("lineitem", 1.0).build(),
+            b().rel("lineitem", 1.0).build(),
+        ],
+        // Q22: global sales opportunity; customer main block plus scalar avg
+        // and NOT EXISTS subqueries.
+        22 => vec![
+            b().rel("customer", 0.28).build(),
+            b().rel("customer", 0.28).build(),
+            b().rel("orders", 1.0).build(),
+        ],
+        _ => panic!("TPC-H query number must be in 1..=22, got {number}"),
+    };
+    Query {
+        name: format!("Q{number}"),
+        blocks,
+    }
+}
+
+/// All 22 queries in numeric order.
+#[must_use]
+pub fn all_queries(catalog: &Catalog) -> Vec<Query> {
+    (1..=22).map(|n| query(catalog, n)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use moqo_catalog::tpch;
+
+    /// The paper's x-axis annotation: per query (in FIGURE_ORDER) the
+    /// maximal number of joined tables in any from-clause.
+    const EXPECTED_MAX_TABLES: [usize; 22] = [
+        1, 1, 1, 1, 2, 2, 2, 2, 2, 2, 2, 2, 3, 3, 3, 4, 4, 5, 6, 6, 6, 8,
+    ];
+
+    #[test]
+    fn all_22_queries_build_and_validate() {
+        let cat = tpch::catalog(1.0);
+        let queries = all_queries(&cat);
+        assert_eq!(queries.len(), 22);
+        for q in &queries {
+            assert!(!q.blocks.is_empty(), "{} has no blocks", q.name);
+            for block in &q.blocks {
+                block.validate(&cat).unwrap_or_else(|e| panic!("{}: {e}", q.name));
+            }
+        }
+    }
+
+    #[test]
+    fn figure_order_matches_paper_grouping() {
+        let cat = tpch::catalog(1.0);
+        for (pos, &qno) in FIGURE_ORDER.iter().enumerate() {
+            let q = query(&cat, qno);
+            assert_eq!(
+                q.max_block_size(),
+                EXPECTED_MAX_TABLES[pos],
+                "Q{qno} at figure position {pos}"
+            );
+        }
+        // The order is sorted by max block size (ties keep their order).
+        let sizes: Vec<usize> = FIGURE_ORDER
+            .iter()
+            .map(|&qno| query(&cat, qno).max_block_size())
+            .collect();
+        assert!(sizes.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn figure_order_covers_all_queries_once() {
+        let mut seen = [false; 23];
+        for &qno in &FIGURE_ORDER {
+            assert!(!seen[qno as usize], "Q{qno} repeated");
+            seen[qno as usize] = true;
+        }
+        assert_eq!(seen[1..=22].iter().filter(|s| **s).count(), 22);
+    }
+
+    #[test]
+    fn q8_is_the_largest_join() {
+        let cat = tpch::catalog(1.0);
+        let q8 = query(&cat, 8);
+        assert_eq!(q8.max_block_size(), 8);
+        assert!(q8.blocks[0].fully_connected());
+    }
+
+    #[test]
+    fn multi_block_queries_follow_postgres_subquery_heuristic() {
+        let cat = tpch::catalog(1.0);
+        for (qno, expected_blocks) in [(2u8, 2usize), (4, 2), (11, 2), (20, 3), (21, 3), (22, 3)] {
+            assert_eq!(
+                query(&cat, qno).blocks.len(),
+                expected_blocks,
+                "Q{qno} block count"
+            );
+        }
+    }
+
+    #[test]
+    fn main_blocks_are_connected() {
+        // No TPC-H query requires a Cartesian product in its main block.
+        let cat = tpch::catalog(1.0);
+        for q in all_queries(&cat) {
+            assert!(
+                q.blocks[0].fully_connected(),
+                "{} main block must be connected",
+                q.name
+            );
+        }
+    }
+
+    #[test]
+    fn aliased_nations_in_q7_map_to_same_table() {
+        let cat = tpch::catalog(1.0);
+        let q7 = query(&cat, 7);
+        let block = &q7.blocks[0];
+        let nation = cat.table_by_name("nation").unwrap();
+        let aliases: Vec<&str> = block
+            .rels
+            .iter()
+            .filter(|r| r.table == nation)
+            .map(|r| r.alias.as_str())
+            .collect();
+        assert_eq!(aliases, vec!["n1", "n2"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "1..=22")]
+    fn query_23_rejected() {
+        let cat = tpch::catalog(1.0);
+        let _ = query(&cat, 23);
+    }
+
+    #[test]
+    fn key_fk_selectivities_derived_from_catalog() {
+        let cat = tpch::catalog(1.0);
+        let q3 = query(&cat, 3);
+        // customer–orders joins on c_custkey (150k distinct): sel = 1/150k.
+        let edge = &q3.blocks[0].edges[0];
+        assert!((edge.selectivity - 1.0 / 150_000.0).abs() < 1e-12);
+    }
+}

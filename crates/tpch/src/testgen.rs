@@ -1,0 +1,201 @@
+//! The paper's randomized test-case generator (§8).
+//!
+//! "Every test case is characterized by a set of considered objectives
+//! (selected randomly out of the nine implemented objectives), by weights on
+//! the selected objectives (chosen randomly from [0, 1] with uniform
+//! distribution), and (only for bounded MOQO) by bounds on a subset of the
+//! selected objectives. Bounds for objectives with a-priori bounded value
+//! domain are chosen with uniform distribution from that domain. Bounds for
+//! objectives with non-bounded value domains are chosen by multiplying the
+//! minimal possible value for the given objective and query by a factor
+//! chosen from [1, 2] with uniform distribution."
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use moqo_catalog::{Catalog, Query};
+use moqo_core::{combine_block_costs, min_cost_for_objective, Deadline};
+use moqo_cost::{CostVector, Objective, ObjectiveSet, Preference};
+use moqo_costmodel::{CostModel, CostModelParams};
+
+/// One generated test case: a query number plus a full preference.
+#[derive(Debug, Clone)]
+pub struct TestCase {
+    /// TPC-H query number (1–22).
+    pub query_no: u8,
+    /// Objectives, weights and (for bounded MOQO) bounds.
+    pub preference: Preference,
+}
+
+/// Draws a random objective subset of the given cardinality.
+fn random_objectives(rng: &mut impl Rng, count: usize) -> ObjectiveSet {
+    assert!((1..=moqo_cost::NUM_OBJECTIVES).contains(&count));
+    let mut all = Objective::ALL.to_vec();
+    all.shuffle(rng);
+    all.into_iter().take(count).collect()
+}
+
+/// Generates a *weighted* MOQO test case (Figure 9's setup): `n_objectives`
+/// random objectives with weights drawn uniformly from `[0, 1]`; no bounds.
+#[must_use]
+pub fn weighted_test_case(rng: &mut impl Rng, query_no: u8, n_objectives: usize) -> TestCase {
+    let objectives = random_objectives(rng, n_objectives);
+    let mut preference = Preference::over(objectives);
+    for o in objectives.iter() {
+        preference.weights.set(o, rng.gen_range(0.0..1.0));
+    }
+    TestCase {
+        query_no,
+        preference,
+    }
+}
+
+/// The minimal achievable combined cost vector for a query: per-block
+/// single-objective optima combined with the block-composition rules. Used
+/// to place feasible-by-construction lower anchors for bound generation.
+#[must_use]
+pub fn min_cost_vector(
+    catalog: &Catalog,
+    params: &CostModelParams,
+    query: &Query,
+    objectives: ObjectiveSet,
+) -> CostVector {
+    let block_minima: Vec<CostVector> = query
+        .blocks
+        .iter()
+        .map(|graph| {
+            let model = CostModel::new(params, catalog, graph);
+            let mut v = CostVector::zero();
+            for o in objectives.iter() {
+                v.set(
+                    o,
+                    min_cost_for_objective(&model, o, &Deadline::unlimited()),
+                );
+            }
+            v
+        })
+        .collect();
+    combine_block_costs(&block_minima)
+}
+
+/// Generates a *bounded* MOQO test case (Figure 10's setup): all bounded
+/// runs in the paper consider nine objectives while the number of bounds
+/// varies. Weights are uniform `[0, 1]` on the selected objectives; bounds
+/// are placed on a random subset of `n_bounds` of them, drawn per §8.
+#[must_use]
+pub fn bounded_test_case(
+    rng: &mut impl Rng,
+    catalog: &Catalog,
+    params: &CostModelParams,
+    query: &Query,
+    query_no: u8,
+    n_objectives: usize,
+    n_bounds: usize,
+) -> TestCase {
+    assert!(n_bounds <= n_objectives);
+    let mut case = weighted_test_case(rng, query_no, n_objectives);
+    let selected: Vec<Objective> = case.preference.objectives.iter().collect();
+    let minima = min_cost_vector(catalog, params, query, case.preference.objectives);
+    let mut bounded: Vec<Objective> = selected;
+    bounded.shuffle(rng);
+    for &o in bounded.iter().take(n_bounds) {
+        let bound = if o.has_bounded_domain() {
+            rng.gen_range(0.0..=1.0)
+        } else {
+            minima.get(o) * rng.gen_range(1.0..2.0)
+        };
+        case.preference.bounds.set(o, bound);
+    }
+    TestCase {
+        query_no,
+        preference: case.preference,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::queries;
+    use moqo_catalog::tpch;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn weighted_case_has_requested_objective_count() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for n in [1, 3, 6, 9] {
+            let case = weighted_test_case(&mut rng, 3, n);
+            assert_eq!(case.preference.objectives.len(), n);
+            assert!(!case.preference.is_bounded());
+            for o in case.preference.objectives.iter() {
+                let w = case.preference.weights.get(o);
+                assert!((0.0..=1.0).contains(&w));
+            }
+        }
+    }
+
+    #[test]
+    fn weighted_case_is_deterministic_per_seed() {
+        let a = weighted_test_case(&mut StdRng::seed_from_u64(42), 5, 6);
+        let b = weighted_test_case(&mut StdRng::seed_from_u64(42), 5, 6);
+        assert_eq!(a.preference, b.preference);
+    }
+
+    #[test]
+    fn bounded_case_bounds_subset_of_objectives() {
+        let cat = tpch::catalog(0.01);
+        let params = CostModelParams::default();
+        let q = queries::query(&cat, 12);
+        let mut rng = StdRng::seed_from_u64(11);
+        let case = bounded_test_case(&mut rng, &cat, &params, &q, 12, 9, 3);
+        assert_eq!(case.preference.objectives.len(), 9);
+        let bounded = case.preference.bounds.bounded_objectives();
+        assert_eq!(bounded.len(), 3);
+        assert!(bounded.is_subset(case.preference.objectives));
+        assert!(case.preference.is_bounded());
+    }
+
+    #[test]
+    fn unbounded_domain_bounds_anchor_at_minimum() {
+        let cat = tpch::catalog(0.01);
+        let params = CostModelParams::default();
+        let q = queries::query(&cat, 14);
+        let minima = min_cost_vector(&cat, &params, &q, ObjectiveSet::all());
+        // Bounds on unbounded-domain objectives land in [min, 2·min).
+        for seed in 0..10u64 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let case = bounded_test_case(&mut rng, &cat, &params, &q, 14, 9, 9);
+            for o in case.preference.bounds.bounded_objectives().iter() {
+                let b = case.preference.bounds.get(o);
+                if o.has_bounded_domain() {
+                    assert!((0.0..=1.0).contains(&b));
+                } else {
+                    assert!(
+                        b >= minima.get(o) - 1e-9 && b <= 2.0 * minima.get(o) + 1e-9,
+                        "{o}: bound {b} vs min {}",
+                        minima.get(o)
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn min_cost_vector_combines_blocks() {
+        let cat = tpch::catalog(0.01);
+        let params = CostModelParams::default();
+        // Q4 has two singleton blocks; total-time minimum is the block sum.
+        let q = queries::query(&cat, 4);
+        let objs = ObjectiveSet::single(Objective::TotalTime);
+        let combined = min_cost_vector(&cat, &params, &q, objs);
+        let per_block: f64 = q
+            .blocks
+            .iter()
+            .map(|g| {
+                let model = CostModel::new(&params, &cat, g);
+                min_cost_for_objective(&model, Objective::TotalTime, &Deadline::unlimited())
+            })
+            .sum();
+        assert!((combined.get(Objective::TotalTime) - per_block).abs() < 1e-9);
+    }
+}

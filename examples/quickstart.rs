@@ -1,0 +1,50 @@
+//! Quickstart: optimize TPC-H Q3 under a three-objective preference with
+//! all three algorithms and compare plans, costs and optimizer effort.
+//!
+//! Run with `cargo run --release --example quickstart`.
+
+use moqo::prelude::*;
+
+fn main() {
+    // TPC-H statistics (scale factor 0.1 keeps the exact algorithm fast
+    // enough for a demo) and the shipping-priority query Q3.
+    let catalog = moqo::tpch::catalog(0.1);
+    let query = moqo::tpch::query(&catalog, 3);
+
+    // Scenario: minimize execution time, weakly prefer small buffers, and
+    // require the full result (no sampling ⇒ tuple loss bounded by zero).
+    let preference = Preference::over(ObjectiveSet::empty())
+        .weight(Objective::TotalTime, 1.0)
+        .weight(Objective::BufferFootprint, 1e-7)
+        .bound(Objective::TupleLoss, 0.0);
+
+    let optimizer = Optimizer::new(&catalog);
+
+    for (name, algorithm) in [
+        ("EXA  (exact)", Algorithm::Exhaustive),
+        ("RTA  (α=1.5)", Algorithm::Rta { alpha: 1.5 }),
+        ("IRA  (α=1.5)", Algorithm::Ira { alpha: 1.5 }),
+    ] {
+        let result = optimizer.optimize(&query, &preference, algorithm);
+        println!("=== {name} ===");
+        println!(
+            "weighted cost {:.2} | time {:.0} | buffer {:.0} B | loss {:.3} | bounds ok: {}",
+            result.weighted_cost,
+            result.total_cost.get(Objective::TotalTime),
+            result.total_cost.get(Objective::BufferFootprint),
+            result.total_cost.get(Objective::TupleLoss),
+            result.respects_bounds,
+        );
+        println!(
+            "optimized in {:?} | {} plans considered | frontier size {}",
+            result.report.total_elapsed(),
+            result.report.considered_plans(),
+            result.block_plans[0].frontier.len(),
+        );
+        let block = &result.block_plans[0];
+        println!(
+            "{}",
+            render_plan(&block.arena, block.root, &query.blocks[0], &catalog)
+        );
+    }
+}

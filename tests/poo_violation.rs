@@ -1,0 +1,83 @@
+//! Example 1 of the paper: the single-objective principle of optimality
+//! breaks for weighted sums over multiple cost metrics — the reason MOQO
+//! cannot be reduced to classical query optimization.
+
+use moqo::prelude::*;
+
+/// Cost vectors are (time, energy); a plan executes two sub-plans in
+/// parallel: time combines via max, energy via sum.
+fn combine(a: &CostVector, b: &CostVector) -> CostVector {
+    CostVector::from_pairs(&[
+        (
+            Objective::TotalTime,
+            a.get(Objective::TotalTime).max(b.get(Objective::TotalTime)),
+        ),
+        (
+            Objective::Energy,
+            a.get(Objective::Energy) + b.get(Objective::Energy),
+        ),
+    ])
+}
+
+#[test]
+fn example_1_weighted_sum_breaks_single_objective_pruning() {
+    // Weights: 1 for time, 2 for energy — minimize t + 2e.
+    let weights = Weights::from_pairs(&[(Objective::TotalTime, 1.0), (Objective::Energy, 2.0)]);
+
+    let p1 = CostVector::from_pairs(&[(Objective::TotalTime, 7.0), (Objective::Energy, 1.0)]);
+    let p2 = CostVector::from_pairs(&[(Objective::TotalTime, 6.0), (Objective::Energy, 2.0)]);
+    let p1_alt = CostVector::from_pairs(&[(Objective::TotalTime, 1.0), (Objective::Energy, 3.0)]);
+
+    // Locally, p1_alt looks better than p1 under the weighted metric (7 vs 9):
+    assert_eq!(weights.weighted_cost(&p1_alt), 7.0);
+    assert_eq!(weights.weighted_cost(&p1), 9.0);
+
+    // ... but replacing p1 by p1_alt inside the parallel plan makes the full
+    // plan worse: (7,3) with weighted cost 13 becomes (6,5) with cost 16.
+    let plan = combine(&p1, &p2);
+    let plan_alt = combine(&p1_alt, &p2);
+    assert_eq!(
+        (plan.get(Objective::TotalTime), plan.get(Objective::Energy)),
+        (7.0, 3.0)
+    );
+    assert_eq!(
+        (
+            plan_alt.get(Objective::TotalTime),
+            plan_alt.get(Objective::Energy)
+        ),
+        (6.0, 5.0)
+    );
+    assert_eq!(weights.weighted_cost(&plan), 13.0);
+    assert_eq!(weights.weighted_cost(&plan_alt), 16.0);
+    assert!(
+        weights.weighted_cost(&plan_alt) > weights.weighted_cost(&plan),
+        "pruning on the weighted metric would have discarded the better plan"
+    );
+}
+
+#[test]
+fn multi_objective_principle_of_optimality_saves_the_day() {
+    // p1 ⪯ p1_alt does NOT hold and neither does the reverse: the vectors
+    // are Pareto-incomparable, so the EXA keeps both and never faces the
+    // pathology of Example 1.
+    let objs = ObjectiveSet::from_objectives(&[Objective::TotalTime, Objective::Energy]);
+    let p1 = CostVector::from_pairs(&[(Objective::TotalTime, 7.0), (Objective::Energy, 1.0)]);
+    let p1_alt = CostVector::from_pairs(&[(Objective::TotalTime, 1.0), (Objective::Energy, 3.0)]);
+    assert!(!moqo::cost::dominates(&p1, &p1_alt, objs));
+    assert!(!moqo::cost::dominates(&p1_alt, &p1, objs));
+}
+
+#[test]
+fn pono_bounds_error_accumulation_in_example_1_setting() {
+    // The PONO (Definition 7) in the same setting: degrade both sub-plans by
+    // factor α and the combined plan degrades by at most α — for max and sum
+    // alike.
+    let objs = ObjectiveSet::from_objectives(&[Objective::TotalTime, Objective::Energy]);
+    for alpha in [1.0, 1.25, 1.5, 2.0] {
+        let p1 = CostVector::from_pairs(&[(Objective::TotalTime, 7.0), (Objective::Energy, 1.0)]);
+        let p2 = CostVector::from_pairs(&[(Objective::TotalTime, 6.0), (Objective::Energy, 2.0)]);
+        let plan = combine(&p1, &p2);
+        let degraded = combine(&p1.scale(alpha), &p2.scale(alpha));
+        assert!(moqo::cost::approx_dominates(&degraded, &plan, alpha, objs));
+    }
+}
