@@ -75,7 +75,14 @@ fn main() {
                 let results: Vec<CaseResult> = ALGOS
                     .iter()
                     .map(|(_, algo)| {
-                        run_case(&catalog, &params, &query, &case.preference, *algo, cfg.timeout)
+                        run_case(
+                            &catalog,
+                            &params,
+                            &query,
+                            &case.preference,
+                            *algo,
+                            cfg.timeout,
+                        )
                     })
                     .collect();
                 let any_feasible = results.iter().any(|r| r.respects_bounds);

@@ -30,7 +30,10 @@ fn main() {
     let best_a = select_best(&result_a.final_plans, &pref_a).unwrap();
     println!();
     println!("(a) time-optimal, tuple loss ≤ 0:");
-    println!("{}", render_plan(&result_a.arena, best_a.plan, graph, &catalog));
+    println!(
+        "{}",
+        render_plan(&result_a.arena, best_a.plan, graph, &catalog)
+    );
     let joins_a = result_a.arena.join_ops(best_a.plan);
     assert!(
         joins_a
@@ -47,7 +50,10 @@ fn main() {
     let result_b = exa(&model, &pref_b, &deadline);
     let best_b = select_best(&result_b.final_plans, &pref_b).unwrap();
     println!("(b) + weight on buffer footprint:");
-    println!("{}", render_plan(&result_b.arena, best_b.plan, graph, &catalog));
+    println!(
+        "{}",
+        render_plan(&result_b.arena, best_b.plan, graph, &catalog)
+    );
     let joins_b = result_b.arena.join_ops(best_b.plan);
     assert!(
         !joins_b
@@ -59,13 +65,16 @@ fn main() {
     // (c) Additional bound on startup time, placed just above the minimal
     // achievable startup (the pipelined index-nested-loop chain): blocking
     // hash builds and sort-merge inputs cannot meet it.
-    let startup_bound = 2.0
-        * moqo_core::min_cost_for_objective(&model, Objective::StartupTime, &deadline);
+    let startup_bound =
+        2.0 * moqo_core::min_cost_for_objective(&model, Objective::StartupTime, &deadline);
     let pref_c = pref_b.bound(Objective::StartupTime, startup_bound);
     let result_c = exa(&model, &pref_c, &deadline);
     let best_c = select_best(&result_c.final_plans, &pref_c).unwrap();
     println!("(c) + bound on startup time ({startup_bound:.3} units):");
-    println!("{}", render_plan(&result_c.arena, best_c.plan, graph, &catalog));
+    println!(
+        "{}",
+        render_plan(&result_c.arena, best_c.plan, graph, &catalog)
+    );
     let joins_c = result_c.arena.join_ops(best_c.plan);
     assert!(
         joins_c
@@ -75,12 +84,16 @@ fn main() {
     );
     assert!(best_c.cost.get(Objective::StartupTime) <= startup_bound);
 
-    println!("buffer footprints: (a) {:.0} B  (b) {:.0} B  (c) {:.0} B",
+    println!(
+        "buffer footprints: (a) {:.0} B  (b) {:.0} B  (c) {:.0} B",
         best_a.cost.get(Objective::BufferFootprint),
         best_b.cost.get(Objective::BufferFootprint),
-        best_c.cost.get(Objective::BufferFootprint));
-    println!("startup times:     (a) {:.1}    (b) {:.1}    (c) {:.1}",
+        best_c.cost.get(Objective::BufferFootprint)
+    );
+    println!(
+        "startup times:     (a) {:.1}    (b) {:.1}    (c) {:.1}",
         best_a.cost.get(Objective::StartupTime),
         best_b.cost.get(Objective::StartupTime),
-        best_c.cost.get(Objective::StartupTime));
+        best_c.cost.get(Objective::StartupTime)
+    );
 }

@@ -18,7 +18,10 @@ fn main() {
     let catalog = moqo_tpch::catalog(cfg.scale_factor);
     let params = CostModelParams::default();
 
-    println!("Figure 5: exact algorithm (EXA) on TPC-H [{}]", cfg.describe());
+    println!(
+        "Figure 5: exact algorithm (EXA) on TPC-H [{}]",
+        cfg.describe()
+    );
     println!();
 
     let mut table = Table::new(&[

@@ -6,9 +6,7 @@
 //! paper's y-axis spans 10^−3 … 10^53.
 
 use moqo_bench::Table;
-use moqo_core::complexity::{
-    log10_exa_time, log10_rta_time, log10_selinger_time,
-};
+use moqo_core::complexity::{log10_exa_time, log10_rta_time, log10_selinger_time};
 
 fn main() {
     let (j, l, m) = (6u64, 3u64, 1e5);

@@ -28,7 +28,12 @@ fn main() {
             let exa_best = select_best(&r_exa.final_plans, &case.preference).unwrap();
 
             let t0 = Instant::now();
-            let r_rta = rta(&model, &case.preference, 1.15, &Deadline::new(Some(timeout)));
+            let r_rta = rta(
+                &model,
+                &case.preference,
+                1.15,
+                &Deadline::new(Some(timeout)),
+            );
             let rta_time = t0.elapsed();
             let rta_best = select_best(&r_rta.final_plans, &case.preference).unwrap();
 

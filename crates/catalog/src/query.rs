@@ -176,8 +176,7 @@ impl JoinGraph {
             }
             let lt = catalog.table(self.rels[e.left_rel].table);
             let rt = catalog.table(self.rels[e.right_rel].table);
-            if e.left_col as usize >= lt.columns.len() || e.right_col as usize >= rt.columns.len()
-            {
+            if e.left_col as usize >= lt.columns.len() || e.right_col as usize >= rt.columns.len() {
                 return Err(format!("edge {i} references unknown column"));
             }
             if !(0.0..=1.0).contains(&e.selectivity) {
@@ -370,8 +369,7 @@ mod tests {
                 .with_column(ColumnStats::new("b_id", 100.0)),
         );
         cat.add_table(
-            TableStats::new("b", 100.0, 50.0)
-                .with_column(ColumnStats::new("id", 100.0).indexed()),
+            TableStats::new("b", 100.0, 50.0).with_column(ColumnStats::new("id", 100.0).indexed()),
         );
         cat.add_table(TableStats::new("c", 10.0, 50.0).with_column(ColumnStats::new("id", 10.0)));
         cat

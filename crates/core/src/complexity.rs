@@ -19,8 +19,7 @@ fn ln_factorial(n: u64) -> f64 {
 #[must_use]
 pub fn log10_n_bushy(j: u64, n: u64) -> f64 {
     assert!(n >= 1 && j >= 1);
-    let ln = (2 * n - 1) as f64 * (j as f64).ln() + ln_factorial(2 * (n - 1))
-        - ln_factorial(n - 1);
+    let ln = (2 * n - 1) as f64 * (j as f64).ln() + ln_factorial(2 * (n - 1)) - ln_factorial(n - 1);
     ln / std::f64::consts::LN_10
 }
 
@@ -69,9 +68,7 @@ pub fn log10_ira_iteration_time(
     iteration: u32,
 ) -> f64 {
     assert!(alpha_u > 1.0);
-    let base = (j as f64).log10()
-        + (n as f64) * 3f64.log10()
-        + f64::from(iteration) * 2f64.log10();
+    let base = (j as f64).log10() + (n as f64) * 3f64.log10() + f64::from(iteration) * 2f64.log10();
     let poly = ((n as f64).powi(2) * m.ln() / alpha_u.ln()).ln() * ((3 * l - 3) as f64)
         / std::f64::consts::LN_10;
     base + poly

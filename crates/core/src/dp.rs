@@ -239,10 +239,8 @@ pub fn find_pareto_plans(
             let key = join_key(model, m1, m2);
             // Split the borrow: read sides, write target.
             let (left_entries, right_entries) = {
-                let l: Vec<PlanEntry> =
-                    table[m1 as usize].iter_entries().copied().collect();
-                let r: Vec<PlanEntry> =
-                    table[m2 as usize].iter_entries().copied().collect();
+                let l: Vec<PlanEntry> = table[m1 as usize].iter_entries().copied().collect();
+                let r: Vec<PlanEntry> = table[m2 as usize].iter_entries().copied().collect();
                 (l, r)
             };
             for left in &left_entries {
@@ -282,13 +280,12 @@ pub fn find_pareto_plans(
     }
 
     if stats.timed_out {
-        quick_finish(model, &mut table, &mut arena, weights, objectives, &mut stats);
+        quick_finish(
+            model, &mut table, &mut arena, weights, objectives, &mut stats,
+        );
     }
 
-    let final_plans: Vec<PlanEntry> = table[full_mask as usize]
-        .iter_entries()
-        .copied()
-        .collect();
+    let final_plans: Vec<PlanEntry> = table[full_mask as usize].iter_entries().copied().collect();
     debug_assert!(
         !final_plans.is_empty(),
         "the DP must produce at least one plan for the full table set"
@@ -461,9 +458,9 @@ fn quick_finish(
                 ) else {
                     continue;
                 };
-                let better = best.as_ref().is_none_or(|b| {
-                    weights.weighted_cost(&cost) < weights.weighted_cost(&b.cost)
-                });
+                let better = best
+                    .as_ref()
+                    .is_none_or(|b| weights.weighted_cost(&cost) < weights.weighted_cost(&b.cost));
                 if better {
                     let plan = arena.join(op, left.plan, right.plan);
                     best = Some(PlanEntry { cost, props, plan });
@@ -610,7 +607,10 @@ mod tests {
         let mut cat = Catalog::new();
         cat.add_table(TableStats::new("a", 100.0, 50.0).with_column(ColumnStats::new("id", 100.0)));
         cat.add_table(TableStats::new("b", 200.0, 50.0).with_column(ColumnStats::new("id", 200.0)));
-        let graph = JoinGraphBuilder::new(&cat).rel("a", 1.0).rel("b", 1.0).build();
+        let graph = JoinGraphBuilder::new(&cat)
+            .rel("a", 1.0)
+            .rel("b", 1.0)
+            .build();
         let model = CostModel::new(&params, &cat, &graph);
         let result = find_pareto_plans(
             &model,

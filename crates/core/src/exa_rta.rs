@@ -30,11 +30,7 @@ pub fn rta_internal_precision(alpha_u: f64, n_tables: usize) -> f64 {
 /// plan set for the block (select a plan with
 /// [`crate::select_best`]).
 #[must_use]
-pub fn exa(
-    model: &CostModel<'_>,
-    preference: &Preference,
-    deadline: &Deadline,
-) -> DpResult {
+pub fn exa(model: &CostModel<'_>, preference: &Preference, deadline: &Deadline) -> DpResult {
     run(model, preference.objectives, preference, 1.0, deadline)
 }
 
@@ -126,8 +122,7 @@ mod tests {
         for alpha_u in [1.05, 1.5, 2.0, 4.0] {
             let approx = rta(&model, &preference, alpha_u, &Deadline::unlimited());
             let best = select_best(&approx.final_plans, &preference).unwrap();
-            let rho = preference.weighted_cost(&best.cost)
-                / preference.weighted_cost(&opt.cost);
+            let rho = preference.weighted_cost(&best.cost) / preference.weighted_cost(&opt.cost);
             assert!(
                 rho <= alpha_u + 1e-9,
                 "α_U = {alpha_u}: relative cost {rho} exceeds the guarantee"

@@ -20,7 +20,7 @@ use moqo_costmodel::CostModel;
 
 use crate::budget::Deadline;
 use crate::dp::DpResult;
-use crate::exa_rta::{run, rta_internal_precision};
+use crate::exa_rta::{rta_internal_precision, run};
 use crate::pareto::PlanEntry;
 use crate::select::select_best;
 
@@ -260,9 +260,12 @@ mod tests {
 
         for alpha_u in [1.15, 1.5, 2.0] {
             let out = ira(&model, &preference, alpha_u, &Deadline::unlimited());
-            assert!(preference.respects_bounds(&out.best.cost), "α_U = {alpha_u}");
-            let rho = preference.weighted_cost(&out.best.cost)
-                / preference.weighted_cost(&opt.cost);
+            assert!(
+                preference.respects_bounds(&out.best.cost),
+                "α_U = {alpha_u}"
+            );
+            let rho =
+                preference.weighted_cost(&out.best.cost) / preference.weighted_cost(&opt.cost);
             assert!(
                 rho <= alpha_u + 1e-9,
                 "α_U = {alpha_u}: relative cost {rho} exceeds guarantee"
@@ -286,8 +289,7 @@ mod tests {
         assert!(!preference.respects_bounds(&out.best.cost));
         let exact = exa(&model, &preference, &Deadline::unlimited());
         let opt = select_best(&exact.final_plans, &preference).unwrap();
-        let rho =
-            preference.weighted_cost(&out.best.cost) / preference.weighted_cost(&opt.cost);
+        let rho = preference.weighted_cost(&out.best.cost) / preference.weighted_cost(&opt.cost);
         assert!(rho <= 1.5 + 1e-9, "got {rho}");
     }
 

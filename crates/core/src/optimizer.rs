@@ -149,7 +149,10 @@ impl<'a> Optimizer<'a> {
         preference: &Preference,
         algorithm: Algorithm,
     ) -> OptimizationResult {
-        assert!(!query.blocks.is_empty(), "query must have at least one block");
+        assert!(
+            !query.blocks.is_empty(),
+            "query must have at least one block"
+        );
         assert!(
             !preference.objectives.is_empty(),
             "preference must select at least one objective"

@@ -13,7 +13,8 @@
 //!   arbitrarily far from the frontier — that unsound variant is available
 //!   behind [`PruneStrategy::approx_deletion`] purely as an ablation.
 
-use moqo_cost::{approx_dominates, dominates, CostVector, ObjectiveSet};
+use moqo_cost::dominance::{approx_dominates, dominates};
+use moqo_cost::{CostVector, ObjectiveSet};
 use moqo_plan::{PlanId, PlanProps};
 
 /// One stored plan: its cost vector, physical properties and arena id.
@@ -85,9 +86,10 @@ impl PlanSet {
     ) -> bool {
         // "Check whether new plan useful": some stored plan (approximately)
         // dominates the new one?
-        let rejected = self.entries.iter().any(|e| {
-            approx_dominates(&e.cost, &entry.cost, strategy.alpha_internal, objectives)
-        });
+        let rejected = self
+            .entries
+            .iter()
+            .any(|e| approx_dominates(&e.cost, &entry.cost, strategy.alpha_internal, objectives));
         if rejected {
             return false;
         }
@@ -134,7 +136,8 @@ impl PlanSet {
     pub fn is_antichain(&self, objectives: ObjectiveSet) -> bool {
         for (i, a) in self.entries.iter().enumerate() {
             for (j, b) in self.entries.iter().enumerate() {
-                if i != j && moqo_cost::strictly_dominates(&a.cost, &b.cost, objectives) {
+                if i != j && moqo_cost::dominance::strictly_dominates(&a.cost, &b.cost, objectives)
+                {
                     return false;
                 }
             }
@@ -199,9 +202,7 @@ mod tests {
         // (1,1) dominates (2,2) but not (3,0.5) — buffer 0.5 < 1.
         assert!(set.prune_insert(entry(1.0, 1.0), &s, objs()));
         assert_eq!(set.len(), 2);
-        assert!(set
-            .iter()
-            .all(|e| e.cost.get(Objective::TotalTime) != 2.0));
+        assert!(set.iter().all(|e| e.cost.get(Objective::TotalTime) != 2.0));
     }
 
     #[test]
@@ -218,7 +219,11 @@ mod tests {
             approx.prune_insert(entry(t, b), &sa, objs());
         }
         assert_eq!(exact.len(), 32);
-        assert!(approx.len() < exact.len() / 2, "approx kept {}", approx.len());
+        assert!(
+            approx.len() < exact.len() / 2,
+            "approx kept {}",
+            approx.len()
+        );
     }
 
     #[test]
@@ -239,7 +244,10 @@ mod tests {
         let frontier = moqo_cost::pareto_front::pareto_frontier(&all, objs());
         let kept: Vec<CostVector> = approx.iter().map(|e| e.cost).collect();
         assert!(moqo_cost::pareto_front::is_approx_pareto_set(
-            &kept, &frontier, alpha, objs()
+            &kept,
+            &frontier,
+            alpha,
+            objs()
         ));
     }
 
@@ -270,8 +278,7 @@ mod tests {
         }
         assert_eq!(unsound.len(), 1, "chain keeps replacing its predecessor");
         let kept: Vec<CostVector> = unsound.iter().map(|e| e.cost).collect();
-        let factor =
-            moqo_cost::pareto_front::approximation_factor(&kept, &all, objs()).unwrap();
+        let factor = moqo_cost::pareto_front::approximation_factor(&kept, &all, objs()).unwrap();
         assert!(
             factor > alpha * 1.5,
             "unsound deletion drifted to factor {factor}, beyond α = {alpha}"
@@ -290,8 +297,10 @@ mod tests {
         }
         assert_eq!(kept_count, 12);
         let kept: Vec<CostVector> = sound.iter().map(|e| e.cost).collect();
-        let factor =
-            moqo_cost::pareto_front::approximation_factor(&kept, &all, objs()).unwrap();
-        assert!(factor <= alpha, "sound pruning stays within α; got {factor}");
+        let factor = moqo_cost::pareto_front::approximation_factor(&kept, &all, objs()).unwrap();
+        assert!(
+            factor <= alpha,
+            "sound pruning stays within α; got {factor}"
+        );
     }
 }

@@ -26,8 +26,8 @@ pub fn selinger(
 ) -> (PlanEntry, DpResult) {
     let preference = Preference::minimize(objective);
     let result = exa(model, &preference, deadline);
-    let best = select_best(&result.final_plans, &preference)
-        .expect("the DP returns at least one plan");
+    let best =
+        select_best(&result.final_plans, &preference).expect("the DP returns at least one plan");
     (best, result)
 }
 

@@ -122,13 +122,7 @@ fn bushy_space_is_at_least_as_good_as_left_deep() {
     let pref = Preference::over(objs()).weight(Objective::TotalTime, 1.0);
     let deadline = Deadline::unlimited();
 
-    let bushy = find_pareto_plans(
-        &model,
-        objs(),
-        &DpConfig::exact(),
-        &pref.weights,
-        &deadline,
-    );
+    let bushy = find_pareto_plans(&model, objs(), &DpConfig::exact(), &pref.weights, &deadline);
     let left_deep = find_pareto_plans(
         &model,
         objs(),
@@ -156,8 +150,7 @@ fn left_deep_exa_matches_bushy_on_two_tables() {
     let params = CostModelParams::default();
     let mut cat = Catalog::new();
     cat.add_table(
-        TableStats::new("a", 5_000.0, 100.0)
-            .with_column(ColumnStats::new("id", 5_000.0).indexed()),
+        TableStats::new("a", 5_000.0, 100.0).with_column(ColumnStats::new("id", 5_000.0).indexed()),
     );
     cat.add_table(
         TableStats::new("b", 20_000.0, 100.0)

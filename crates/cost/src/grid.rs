@@ -45,12 +45,7 @@ pub fn cell_of(cost: &CostVector, alpha_i: f64, objectives: ObjectiveSet) -> Gri
 /// they mutually approximately dominate each other with precision `α_i`
 /// (Lemma 2's key observation).
 #[must_use]
-pub fn same_cell(
-    a: &CostVector,
-    b: &CostVector,
-    alpha_i: f64,
-    objectives: ObjectiveSet,
-) -> bool {
+pub fn same_cell(a: &CostVector, b: &CostVector, alpha_i: f64, objectives: ObjectiveSet) -> bool {
     cell_of(a, alpha_i, objectives) == cell_of(b, alpha_i, objectives)
 }
 

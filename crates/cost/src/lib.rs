@@ -55,15 +55,17 @@
 
 #![warn(missing_docs)]
 
-mod dominance;
 mod objective;
 mod preference;
 mod vector;
 
+pub mod dominance;
 pub mod grid;
 pub mod pareto_front;
 pub mod running_example;
 
+// Convenience re-exports: `moqo_cost::dominance` is the canonical home of
+// the three relations; the flat paths below are aliases for it.
 pub use dominance::{approx_dominates, dominates, strictly_dominates};
 pub use objective::{Objective, ObjectiveSet, NUM_OBJECTIVES};
 pub use preference::{Bounds, Preference, Weights};

@@ -271,7 +271,9 @@ mod tests {
 
     #[test]
     fn from_iterator_collects() {
-        let set: ObjectiveSet = [Objective::IoLoad, Objective::CpuLoad].into_iter().collect();
+        let set: ObjectiveSet = [Objective::IoLoad, Objective::CpuLoad]
+            .into_iter()
+            .collect();
         assert_eq!(set.len(), 2);
     }
 }

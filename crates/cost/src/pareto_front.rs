@@ -121,7 +121,12 @@ mod tests {
         let frontier = pareto_frontier(&vectors, objs());
         let mut points: Vec<(f64, f64)> = frontier
             .iter()
-            .map(|c| (c.get(Objective::BufferFootprint), c.get(Objective::TotalTime)))
+            .map(|c| {
+                (
+                    c.get(Objective::BufferFootprint),
+                    c.get(Objective::TotalTime),
+                )
+            })
             .collect();
         points.sort_by(|a, b| a.partial_cmp(b).unwrap());
         assert_eq!(points, crate::running_example::PARETO_FRONTIER.to_vec());
@@ -153,10 +158,7 @@ mod tests {
     fn full_set_is_one_approximate() {
         let vectors = crate::running_example::plan_cost_vectors();
         assert!(is_approx_pareto_set(&vectors, &vectors, 1.0, objs()));
-        assert_eq!(
-            approximation_factor(&vectors, &vectors, objs()),
-            Some(1.0)
-        );
+        assert_eq!(approximation_factor(&vectors, &vectors, objs()), Some(1.0));
     }
 
     #[test]

@@ -158,7 +158,9 @@ impl Bounds {
         objectives: ObjectiveSet,
     ) -> bool {
         debug_assert!(alpha >= 1.0);
-        objectives.iter().all(|o| cost.get(o) <= alpha * self.get(o))
+        objectives
+            .iter()
+            .all(|o| cost.get(o) <= alpha * self.get(o))
     }
 
     /// Objectives with a finite bound.
@@ -315,10 +317,8 @@ mod tests {
         let objs = ObjectiveSet::from_objectives(&[Objective::TotalTime, Objective::TupleLoss]);
         let b = Bounds::from_pairs(&[(Objective::TupleLoss, 0.0)]);
         let no_loss = CostVector::from_pairs(&[(Objective::TotalTime, 5.0)]);
-        let loss = CostVector::from_pairs(&[
-            (Objective::TotalTime, 1.0),
-            (Objective::TupleLoss, 0.01),
-        ]);
+        let loss =
+            CostVector::from_pairs(&[(Objective::TotalTime, 1.0), (Objective::TupleLoss, 0.01)]);
         assert!(b.respected_by(&no_loss, objs));
         assert!(!b.respected_by(&loss, objs));
     }

@@ -30,8 +30,7 @@ pub const PLAN_POINTS: [(f64, f64); 8] = [
 ];
 
 /// The Pareto frontier of [`PLAN_POINTS`], sorted by buffer space.
-pub const PARETO_FRONTIER: [(f64, f64); 4] =
-    [(0.5, 2.5), (1.0, 1.5), (2.0, 1.0), (3.0, 0.5)];
+pub const PARETO_FRONTIER: [(f64, f64); 4] = [(0.5, 2.5), (1.0, 1.5), (2.0, 1.0), (3.0, 0.5)];
 
 /// The weighted optimum under [`weights`] — an interior frontier point.
 pub const WEIGHTED_OPTIMUM: (f64, f64) = (1.0, 1.5);
@@ -113,11 +112,7 @@ mod tests {
         let w = weights();
         let best = plan_cost_vectors()
             .into_iter()
-            .min_by(|a, b| {
-                w.weighted_cost(a)
-                    .partial_cmp(&w.weighted_cost(b))
-                    .unwrap()
-            })
+            .min_by(|a, b| w.weighted_cost(a).partial_cmp(&w.weighted_cost(b)).unwrap())
             .unwrap();
         assert_eq!(
             (

@@ -80,21 +80,19 @@ impl<'a> CostModel<'a> {
         let (cost, order) = match op {
             JoinOp::HashJoin { dop } => {
                 key?;
-                (self.hash_join(dop, lc, lp, rc, rp, out_rows), SortOrder::None)
+                (
+                    self.hash_join(dop, lc, lp, rc, rp, out_rows),
+                    SortOrder::None,
+                )
             }
             JoinOp::SortMergeJoin { dop } => {
                 let key = key?;
                 let order = key.outer_order();
-                (
-                    self.merge_join(dop, key, lc, lp, rc, rp, out_rows),
-                    order,
-                )
+                (self.merge_join(dop, key, lc, lp, rc, rp, out_rows), order)
             }
             JoinOp::IndexNestedLoop => {
                 let key = key?;
-                if !key.inner_indexed
-                    || !right_is_canonical_index_scan
-                    || rp.rels.count_ones() != 1
+                if !key.inner_indexed || !right_is_canonical_index_scan || rp.rels.count_ones() != 1
                 {
                     return None;
                 }
@@ -165,8 +163,7 @@ impl<'a> CostModel<'a> {
         );
         c.set(
             Objective::UsedCores,
-            (lc.get(Objective::UsedCores) + rc.get(Objective::UsedCores))
-                .max(f64::from(dop)),
+            (lc.get(Objective::UsedCores) + rc.get(Objective::UsedCores)).max(f64::from(dop)),
         );
         c.set(
             Objective::DiskFootprint,
@@ -222,8 +219,7 @@ impl<'a> CostModel<'a> {
         let (l_cpu, l_time, l_spill, l_buf) = sort_side(lp.rows, lp.width, sort_l);
         let (r_cpu, r_time, r_spill, r_buf) = sort_side(rp.rows, rp.width, sort_r);
 
-        let merge_cpu =
-            (lp.rows + rp.rows) * p.cpu_operator_cost + out_rows * p.cpu_tuple_cost;
+        let merge_cpu = (lp.rows + rp.rows) * p.cpu_operator_cost + out_rows * p.cpu_tuple_cost;
         let own_cpu = (l_cpu + r_cpu) * p.cpu_overhead_factor(dop) + merge_cpu;
         let own_io = 2.0 * (l_spill + r_spill) / p.page_bytes;
 
@@ -243,8 +239,7 @@ impl<'a> CostModel<'a> {
         let mut c = CostVector::zero();
         c.set(
             Objective::TotalTime,
-            (lc.get(Objective::TotalTime) + l_time)
-                .max(rc.get(Objective::TotalTime) + r_time)
+            (lc.get(Objective::TotalTime) + l_time).max(rc.get(Objective::TotalTime) + r_time)
                 + merge_cpu,
         );
         c.set(Objective::StartupTime, l_ready.max(r_ready));
@@ -258,15 +253,11 @@ impl<'a> CostModel<'a> {
         );
         c.set(
             Objective::UsedCores,
-            (lc.get(Objective::UsedCores) + rc.get(Objective::UsedCores))
-                .max(f64::from(dop)),
+            (lc.get(Objective::UsedCores) + rc.get(Objective::UsedCores)).max(f64::from(dop)),
         );
         c.set(
             Objective::DiskFootprint,
-            lc.get(Objective::DiskFootprint)
-                + rc.get(Objective::DiskFootprint)
-                + l_spill
-                + r_spill,
+            lc.get(Objective::DiskFootprint) + rc.get(Objective::DiskFootprint) + l_spill + r_spill,
         );
         c.set(
             Objective::BufferFootprint,
@@ -304,8 +295,7 @@ impl<'a> CostModel<'a> {
 
         let probes = lp.rows;
         let descend_cpu = p.cpu_operator_cost * inner_rows.log2().ceil();
-        let own_cpu = probes * descend_cpu
-            + out_rows * (p.cpu_index_tuple_cost + p.cpu_tuple_cost);
+        let own_cpu = probes * descend_cpu + out_rows * (p.cpu_index_tuple_cost + p.cpu_tuple_cost);
         // Mackert–Lohman-flavoured cap: repeated probes hit cached pages.
         let own_io = probes.min(2.0 * inner_pages) + out_rows * lp.width * 0.0;
         let own_time = own_cpu + own_io * p.random_page_cost;
@@ -437,11 +427,7 @@ mod tests {
         }
     }
 
-    fn scan_pair(
-        model: &CostModel,
-        rel: usize,
-        op: ScanOp,
-    ) -> (CostVector, PlanProps) {
+    fn scan_pair(model: &CostModel, rel: usize, op: ScanOp) -> (CostVector, PlanProps) {
         model.scan_cost(rel, op).expect("scan applicable")
     }
 
@@ -452,7 +438,13 @@ mod tests {
         let l = scan_pair(&model, 0, ScanOp::SeqScan);
         let r = scan_pair(&model, 1, ScanOp::SeqScan);
         assert!(model
-            .join_cost(JoinOp::HashJoin { dop: 1 }, (&l.0, &l.1), (&r.0, &r.1), None, false)
+            .join_cost(
+                JoinOp::HashJoin { dop: 1 },
+                (&l.0, &l.1),
+                (&r.0, &r.1),
+                None,
+                false
+            )
             .is_none());
         assert!(model
             .join_cost(

@@ -201,7 +201,9 @@ mod tests {
     fn index_scan_requires_index() {
         let (p, cat, g) = setup();
         let model = CostModel::new(&p, &cat, &g);
-        assert!(model.scan_cost(0, ScanOp::IndexScan { column: 1 }).is_none());
+        assert!(model
+            .scan_cost(0, ScanOp::IndexScan { column: 1 })
+            .is_none());
     }
 
     #[test]

@@ -47,17 +47,13 @@ fn key() -> JoinKey {
 /// A child cost vector with sensible magnitudes per objective; tuple loss
 /// stays in [0, 1].
 fn arb_child_cost() -> impl Strategy<Value = CostVector> {
-    (
-        prop::array::uniform8(1.0f64..1e6),
-        0.0f64..0.9,
-    )
-        .prop_map(|(vals, loss)| {
-            let mut a = [0.0; NUM_OBJECTIVES];
-            a[..8].copy_from_slice(&vals);
-            a[Objective::UsedCores.index()] = 1.0 + vals[4] % 4.0; // 1..5 cores
-            a[Objective::TupleLoss.index()] = loss;
-            CostVector::from_array(a)
-        })
+    (prop::array::uniform8(1.0f64..1e6), 0.0f64..0.9).prop_map(|(vals, loss)| {
+        let mut a = [0.0; NUM_OBJECTIVES];
+        a[..8].copy_from_slice(&vals);
+        a[Objective::UsedCores.index()] = 1.0 + vals[4] % 4.0; // 1..5 cores
+        a[Objective::TupleLoss.index()] = loss;
+        CostVector::from_array(a)
+    })
 }
 
 /// Per-dimension degradation factors in [1, α]; tuple loss is clamped to

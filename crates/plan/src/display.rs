@@ -40,11 +40,9 @@ fn render_node(
             let table = catalog.table(base.table);
             let label = match op {
                 crate::ScanOp::SeqScan => format!("SeqScan({})", base.alias),
-                crate::ScanOp::IndexScan { column } => format!(
-                    "IdxScan({}.{})",
-                    base.alias,
-                    table.column(column).name
-                ),
+                crate::ScanOp::IndexScan { column } => {
+                    format!("IdxScan({}.{})", base.alias, table.column(column).name)
+                }
                 crate::ScanOp::SamplingScan { rate_pct } => {
                     format!("SampleScan({}, {rate_pct}%)", base.alias)
                 }
@@ -59,7 +57,15 @@ fn render_node(
             out.push('\n');
             let left_prefix = format!("{child_prefix}├─ ");
             let left_child_prefix = format!("{child_prefix}│  ");
-            render_node(arena, left, graph, catalog, &left_prefix, &left_child_prefix, out);
+            render_node(
+                arena,
+                left,
+                graph,
+                catalog,
+                &left_prefix,
+                &left_child_prefix,
+                out,
+            );
             let right_prefix = format!("{child_prefix}└─ ");
             let right_child_prefix = format!("{child_prefix}   ");
             render_node(
@@ -112,9 +118,8 @@ mod tests {
     #[test]
     fn renders_sampling_scan() {
         let mut catalog = Catalog::new();
-        catalog.add_table(
-            TableStats::new("t", 10.0, 10.0).with_column(ColumnStats::new("id", 10.0)),
-        );
+        catalog
+            .add_table(TableStats::new("t", 10.0, 10.0).with_column(ColumnStats::new("id", 10.0)));
         let graph = JoinGraphBuilder::new(&catalog).rel("t", 1.0).build();
         let mut arena = PlanArena::new();
         let s = arena.scan(0, ScanOp::SamplingScan { rate_pct: 3 });

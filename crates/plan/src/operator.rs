@@ -195,6 +195,9 @@ mod tests {
         assert_eq!(JoinOp::HashJoin { dop: 1 }.name(), "HashJ");
         assert_eq!(JoinOp::SortMergeJoin { dop: 2 }.name(), "SMJ");
         assert_eq!(JoinOp::IndexNestedLoop.name(), "IdxNL");
-        assert_eq!(ScanOp::SamplingScan { rate_pct: 3 }.to_string(), "SampleScan(3%)");
+        assert_eq!(
+            ScanOp::SamplingScan { rate_pct: 3 }.to_string(),
+            "SampleScan(3%)"
+        );
     }
 }

@@ -92,7 +92,11 @@ mod tests {
         assert_eq!(p.bytes(), 100_000.0);
         assert!((p.pages(8192.0) - 100_000.0 / 8192.0).abs() < 1e-9);
         // Tiny outputs still occupy one page.
-        let tiny = PlanProps { rows: 1.0, width: 8.0, ..p };
+        let tiny = PlanProps {
+            rows: 1.0,
+            width: 8.0,
+            ..p
+        };
         assert_eq!(tiny.pages(8192.0), 1.0);
     }
 }

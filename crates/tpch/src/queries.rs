@@ -34,8 +34,7 @@ pub fn query(catalog: &Catalog, number: u8) -> Query {
         // Q2: minimum-cost supplier; main block joins 5 tables, the
         // correlated min-subquery re-joins partsupp/supplier/nation/region.
         2 => vec![
-            b()
-                .rel("part", 0.001)
+            b().rel("part", 0.001)
                 .rel("supplier", 1.0)
                 .rel("partsupp", 1.0)
                 .rel("nation", 1.0)
@@ -45,8 +44,7 @@ pub fn query(catalog: &Catalog, number: u8) -> Query {
                 .join(("supplier", "s_nationkey"), ("nation", "n_nationkey"))
                 .join(("nation", "n_regionkey"), ("region", "r_regionkey"))
                 .build(),
-            b()
-                .rel("partsupp", 1.0)
+            b().rel("partsupp", 1.0)
                 .rel("supplier", 1.0)
                 .rel("nation", 1.0)
                 .rel("region", 0.2)
@@ -177,8 +175,7 @@ pub fn query(catalog: &Catalog, number: u8) -> Query {
             .build()],
         // Q15: top supplier; the revenue view is its own lineitem block.
         15 => vec![
-            b()
-                .rel("supplier", 1.0)
+            b().rel("supplier", 1.0)
                 .rel("lineitem", 0.0376)
                 .join(("supplier", "s_suppkey"), ("lineitem", "l_suppkey"))
                 .build(),
@@ -186,8 +183,7 @@ pub fn query(catalog: &Catalog, number: u8) -> Query {
         ],
         // Q16: parts/supplier relationship + NOT IN supplier subquery.
         16 => vec![
-            b()
-                .rel("partsupp", 1.0)
+            b().rel("partsupp", 1.0)
                 .rel("part", 0.1)
                 .join(("partsupp", "ps_partkey"), ("part", "p_partkey"))
                 .build(),
@@ -195,8 +191,7 @@ pub fn query(catalog: &Catalog, number: u8) -> Query {
         ],
         // Q17: small-quantity-order revenue + correlated avg subquery.
         17 => vec![
-            b()
-                .rel("lineitem", 1.0)
+            b().rel("lineitem", 1.0)
                 .rel("part", 0.001)
                 .join(("lineitem", "l_partkey"), ("part", "p_partkey"))
                 .build(),
@@ -204,8 +199,7 @@ pub fn query(catalog: &Catalog, number: u8) -> Query {
         ],
         // Q18: large volume customer + grouped HAVING subquery on lineitem.
         18 => vec![
-            b()
-                .rel("customer", 1.0)
+            b().rel("customer", 1.0)
                 .rel("orders", 1.0)
                 .rel("lineitem", 1.0)
                 .join(("customer", "c_custkey"), ("orders", "o_custkey"))
@@ -221,13 +215,11 @@ pub fn query(catalog: &Catalog, number: u8) -> Query {
             .build()],
         // Q20: potential part promotion; nested subqueries become blocks.
         20 => vec![
-            b()
-                .rel("supplier", 1.0)
+            b().rel("supplier", 1.0)
                 .rel("nation", 0.04)
                 .join(("supplier", "s_nationkey"), ("nation", "n_nationkey"))
                 .build(),
-            b()
-                .rel("partsupp", 1.0)
+            b().rel("partsupp", 1.0)
                 .rel("part", 0.011)
                 .join(("partsupp", "ps_partkey"), ("part", "p_partkey"))
                 .build(),
@@ -236,8 +228,7 @@ pub fn query(catalog: &Catalog, number: u8) -> Query {
         // Q21: suppliers who kept orders waiting; two EXISTS subqueries on
         // lineitem become singleton blocks.
         21 => vec![
-            b()
-                .rel("supplier", 0.04)
+            b().rel("supplier", 0.04)
                 .rel("lineitem", 0.5)
                 .rel("orders", 0.49)
                 .rel("nation", 0.04)
@@ -288,7 +279,9 @@ mod tests {
         for q in &queries {
             assert!(!q.blocks.is_empty(), "{} has no blocks", q.name);
             for block in &q.blocks {
-                block.validate(&cat).unwrap_or_else(|e| panic!("{}: {e}", q.name));
+                block
+                    .validate(&cat)
+                    .unwrap_or_else(|e| panic!("{}: {e}", q.name));
             }
         }
     }

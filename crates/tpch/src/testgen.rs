@@ -67,10 +67,7 @@ pub fn min_cost_vector(
             let model = CostModel::new(params, catalog, graph);
             let mut v = CostVector::zero();
             for o in objectives.iter() {
-                v.set(
-                    o,
-                    min_cost_for_objective(&model, o, &Deadline::unlimited()),
-                );
+                v.set(o, min_cost_for_objective(&model, o, &Deadline::unlimited()));
             }
             v
         })

@@ -18,10 +18,8 @@ fn main() {
     let params = CostModelParams::default();
     let model = CostModel::new(&params, &catalog, graph);
 
-    let objectives = ObjectiveSet::from_objectives(&[
-        Objective::TotalTime,
-        Objective::BufferFootprint,
-    ]);
+    let objectives =
+        ObjectiveSet::from_objectives(&[Objective::TotalTime, Objective::BufferFootprint]);
     let preference = Preference::over(objectives).weight(Objective::TotalTime, 1.0);
 
     println!("Approximate Pareto frontiers for TPC-H Q3 (time × buffer)\n");
@@ -46,7 +44,10 @@ fn main() {
         );
         for (time, buffer) in &points {
             let bar = "#".repeat(((buffer / 1024.0).log2().max(0.0) * 2.0) as usize);
-            println!("  time {time:>12.0}  buffer {:>10.0} KB  {bar}", buffer / 1024.0);
+            println!(
+                "  time {time:>12.0}  buffer {:>10.0} KB  {bar}",
+                buffer / 1024.0
+            );
         }
         println!();
     }

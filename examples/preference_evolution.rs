@@ -35,7 +35,11 @@ fn main() {
             .map(|op| op.to_string())
             .collect();
         let signature = ops.join(" → ");
-        let marker = if signature == last_signature { "" } else { "  ◀ plan changed" };
+        let marker = if signature == last_signature {
+            ""
+        } else {
+            "  ◀ plan changed"
+        };
         println!(
             "{:>12.0e}  {:>12.0}  {:>12.0}  {:>6.0}  {signature}{marker}",
             buffer_weight,

@@ -35,8 +35,10 @@ fn main() {
             .bound(Objective::TupleLoss, 0.0);
 
         let result = optimizer.optimize(&query, &preference, Algorithm::Ira { alpha: 1.5 });
-        println!("--- {label} | buffer ≤ {:.0} KB, cores ≤ {core_budget} ---",
-            buffer_budget / 1024.0);
+        println!(
+            "--- {label} | buffer ≤ {:.0} KB, cores ≤ {core_budget} ---",
+            buffer_budget / 1024.0
+        );
         println!(
             "time {:>10.0} | buffer {:>9.0} KB | cores {:>2.0} | disk {:>9.0} KB | feasible: {}",
             result.total_cost.get(Objective::TotalTime),
@@ -59,7 +61,10 @@ fn main() {
         );
         // Tighter budgets must never increase the buffer footprint.
         let buffer = result.total_cost.get(Objective::BufferFootprint);
-        assert!(buffer <= last_buffer + 1.0, "buffer must shrink under pressure");
+        assert!(
+            buffer <= last_buffer + 1.0,
+            "buffer must shrink under pressure"
+        );
         last_buffer = buffer;
     }
 

@@ -49,7 +49,6 @@
 
 #![warn(missing_docs)]
 
-pub use moqo_catalog as catalog_crate;
 pub use moqo_core as core;
 pub use moqo_cost as cost;
 pub use moqo_costmodel as costmodel;
@@ -62,11 +61,11 @@ pub mod catalog {
 
 /// TPC-H workload: catalog builder, the 22 queries, test-case generation.
 pub mod tpch {
+    pub use moqo_tpch::catalog;
     pub use moqo_tpch::queries::{all_queries, query, FIGURE_ORDER};
     pub use moqo_tpch::testgen::{
         bounded_test_case, min_cost_vector, weighted_test_case, TestCase,
     };
-    pub use moqo_tpch::catalog;
 }
 
 /// Everything needed for typical use.
@@ -75,9 +74,8 @@ pub mod prelude {
     pub use moqo_core::{
         exa, ira, rta, select_best, Algorithm, Deadline, OptimizationResult, Optimizer,
     };
-    pub use moqo_cost::{
-        Bounds, CostVector, Objective, ObjectiveSet, Preference, Weights,
-    };
+    pub use moqo_cost::dominance::{approx_dominates, dominates, strictly_dominates};
+    pub use moqo_cost::{Bounds, CostVector, Objective, ObjectiveSet, Preference, Weights};
     pub use moqo_costmodel::{CostModel, CostModelParams};
     pub use moqo_plan::{render_plan, JoinOp, PlanArena, PlanId, ScanOp, SortOrder};
 }

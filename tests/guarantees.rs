@@ -10,11 +10,7 @@ use rand::SeedableRng;
 /// Queries whose main block the EXA can optimize exhaustively in test time.
 const SMALL_QUERIES: [u8; 6] = [1, 12, 14, 3, 11, 10];
 
-fn exa_optimum(
-    catalog: &Catalog,
-    query: &moqo::catalog::Query,
-    pref: &Preference,
-) -> f64 {
+fn exa_optimum(catalog: &Catalog, query: &moqo::catalog::Query, pref: &Preference) -> f64 {
     let optimizer = Optimizer::new(catalog);
     optimizer
         .optimize(query, pref, Algorithm::Exhaustive)
@@ -56,13 +52,11 @@ fn ira_is_an_approximation_scheme_for_bounded_moqo() {
         let query = tpch::query(&catalog, qno);
         for seed in 0..4u64 {
             let mut rng = StdRng::seed_from_u64(seed * 7 + u64::from(qno));
-            let case =
-                tpch::bounded_test_case(&mut rng, &catalog, &params, &query, qno, 6, 3);
+            let case = tpch::bounded_test_case(&mut rng, &catalog, &params, &query, qno, 6, 3);
             let optimizer = Optimizer::new(&catalog);
             let exact = optimizer.optimize(&query, &case.preference, Algorithm::Exhaustive);
             for alpha in [1.15, 1.5, 2.0] {
-                let approx =
-                    optimizer.optimize(&query, &case.preference, Algorithm::Ira { alpha });
+                let approx = optimizer.optimize(&query, &case.preference, Algorithm::Ira { alpha });
                 if exact.respects_bounds {
                     assert!(
                         approx.respects_bounds,
@@ -103,8 +97,7 @@ fn rta_frontier_alpha_covers_exact_frontier() {
         let graph = &query.blocks[0];
         let model = CostModel::new(&params, &catalog, graph);
         let exact = moqo::core::exa(&model, &pref, &Deadline::unlimited());
-        let exact_vectors: Vec<CostVector> =
-            exact.final_plans.iter().map(|e| e.cost).collect();
+        let exact_vectors: Vec<CostVector> = exact.final_plans.iter().map(|e| e.cost).collect();
         for alpha in [1.25, 1.5, 2.0] {
             let approx = moqo::core::rta(&model, &pref, alpha, &Deadline::unlimited());
             let approx_vectors: Vec<CostVector> =
@@ -137,8 +130,7 @@ fn exa_matches_selinger_on_every_single_objective() {
     let graph = &query.blocks[0];
     let model = CostModel::new(&params, &catalog, graph);
     for objective in Objective::ALL {
-        let (best, _) =
-            moqo::core::selinger(&model, objective, &Deadline::unlimited());
+        let (best, _) = moqo::core::selinger(&model, objective, &Deadline::unlimited());
         let pref = Preference::minimize(objective);
         let exact = moqo::core::exa(&model, &pref, &Deadline::unlimited());
         let exa_best = moqo::core::select_best(&exact.final_plans, &pref).unwrap();

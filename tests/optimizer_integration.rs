@@ -93,7 +93,9 @@ fn timeout_degrades_gracefully_on_the_largest_query() {
     assert!(result.report.timed_out());
     assert!(result.weighted_cost.is_finite());
     assert_eq!(
-        result.block_plans[0].arena.leaf_count(result.block_plans[0].root),
+        result.block_plans[0]
+            .arena
+            .leaf_count(result.block_plans[0].root),
         8,
         "the quick-finish path must still deliver a full 8-way plan"
     );

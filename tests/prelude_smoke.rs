@@ -1,0 +1,77 @@
+//! Workspace smoke test: every `moqo::prelude` export must resolve and be
+//! usable. This pins the facade surface so a crate-level rename or a missed
+//! re-export fails here instead of in downstream code.
+
+use moqo::prelude::*;
+
+/// Touch every type exported by the prelude, in the way a user would.
+#[test]
+fn every_prelude_export_resolves() {
+    // moqo_cost exports.
+    let objectives = ObjectiveSet::from_objectives(&[Objective::TotalTime, Objective::Energy]);
+    let vector = CostVector::from_pairs(&[(Objective::TotalTime, 2.0), (Objective::Energy, 4.0)]);
+    let mut weights = Weights::zero();
+    weights.set(Objective::TotalTime, 1.0);
+    let bounds = Bounds::unbounded();
+    let preference = Preference::over(objectives).weight(Objective::Energy, 0.5);
+    assert!(preference.weighted_cost(&vector) > 0.0);
+    let _ = bounds;
+
+    // The dominance relations live in `moqo_cost::dominance` and are
+    // re-exported here.
+    assert!(dominates(&vector, &vector, objectives));
+    assert!(!strictly_dominates(&vector, &vector, objectives));
+    assert!(approx_dominates(&vector, &vector, 1.0, objectives));
+
+    // moqo_catalog exports.
+    let catalog: Catalog = moqo::tpch::catalog(0.01);
+    let query: Query = moqo::tpch::query(&catalog, 3);
+    let graph: &JoinGraph = &query.blocks[0];
+    assert!(graph.n_rels() >= 2);
+    let rebuilt: JoinGraph = JoinGraphBuilder::new(&catalog)
+        .rel("customer", 1.0)
+        .rel("orders", 1.0)
+        .join(("customer", "c_custkey"), ("orders", "o_custkey"))
+        .build();
+    assert_eq!(rebuilt.n_rels(), 2);
+
+    // moqo_costmodel exports.
+    let params = CostModelParams::default();
+    let model = CostModel::new(&params, &catalog, graph);
+
+    // moqo_core exports: the three algorithms, selection, deadlines, facade.
+    let deadline = Deadline::unlimited();
+    let pref = Preference::over(ObjectiveSet::from_objectives(&[
+        Objective::TotalTime,
+        Objective::BufferFootprint,
+    ]))
+    .weight(Objective::TotalTime, 1.0)
+    .weight(Objective::BufferFootprint, 1e-6);
+    let exact = exa(&model, &pref, &deadline);
+    let approx = rta(&model, &pref, 1.5, &deadline);
+    let refined = ira(&model, &pref, 1.5, &deadline);
+    assert!(!exact.final_plans.is_empty());
+    assert!(!approx.final_plans.is_empty());
+    assert!(!refined.result.final_plans.is_empty());
+    let best = select_best(&exact.final_plans, &pref).expect("exa finds a plan");
+
+    // moqo_plan exports: arena, operators, rendering.
+    let rendered = render_plan(&exact.arena, best.plan, graph, &catalog);
+    assert!(rendered.contains("Scan"), "rendered plan: {rendered}");
+    let _: &PlanArena = &exact.arena;
+    let _: PlanId = best.plan;
+    let _ = ScanOp::SeqScan;
+    let _ = JoinOp::HashJoin { dop: 1 };
+    let _ = SortOrder::None;
+
+    // The optimizer facade with every algorithm variant.
+    let optimizer = Optimizer::new(&catalog);
+    for algorithm in [
+        Algorithm::Exhaustive,
+        Algorithm::Rta { alpha: 1.5 },
+        Algorithm::Ira { alpha: 1.5 },
+    ] {
+        let result: OptimizationResult = optimizer.optimize(&query, &pref, algorithm);
+        assert!(result.weighted_cost.is_finite());
+    }
+}

@@ -1,0 +1,40 @@
+//! Fixed-size array strategies (`prop::array`).
+
+use crate::strategy::Strategy;
+use rand::rngs::StdRng;
+
+/// Strategy for `[S::Value; N]` from one element strategy.
+#[derive(Debug, Clone)]
+pub struct UniformArray<S, const N: usize> {
+    element: S,
+}
+
+impl<S: Strategy, const N: usize> Strategy for UniformArray<S, N> {
+    type Value = [S::Value; N];
+
+    fn generate(&self, rng: &mut StdRng) -> Self::Value {
+        core::array::from_fn(|_| self.element.generate(rng))
+    }
+}
+
+macro_rules! uniform_fns {
+    ($($name:ident => $n:literal;)*) => {$(
+        /// Generates arrays of the given arity from one element strategy.
+        pub fn $name<S: Strategy>(element: S) -> UniformArray<S, $n> {
+            UniformArray { element }
+        }
+    )*};
+}
+
+uniform_fns! {
+    uniform1 => 1;
+    uniform2 => 2;
+    uniform3 => 3;
+    uniform4 => 4;
+    uniform5 => 5;
+    uniform6 => 6;
+    uniform7 => 7;
+    uniform8 => 8;
+    uniform9 => 9;
+    uniform10 => 10;
+}

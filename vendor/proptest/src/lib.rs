@@ -1,0 +1,122 @@
+//! Minimal, dependency-light subset of the `proptest` API.
+//!
+//! The workspace builds in offline environments where crates.io is
+//! unreachable, so the property-testing surface its tests actually use is
+//! vendored here:
+//!
+//! * the [`proptest!`] macro (with optional `#![proptest_config(...)]`),
+//! * the [`strategy::Strategy`] trait with `prop_map`,
+//! * range strategies (`0.0f64..1.0`, `1u16..=9`, ...), tuple strategies,
+//!   [`array::uniform8`]/[`array::uniform9`], [`collection::vec`],
+//! * [`arbitrary::any`] for primitives,
+//! * [`prop_assert!`] / [`prop_assert_eq!`].
+//!
+//! Unlike the real crate there is **no shrinking**: a failing case panics
+//! immediately. Cases are generated from a deterministic per-test seed
+//! (derived from the test name, overridable via `PROPTEST_SEED`), so
+//! failures are reproducible; set `PROPTEST_CASES` to change the case count.
+
+#![warn(missing_docs)]
+
+pub mod arbitrary;
+pub mod array;
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+#[doc(hidden)]
+pub mod __rt {
+    //! Macro runtime support; not part of the public API.
+    pub use rand::rngs::StdRng;
+    pub use rand::SeedableRng;
+}
+
+/// Everything the `proptest!` macro and typical property tests need.
+pub mod prelude {
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+
+    /// Namespace mirror of the real crate's `prop::` module tree.
+    pub mod prop {
+        pub use crate::array;
+        pub use crate::collection;
+    }
+}
+
+/// Defines property tests: each `fn name(arg in strategy, ...) { body }`
+/// item expands to a `#[test]` function that runs the body over `cases`
+/// generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { cfg = ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! {
+            cfg = ($crate::test_runner::ProptestConfig::default()); $($rest)*
+        }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (cfg = ($cfg:expr);) => {};
+    (cfg = ($cfg:expr);
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $cfg;
+            let cases = config.effective_cases();
+            let seed = $crate::test_runner::seed_for(stringify!($name));
+            let mut rng =
+                <$crate::__rt::StdRng as $crate::__rt::SeedableRng>::seed_from_u64(seed);
+            // Bind each strategy once; the per-case `let` below shadows the
+            // binding with the generated value for the body's scope only.
+            $(let $arg = $strat;)+
+            for case in 0..cases {
+                let ($($arg,)+) = (
+                    $($crate::strategy::Strategy::generate(&$arg, &mut rng),)+
+                );
+                let outcome = ::std::panic::catch_unwind(
+                    ::std::panic::AssertUnwindSafe(move || { $body }),
+                );
+                if let Err(payload) = outcome {
+                    eprintln!(
+                        "proptest case {}/{} failed for `{}` (seed {seed}); \
+                         rerun with PROPTEST_SEED={seed}",
+                        case + 1,
+                        cases,
+                        stringify!($name),
+                    );
+                    ::std::panic::resume_unwind(payload);
+                }
+            }
+        }
+        $crate::__proptest_items! { cfg = ($cfg); $($rest)* }
+    };
+}
+
+/// Boolean assertion inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Equality assertion inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Inequality assertion inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}

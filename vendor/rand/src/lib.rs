@@ -1,0 +1,236 @@
+//! Minimal, dependency-free subset of the `rand` 0.8 API.
+//!
+//! The workspace builds in offline environments where crates.io is
+//! unreachable, so the small surface it actually uses is vendored here:
+//!
+//! * [`rngs::StdRng`] — a seedable, reproducible generator (xoshiro256**),
+//! * [`Rng::gen_range`] over half-open and inclusive numeric ranges,
+//! * [`SeedableRng::seed_from_u64`],
+//! * [`seq::SliceRandom::shuffle`] (Fisher–Yates).
+//!
+//! The streams differ from the real `rand` crate (which uses ChaCha12 for
+//! `StdRng`), but every consumer in this workspace only relies on
+//! *determinism per seed*, not on a specific stream.
+
+#![warn(missing_docs)]
+
+pub mod rngs;
+pub mod seq;
+
+/// A random number generator: the low-level word source.
+pub trait RngCore {
+    /// Returns the next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Returns the next 32 uniformly random bits.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// User-level random value generation, implemented for every [`RngCore`].
+pub trait Rng: RngCore {
+    /// Samples a value uniformly from `range` (`a..b` or `a..=b`).
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: SampleRange<T>,
+        Self: Sized,
+    {
+        range.sample_single(self)
+    }
+}
+
+impl<R: RngCore> Rng for R {}
+
+/// A generator that can be instantiated from a `u64` seed.
+pub trait SeedableRng: Sized {
+    /// Creates a generator whose stream is a pure function of `state`.
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// A range that can produce a uniform sample; the glue behind
+/// [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    /// Draws one uniform sample from the range.
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+/// `next_u64` mapped to the unit interval `[0, 1)` with 53 bits of precision.
+#[inline]
+fn unit_f64<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+    (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+macro_rules! float_range_impls {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for core::ops::Range<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "gen_range on empty range");
+                // Rounding (f64→f32 narrowing, or `start + span * u` for
+                // 1-ulp spans) can land exactly on the excluded upper bound;
+                // resample in that (≈2⁻²⁵ for f32) case.
+                loop {
+                    let u = unit_f64(rng) as $t;
+                    let x = self.start + (self.end - self.start) * u;
+                    if x < self.end {
+                        return x;
+                    }
+                }
+            }
+        }
+        impl SampleRange<$t> for core::ops::RangeInclusive<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "gen_range on empty range");
+                // Map 53 random bits onto [0, 1] inclusively.
+                let max = ((1u64 << 53) - 1) as f64;
+                let u = ((rng.next_u64() >> 11) as f64 / max) as $t;
+                lo + (hi - lo) * u
+            }
+        }
+    )*};
+}
+float_range_impls!(f32, f64);
+
+/// Uniform integer in `[0, span)` without modulo bias (Lemire reduction).
+#[inline]
+pub(crate) fn bounded_u64<R: RngCore + ?Sized>(rng: &mut R, span: u64) -> u64 {
+    debug_assert!(span > 0);
+    ((u128::from(rng.next_u64()) * u128::from(span)) >> 64) as u64
+}
+
+macro_rules! int_range_impls {
+    ($(($t:ty, $u:ty)),*) => {$(
+        impl SampleRange<$t> for core::ops::Range<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "gen_range on empty range");
+                // Cast the span through the unsigned same-width type: for
+                // signed $t, `end - start` can exceed $t::MAX, and a direct
+                // `as u64` would sign-extend the wrapped value.
+                let span = self.end.wrapping_sub(self.start) as $u as u64;
+                self.start.wrapping_add(bounded_u64(rng, span) as $t)
+            }
+        }
+        impl SampleRange<$t> for core::ops::RangeInclusive<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "gen_range on empty range");
+                let span = hi.wrapping_sub(lo) as $u as u64;
+                if span >= <$u>::MAX as u64 {
+                    return lo.wrapping_add(rng.next_u64() as $t);
+                }
+                lo.wrapping_add(bounded_u64(rng, span + 1) as $t)
+            }
+        }
+    )*};
+}
+int_range_impls!(
+    (u8, u8),
+    (u16, u16),
+    (u32, u32),
+    (u64, u64),
+    (usize, usize),
+    (i8, u8),
+    (i16, u16),
+    (i32, u32),
+    (i64, u64),
+    (isize, usize)
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rngs::StdRng;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..64 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(2);
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn float_ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..10_000 {
+            let x: f64 = rng.gen_range(2.0..5.0);
+            assert!((2.0..5.0).contains(&x));
+            let y: f64 = rng.gen_range(0.0..=1.0);
+            assert!((0.0..=1.0).contains(&y));
+        }
+    }
+
+    #[test]
+    fn int_ranges_stay_in_bounds_and_cover() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut seen = [false; 5];
+        for _ in 0..1_000 {
+            let v: usize = rng.gen_range(0usize..5);
+            seen[v] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+        for _ in 0..1_000 {
+            let v: u16 = rng.gen_range(1u16..=3);
+            assert!((1..=3).contains(&v));
+        }
+    }
+
+    #[test]
+    fn signed_narrow_ranges_stay_in_bounds() {
+        // Regression: spans exceeding the signed type's max used to
+        // sign-extend and produce out-of-range values.
+        let mut rng = StdRng::seed_from_u64(6);
+        for _ in 0..10_000 {
+            let v: i8 = rng.gen_range(-100i8..100);
+            assert!((-100..100).contains(&v), "out of range: {v}");
+            let w: i32 = rng.gen_range(-2_000_000_000i32..=2_000_000_000);
+            assert!((-2_000_000_000..=2_000_000_000).contains(&w));
+        }
+        let mut hit_low = false;
+        let mut hit_high = false;
+        for _ in 0..10_000 {
+            let v: i8 = rng.gen_range(i8::MIN..=i8::MAX);
+            hit_low |= v < -64;
+            hit_high |= v > 64;
+        }
+        assert!(hit_low && hit_high, "full-range sampling looks non-uniform");
+    }
+
+    #[test]
+    fn f32_half_open_range_excludes_upper_bound() {
+        // Regression: f64→f32 narrowing used to round onto the excluded
+        // upper bound roughly every 2^25 draws.
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..200_000 {
+            let x: f32 = rng.gen_range(0.0f32..1.0);
+            assert!(x < 1.0, "upper bound returned: {x}");
+        }
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        use crate::seq::SliceRandom;
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut v: Vec<u32> = (0..50).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(v, (0..50).collect::<Vec<_>>(), "50 elements should move");
+    }
+}

@@ -1,0 +1,44 @@
+//! Sequence-related random operations.
+
+use crate::RngCore;
+
+/// Extension trait providing random slice operations.
+pub trait SliceRandom {
+    /// The element type.
+    type Item;
+
+    /// Shuffles the slice in place (Fisher–Yates).
+    fn shuffle<R>(&mut self, rng: &mut R)
+    where
+        R: RngCore + ?Sized;
+
+    /// Returns a uniformly chosen element, or `None` if the slice is empty.
+    fn choose<R>(&self, rng: &mut R) -> Option<&Self::Item>
+    where
+        R: RngCore + ?Sized;
+}
+
+impl<T> SliceRandom for [T] {
+    type Item = T;
+
+    fn shuffle<R>(&mut self, rng: &mut R)
+    where
+        R: RngCore + ?Sized,
+    {
+        for i in (1..self.len()).rev() {
+            let j = crate::bounded_u64(rng, i as u64 + 1) as usize;
+            self.swap(i, j);
+        }
+    }
+
+    fn choose<R>(&self, rng: &mut R) -> Option<&T>
+    where
+        R: RngCore + ?Sized,
+    {
+        if self.is_empty() {
+            None
+        } else {
+            Some(&self[crate::bounded_u64(rng, self.len() as u64) as usize])
+        }
+    }
+}
