@@ -1,0 +1,113 @@
+//! RMQ versus EXA: optimization-time comparison on chain join graphs, plus
+//! a front-quality report (coverage of the exact frontier via approximate
+//! dominance) printed once per run.
+//!
+//! The randomized optimizer's per-sample cost is roughly linear in the
+//! number of tables, while the exact algorithm's grows factorially — the
+//! crossover is the whole point of the comparison.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use moqo_core::{exa, rmq, Deadline, RmqConfig};
+use moqo_cost::{pareto_front, CostVector, Objective, ObjectiveSet, Preference};
+use moqo_costmodel::{CostModel, CostModelParams};
+
+fn preference() -> Preference {
+    Preference::over(ObjectiveSet::empty())
+        .weight(Objective::TotalTime, 1.0)
+        .weight(Objective::BufferFootprint, 1e-6)
+}
+
+fn params() -> CostModelParams {
+    // Sampling off so the exact front is a sound quality oracle (see the
+    // fig9 fidelity note).
+    CostModelParams {
+        enable_sampling: false,
+        ..CostModelParams::default()
+    }
+}
+
+fn bench_rmq_vs_exa(c: &mut Criterion) {
+    let catalog = moqo_tpch::catalog(0.01);
+    let params = params();
+    let preference = preference();
+
+    let mut group = c.benchmark_group("rmq_vs_exa");
+    group.sample_size(10);
+
+    for &n in &[8usize, 12, 16, 20] {
+        let graph = moqo_tpch::large_join_graph(&catalog, n);
+        group.bench_with_input(
+            BenchmarkId::new("rmq_1000_samples", n),
+            &graph,
+            |b, graph| {
+                let model = CostModel::new(&params, &catalog, graph);
+                b.iter(|| {
+                    rmq(
+                        &model,
+                        &preference,
+                        &RmqConfig::new(1000, 42),
+                        &Deadline::unlimited(),
+                    )
+                    .final_plans
+                    .len()
+                })
+            },
+        );
+    }
+    // The exact algorithm only at the sizes it still terminates on.
+    for &n in &[6usize, 8] {
+        let graph = moqo_tpch::large_join_graph(&catalog, n);
+        group.bench_with_input(BenchmarkId::new("exa", n), &graph, |b, graph| {
+            let model = CostModel::new(&params, &catalog, graph);
+            b.iter(|| {
+                exa(&model, &preference, &Deadline::unlimited())
+                    .final_plans
+                    .len()
+            })
+        });
+    }
+    group.finish();
+
+    // Quality report (not timed): how well does the RMQ front cover the
+    // exact frontier on the 8-table chain?
+    let graph = moqo_tpch::large_join_graph(&catalog, 8);
+    let model = CostModel::new(&params, &catalog, &graph);
+    let exact = exa(&model, &preference, &Deadline::unlimited());
+    let exact_vectors: Vec<CostVector> = exact.final_plans.iter().map(|e| e.cost).collect();
+    let frontier = pareto_front::pareto_frontier(&exact_vectors, preference.objectives);
+    for samples in [250u64, 1000, 4000] {
+        let out = rmq(
+            &model,
+            &preference,
+            &RmqConfig::new(samples, 42),
+            &Deadline::unlimited(),
+        );
+        let rmq_vectors: Vec<CostVector> = out.final_plans.iter().map(|e| e.cost).collect();
+        let alpha =
+            pareto_front::approximation_factor(&rmq_vectors, &exact_vectors, preference.objectives)
+                .unwrap_or(f64::INFINITY);
+        let covered = frontier
+            .iter()
+            .filter(|c_star| {
+                rmq_vectors.iter().any(|c| {
+                    moqo_cost::dominance::approx_dominates(c, c_star, 1.05, preference.objectives)
+                })
+            })
+            .count();
+        println!(
+            "quality (8-table chain, {samples} samples): front {} vs exact {} — \
+             coverage@1.05 {:.1}%, achieved α {}",
+            rmq_vectors.len(),
+            frontier.len(),
+            100.0 * covered as f64 / frontier.len().max(1) as f64,
+            if alpha.is_finite() {
+                format!("{alpha:.4}")
+            } else {
+                "inf".to_owned()
+            }
+        );
+    }
+}
+
+criterion_group!(benches, bench_rmq_vs_exa);
+criterion_main!(benches);

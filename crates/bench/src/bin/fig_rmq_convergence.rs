@@ -1,0 +1,186 @@
+//! RMQ convergence: anytime behaviour of the randomized optimizer on
+//! TPC-H-style chain join graphs of 8–20 tables — the workload class the
+//! dynamic-programming schemes cannot reach (Figure 7 puts the EXA beyond
+//! 10⁴⁵ operations at n = 10).
+//!
+//! Per graph size the binary traces the incumbent Pareto front over the
+//! iteration budget: front size, best weighted cost, and — for the sizes
+//! where the exact algorithm still terminates — coverage of the exact
+//! Pareto frontier (fraction of exact-frontier vectors 1.05-dominated by an
+//! incumbent) plus the achieved approximation factor α.
+//!
+//! Environment knobs: the shared harness variables `MOQO_SF` (TPC-H scale
+//! factor), `MOQO_SEED` and `MOQO_TIMEOUT_MS` (EXA reference timeout)
+//! apply, plus:
+//!
+//! | variable | default | meaning |
+//! |----------|---------|---------|
+//! | `MOQO_RMQ_SAMPLES` | 4000 | RMQ iteration budget per graph |
+//! | `MOQO_RMQ_TABLES` | 8,12,16,20 | comma-separated chain sizes |
+//! | `MOQO_RMQ_EXA_LIMIT` | 8 | largest size the EXA reference runs at |
+
+use std::time::Instant;
+
+use moqo_bench::{HarnessConfig, Table};
+use moqo_core::{exa, rmq, Deadline, RmqConfig};
+use moqo_cost::{pareto_front, CostVector, Objective, ObjectiveSet, Preference};
+use moqo_costmodel::{CostModel, CostModelParams};
+
+fn env_u64(key: &str, default: u64) -> u64 {
+    std::env::var(key)
+        .ok()
+        .and_then(|s| s.trim().parse().ok())
+        .unwrap_or(default)
+}
+
+fn env_sizes() -> Vec<usize> {
+    std::env::var("MOQO_RMQ_TABLES")
+        .ok()
+        .map(|s| {
+            s.split(',')
+                .filter_map(|t| t.trim().parse().ok())
+                .filter(|n| (2..=24).contains(n))
+                .collect::<Vec<usize>>()
+        })
+        .filter(|v| !v.is_empty())
+        .unwrap_or_else(|| vec![8, 12, 16, 20])
+}
+
+fn main() {
+    let harness = HarnessConfig::from_env();
+    let samples = env_u64("MOQO_RMQ_SAMPLES", 4000);
+    let seed = harness.seed;
+    let exa_limit = env_u64("MOQO_RMQ_EXA_LIMIT", 8) as usize;
+    let exa_timeout = harness.timeout;
+    let sizes = env_sizes();
+
+    let catalog = moqo_tpch::catalog(harness.scale_factor);
+    // Sampling off: the exact front is then a sound coverage oracle (cost
+    // vectors fully determine downstream costs; see the fig9 fidelity note).
+    let params = CostModelParams {
+        enable_sampling: false,
+        ..CostModelParams::default()
+    };
+    let preference = Preference::over(ObjectiveSet::empty())
+        .weight(Objective::TotalTime, 1.0)
+        .weight(Objective::BufferFootprint, 1e-6);
+
+    println!(
+        "RMQ convergence on chain join graphs [SF={} samples={samples} seed={seed} \
+         sizes={sizes:?} EXA reference ≤ {exa_limit} tables, timeout {:?}]",
+        harness.scale_factor, exa_timeout
+    );
+    println!();
+
+    for &n in &sizes {
+        let graph = moqo_tpch::large_join_graph(&catalog, n);
+        let model = CostModel::new(&params, &catalog, &graph);
+
+        // Exact reference front, where feasible.
+        let exact_front: Option<Vec<CostVector>> = if n <= exa_limit {
+            let started = Instant::now();
+            let result = exa(&model, &preference, &Deadline::new(Some(exa_timeout)));
+            let vectors: Vec<CostVector> = result.final_plans.iter().map(|e| e.cost).collect();
+            let frontier = pareto_front::pareto_frontier(&vectors, preference.objectives);
+            println!(
+                "chain of {n}: EXA reference front has {} vectors \
+                 ({} stored plans peak, {:.0} ms{})",
+                frontier.len(),
+                result.stats.peak_stored_plans,
+                started.elapsed().as_secs_f64() * 1e3,
+                if result.stats.timed_out {
+                    ", TIMED OUT — coverage is vs the partial front"
+                } else {
+                    ""
+                }
+            );
+            Some(frontier)
+        } else {
+            println!("chain of {n}: EXA reference skipped (beyond {exa_limit} tables)");
+            None
+        };
+
+        let config = RmqConfig {
+            record_fronts: true,
+            convergence_stride: (samples / 16).max(1),
+            ..RmqConfig::new(samples, seed)
+        };
+        let started = Instant::now();
+        let out = rmq(&model, &preference, &config, &Deadline::unlimited());
+        let elapsed_ms = started.elapsed().as_secs_f64() * 1e3;
+
+        let mut table = Table::new(&[
+            "iteration",
+            "front_size",
+            "best_weighted",
+            "coverage_pct",
+            "achieved_alpha",
+        ]);
+        for point in &out.convergence {
+            let (coverage, alpha) = match &exact_front {
+                Some(frontier) if !frontier.is_empty() => {
+                    let covered = frontier
+                        .iter()
+                        .filter(|c_star| {
+                            point.front.iter().any(|c| {
+                                moqo_cost::dominance::approx_dominates(
+                                    c,
+                                    c_star,
+                                    1.05,
+                                    preference.objectives,
+                                )
+                            })
+                        })
+                        .count();
+                    let alpha = pareto_front::approximation_factor(
+                        &point.front,
+                        frontier,
+                        preference.objectives,
+                    )
+                    .unwrap_or(f64::INFINITY);
+                    (
+                        format!("{:.1}", 100.0 * covered as f64 / frontier.len() as f64),
+                        if alpha.is_finite() {
+                            format!("{alpha:.4}")
+                        } else {
+                            "inf".to_owned()
+                        },
+                    )
+                }
+                _ => ("-".to_owned(), "-".to_owned()),
+            };
+            table.row(vec![
+                point.iteration.to_string(),
+                point.front_size.to_string(),
+                format!("{:.3}", point.best_weighted),
+                coverage,
+                alpha,
+            ]);
+        }
+        println!(
+            "chain of {n}: {} candidates sampled in {elapsed_ms:.0} ms, \
+             final front {} plans",
+            out.stats.considered_plans,
+            out.final_plans.len()
+        );
+        println!("{}", table.render());
+        println!("CSV:");
+        println!("{}", table.render_csv());
+
+        // Anytime sanity: the best weighted cost never worsens along the
+        // trace, and the final point reflects the returned front.
+        let mut prev = f64::INFINITY;
+        for point in &out.convergence {
+            assert!(
+                point.best_weighted <= prev + 1e-9,
+                "incumbent quality must be monotone, {prev} then {}",
+                point.best_weighted
+            );
+            prev = point.best_weighted;
+        }
+        assert_eq!(
+            out.convergence.last().map(|p| p.front_size),
+            Some(out.final_plans.len())
+        );
+    }
+}

@@ -299,7 +299,7 @@ pub fn find_pareto_plans(
 
 /// Scan operator configurations for one relation: sequential scan, index
 /// scans on every indexed column, and the five sampling rates.
-fn scan_configurations(model: &CostModel<'_>, rel: usize) -> Vec<ScanOp> {
+pub(crate) fn scan_configurations(model: &CostModel<'_>, rel: usize) -> Vec<ScanOp> {
     let table = model.catalog.table(model.graph.rels[rel].table);
     let mut ops = vec![ScanOp::SeqScan];
     for (ordinal, col) in table.columns.iter().enumerate() {
@@ -356,7 +356,7 @@ fn enumerate_splits(
 
 /// The equi-join predicate for a split: the first edge crossing the two
 /// sides, normalized so the left fields refer to the `m1` (outer) side.
-fn join_key(model: &CostModel<'_>, m1: RelMask, m2: RelMask) -> Option<JoinKey> {
+pub(crate) fn join_key(model: &CostModel<'_>, m1: RelMask, m2: RelMask) -> Option<JoinKey> {
     let edge = model.graph.edges.iter().find(|e| e.crosses(m1, m2))?;
     let left_in_m1 = m1 & (1u32 << edge.left_rel) != 0;
     let (left_rel, left_col, right_rel, right_col) = if left_in_m1 {

@@ -18,6 +18,11 @@
 //!   condition certifies an `α_U`-approximate plan (Theorem 6).
 //! * [`selinger`] — the classical single-objective Selinger baseline (bushy
 //!   variant), realized as the exact algorithm over a single objective.
+//! * [`rmq`] — the **anytime randomized optimizer** (following Trummer &
+//!   Koch's randomized follow-up, arXiv:1603.00400): samples join trees and
+//!   improves them by local transformations, scaling to join graphs far
+//!   beyond the reach of the dynamic-programming schemes — without a formal
+//!   `α_U` guarantee.
 //!
 //! The shared dynamic-programming skeleton lives in [`dp`]; the pruning
 //! structure implementing Algorithms 1/2's `Prune` in [`pareto`]; plan
@@ -31,6 +36,7 @@
 pub mod complexity;
 pub mod dp;
 pub mod pareto;
+pub mod rmq;
 pub mod select;
 
 mod budget;
@@ -44,7 +50,8 @@ pub use budget::Deadline;
 pub use dp::{find_pareto_plans, DpConfig, DpResult, DpStats, PlanEntry, TreeShape};
 pub use exa_rta::{exa, rta, rta_internal_precision};
 pub use ira::{ira, ira_precision_schedule, IraResult};
-pub use metrics::{BlockReport, OptimizationReport};
+pub use metrics::{BlockReport, ConvergencePoint, OptimizationReport};
 pub use optimizer::{combine_block_costs, Algorithm, BlockPlan, OptimizationResult, Optimizer};
+pub use rmq::{cost_tree, rmq, RmqConfig, RmqResult};
 pub use select::select_best;
 pub use soqo::{min_cost_for_objective, selinger};

@@ -1,9 +1,28 @@
 //! Optimization reports: the metrics the paper's evaluation plots
-//! (optimization time, memory, Pareto-plan counts, iterations, timeouts).
+//! (optimization time, memory, Pareto-plan counts, iterations, timeouts),
+//! plus the per-iteration convergence trace of the randomized optimizer.
 
 use std::time::Duration;
 
+use moqo_cost::CostVector;
+
 use crate::dp::DpStats;
+
+/// One sampled point of an anytime optimizer's convergence trace: the state
+/// of the incumbent Pareto front after `iteration` samples.
+#[derive(Debug, Clone, Default)]
+pub struct ConvergencePoint {
+    /// Number of candidate plans sampled so far.
+    pub iteration: u64,
+    /// Size of the incumbent Pareto front.
+    pub front_size: usize,
+    /// Weighted cost of the best incumbent under the run's preference
+    /// (bound-respecting plans first, per `SelectBest`).
+    pub best_weighted: f64,
+    /// Snapshot of the incumbent front's cost vectors; populated only when
+    /// the run records fronts (`RmqConfig::record_fronts`), otherwise empty.
+    pub front: Vec<CostVector>,
+}
 
 /// Metrics for optimizing one query block.
 #[derive(Debug, Clone, Default)]
@@ -20,10 +39,10 @@ pub struct BlockReport {
     pub max_group_size: usize,
     /// Plans constructed and offered to `Prune`.
     pub considered_plans: u64,
-    /// IRA iterations executed (1 for EXA/RTA).
+    /// IRA iterations executed (1 for EXA/RTA, sampled candidates for RMQ).
     pub iterations: u32,
     /// Final per-iteration precision used (IRA), or the configured internal
-    /// precision (RTA), or 1.0 (EXA).
+    /// precision (RTA), or 1.0 (EXA), or NaN (RMQ — no guarantee).
     pub alpha_final: f64,
 }
 

@@ -17,6 +17,7 @@ use crate::exa_rta::{exa, rta};
 use crate::ira::ira;
 use crate::metrics::{BlockReport, OptimizationReport};
 use crate::pareto::PlanEntry;
+use crate::rmq::{rmq, RmqConfig};
 use crate::select::select_best;
 
 /// The optimization algorithm to run.
@@ -34,6 +35,16 @@ pub enum Algorithm {
     Ira {
         /// User precision `α_U ≥ 1`.
         alpha: f64,
+    },
+    /// The anytime randomized optimizer: no formal guarantee, but scales to
+    /// join graphs far beyond the dynamic-programming schemes. Fully
+    /// deterministic per seed. The per-block iteration budget combines with
+    /// [`Optimizer::with_timeout`] (whichever stops first).
+    Rmq {
+        /// Iteration budget (sampled candidate plans) per query block.
+        samples: u64,
+        /// RNG seed.
+        seed: u64,
     },
 }
 
@@ -222,6 +233,28 @@ impl<'a> Optimizer<'a> {
                         frontier: final_plans.iter().map(|e| e.cost).collect(),
                     });
                 }
+                Algorithm::Rmq { samples, seed } => {
+                    let out = rmq(
+                        &model,
+                        preference,
+                        &RmqConfig::new(samples, seed),
+                        &deadline,
+                    );
+                    let chosen = select_best(&out.final_plans, preference)
+                        .expect("RMQ returns at least one plan");
+                    best = chosen;
+                    final_plans = out.final_plans;
+                    stats = out.stats;
+                    iterations = u32::try_from(out.iterations).unwrap_or(u32::MAX);
+                    // Randomized search carries no precision guarantee.
+                    alpha_final = f64::NAN;
+                    block_plans.push(BlockPlan {
+                        arena: out.arena,
+                        root: best.plan,
+                        cost: best.cost,
+                        frontier: final_plans.iter().map(|e| e.cost).collect(),
+                    });
+                }
             }
             block_costs.push(best.cost);
             reports.push(BlockReport::from_stats(
@@ -290,6 +323,10 @@ mod tests {
             Algorithm::Exhaustive,
             Algorithm::Rta { alpha: 1.5 },
             Algorithm::Ira { alpha: 1.5 },
+            Algorithm::Rmq {
+                samples: 200,
+                seed: 11,
+            },
         ] {
             let result = optimizer.optimize(&q, &p, algo);
             assert_eq!(result.block_plans.len(), 1);

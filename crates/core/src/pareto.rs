@@ -62,6 +62,13 @@ impl PruneStrategy {
 }
 
 /// An incrementally pruned plan set for one `(table set, order)` group.
+///
+/// Entries are kept sorted by the cost in the *first* selected objective.
+/// Dominance is monotone per dimension, so the sort order yields binary-search
+/// cutoffs for both `prune_insert` scans: only a prefix of the set can
+/// (approximately) dominate a new plan, and only a suffix can be dominated by
+/// it. The same set must always be probed with the same objective set (true
+/// for every dynamic-programming run, which fixes its objectives up front).
 #[derive(Debug, Clone, Default)]
 pub struct PlanSet {
     entries: Vec<PlanEntry>,
@@ -72,6 +79,34 @@ impl PlanSet {
     #[must_use]
     pub fn new() -> Self {
         PlanSet::default()
+    }
+
+    /// The rejection test of `prune_insert` alone: does some stored plan
+    /// (approximately) dominate `cost`? Lets callers that must allocate
+    /// per-candidate resources (e.g. arena nodes) skip doomed candidates
+    /// without mutating the set. A dominating plan needs `e ≤ α·key` in the
+    /// first objective, so the sorted order lets the scan stop at the first
+    /// entry beyond that cutoff.
+    #[must_use]
+    pub fn would_reject(
+        &self,
+        cost: &CostVector,
+        strategy: &PruneStrategy,
+        objectives: ObjectiveSet,
+    ) -> bool {
+        let first = objectives.iter().next();
+        let key_of = |e: &PlanEntry| first.map_or(0.0, |o| e.cost.get(o));
+        let alpha = strategy.alpha_internal;
+        let cutoff = alpha * first.map_or(0.0, |o| cost.get(o));
+        for e in &self.entries {
+            if key_of(e) > cutoff {
+                break;
+            }
+            if approx_dominates(&e.cost, cost, alpha, objectives) {
+                return true;
+            }
+        }
+        false
     }
 
     /// The `Prune(P, pN)` procedure. Returns `true` if the new plan was
@@ -86,24 +121,39 @@ impl PlanSet {
     ) -> bool {
         // "Check whether new plan useful": some stored plan (approximately)
         // dominates the new one?
-        let rejected = self
-            .entries
-            .iter()
-            .any(|e| approx_dominates(&e.cost, &entry.cost, strategy.alpha_internal, objectives));
-        if rejected {
+        if self.would_reject(&entry.cost, strategy, objectives) {
             return false;
         }
+        let first = objectives.iter().next();
+        let key_of = |e: &PlanEntry| first.map_or(0.0, |o| e.cost.get(o));
+        let key = key_of(&entry);
+        let alpha = strategy.alpha_internal;
+
         // "Delete dominated plans". Exact dominance unless the unsound
-        // ablation is requested.
-        if strategy.approx_deletion {
-            self.entries.retain(|e| {
-                !approx_dominates(&entry.cost, &e.cost, strategy.alpha_internal, objectives)
-            });
+        // ablation is requested. A deletable plan needs a first-objective
+        // cost of at least `key` (or `key/α` for the ablation), so only a
+        // sorted suffix qualifies; compact it in place, preserving order.
+        let delete_start = if strategy.approx_deletion {
+            self.entries.partition_point(|e| key_of(e) < key / alpha)
         } else {
-            self.entries
-                .retain(|e| !dominates(&entry.cost, &e.cost, objectives));
+            self.entries.partition_point(|e| key_of(e) < key)
+        };
+        let mut kept = delete_start;
+        for read in delete_start..self.entries.len() {
+            let doomed = if strategy.approx_deletion {
+                approx_dominates(&entry.cost, &self.entries[read].cost, alpha, objectives)
+            } else {
+                dominates(&entry.cost, &self.entries[read].cost, objectives)
+            };
+            if !doomed {
+                self.entries.swap(kept, read);
+                kept += 1;
+            }
         }
-        self.entries.push(entry);
+        self.entries.truncate(kept);
+
+        let pos = self.entries.partition_point(|e| key_of(e) <= key);
+        self.entries.insert(pos, entry);
         true
     }
 

@@ -1,0 +1,756 @@
+//! RMQ — the anytime **r**andomized **m**ulti-objective **q**uery optimizer.
+//!
+//! The deterministic schemes (EXA/RTA/IRA) enumerate the full table-subset
+//! lattice, which becomes infeasible beyond ~10 relations (paper Figure 7).
+//! Following the approach of Trummer & Koch's follow-up work on fast
+//! randomized multi-objective query optimization (arXiv:1603.00400), RMQ
+//! trades the formal `α_U` guarantee for scalability: it *samples* complete
+//! join trees and improves them by local plan transformations, maintaining
+//! the incumbent (approximate) Pareto front in a [`PlanSet`] at all times —
+//! an *anytime* algorithm that can be stopped after any iteration and still
+//! return the best front discovered so far.
+//!
+//! The search runs a small population of **walkers** — independent local
+//! searches over the join-tree transformation neighbourhood. Each walker
+//! descends its own random *scalarization* of the selected objectives
+//! (the first walkers take the unit directions, so every frontier extreme
+//! has a dedicated hunter; the rest take random mixtures, normalized by a
+//! reference cost so objectives of wildly different magnitude contribute
+//! comparably). One iteration advances one walker (round-robin) by either
+//!
+//! 1. **restarting** it on a fresh join tree sampled by a random walk over
+//!    the join graph: start from one component per base relation (random
+//!    scan operator), repeatedly join two random *connected* components
+//!    with a random applicable join operator (falling back to Cartesian
+//!    nested-loop products only when no connected pair remains — the same
+//!    Postgres heuristic the DP honours),
+//! 2. **jumping** it onto the front member that is best under the walker's
+//!    own scalarization (exploitation of the elite set), or
+//! 3. **mutating** its current tree with one random transformation — join
+//!    commutativity, join associativity (left/right rotation), a
+//!    join-operator swap, a scan-operator swap, or a coordinated rewrite
+//!    towards a pipelined index-nested-loop join — re-costing the result
+//!    bottom-up. The walker accepts the move when its scalarized cost does
+//!    not increase, plus half of the non-dominated tradeoff moves, so it
+//!    can cross valleys of its own scalarization while still converging
+//!    towards its corner of the tradeoff space.
+//!
+//! Every successfully costed candidate is offered to the front's
+//! `prune_insert`; the front never stores a dominated plan. All randomness
+//! flows from one seeded [`StdRng`], so runs are fully deterministic per
+//! seed. The iteration budget and the wall-clock [`Deadline`] jointly bound
+//! the run.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+use moqo_cost::{CostVector, Preference, Weights};
+use moqo_costmodel::CostModel;
+use moqo_plan::{JoinOp, JoinTree, PlanArena, PlanProps, ScanOp};
+
+use crate::budget::Deadline;
+use crate::dp::{join_key, scan_configurations, DpStats};
+use crate::metrics::ConvergencePoint;
+use crate::pareto::{PlanEntry, PlanSet, PruneStrategy};
+use crate::select::select_best;
+
+/// Configuration of one RMQ run.
+#[derive(Debug, Clone, Copy)]
+pub struct RmqConfig {
+    /// Iteration budget: total number of candidate plans to sample.
+    pub samples: u64,
+    /// RNG seed; equal seeds yield bit-identical runs.
+    pub seed: u64,
+    /// Number of concurrent local searches (round-robin). More walkers
+    /// cover more basins; fewer walkers descend deeper per budget.
+    pub walkers: usize,
+    /// Per-iteration probability of restarting the walker on a fresh random
+    /// join tree (exploration).
+    pub restart_probability: f64,
+    /// Per-iteration probability of jumping the walker onto the front
+    /// member that is best under the walker's own scalarization direction
+    /// (exploitation of the elite set).
+    pub elite_probability: f64,
+    /// Record one [`ConvergencePoint`] every `convergence_stride`
+    /// iterations; `0` picks a stride that yields ≈64 points.
+    pub convergence_stride: u64,
+    /// Store a snapshot of the front's cost vectors in every convergence
+    /// point (needed for offline coverage analysis; off by default because
+    /// snapshots are O(front) each).
+    pub record_fronts: bool,
+}
+
+impl RmqConfig {
+    /// A configuration with the default walker population and
+    /// exploration/exploitation balance.
+    #[must_use]
+    pub fn new(samples: u64, seed: u64) -> Self {
+        RmqConfig {
+            samples,
+            seed,
+            walkers: 6,
+            restart_probability: 0.05,
+            elite_probability: 0.1,
+            convergence_stride: 0,
+            record_fronts: false,
+        }
+    }
+
+    fn effective_stride(&self) -> u64 {
+        if self.convergence_stride > 0 {
+            self.convergence_stride
+        } else {
+            (self.samples / 64).max(1)
+        }
+    }
+}
+
+/// Result of one RMQ run on a single query block.
+#[derive(Debug)]
+pub struct RmqResult {
+    /// Arena owning every candidate plan generated during the run.
+    pub arena: PlanArena,
+    /// The incumbent Pareto front at stop time (sorted by the first
+    /// selected objective).
+    pub final_plans: Vec<PlanEntry>,
+    /// DP-style counters: `considered_plans` counts sampled candidates,
+    /// `stored_plans`/`peak_stored_plans` track the front.
+    pub stats: DpStats,
+    /// Convergence trace, one point per stride plus the final state.
+    pub convergence: Vec<ConvergencePoint>,
+    /// Iterations actually executed (may fall short of the budget on
+    /// deadline expiry).
+    pub iterations: u64,
+}
+
+/// Runs the anytime randomized optimizer on one query block.
+///
+/// Always returns at least one plan: the first sampled tree is constructed
+/// before the iteration loop and random tree construction cannot fail (a
+/// nested-loop join applies to every component pair).
+///
+/// # Panics
+///
+/// Panics if the preference selects no objectives or the block is empty.
+#[must_use]
+pub fn rmq(
+    model: &CostModel<'_>,
+    preference: &Preference,
+    config: &RmqConfig,
+    deadline: &Deadline,
+) -> RmqResult {
+    let n = model.graph.n_rels();
+    assert!(n >= 1, "query block must contain at least one relation");
+    assert!(
+        !preference.objectives.is_empty(),
+        "preference must select at least one objective"
+    );
+
+    let objectives = preference.objectives;
+    let strategy = PruneStrategy::exact();
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut arena = PlanArena::new();
+    let mut front = PlanSet::new();
+    let mut stats = DpStats::default();
+    let mut convergence = Vec::new();
+    let stride = config.effective_stride();
+
+    let offer = |tree: &JoinTree,
+                 cost: CostVector,
+                 props: PlanProps,
+                 arena: &mut PlanArena,
+                 front: &mut PlanSet,
+                 stats: &mut DpStats| {
+        stats.considered_plans += 1;
+        // Run the rejection test before allocating arena nodes: rejected
+        // candidates (the vast majority) then leave no garbage behind, so
+        // arena growth is bounded by *accepted* plans, not the budget.
+        if front.would_reject(&cost, &strategy, objectives) {
+            return false;
+        }
+        let plan = arena.insert_tree(tree);
+        let before = front.len();
+        let inserted = front.prune_insert(PlanEntry { cost, props, plan }, &strategy, objectives);
+        if inserted {
+            let deleted = before + 1 - front.len();
+            stats.stored_plans += 1;
+            stats.stored_plans -= deleted;
+            if stats.stored_plans > stats.peak_stored_plans {
+                stats.peak_stored_plans = stats.stored_plans;
+                stats.peak_memory_bytes =
+                    stats.peak_stored_plans * DpStats::bytes_per_stored_plan();
+            }
+            if front.len() > stats.max_group_size {
+                stats.max_group_size = front.len();
+            }
+        }
+        inserted
+    };
+
+    // Seed the walker population (and thereby the front), so the anytime
+    // contract (non-empty result) holds even for a zero-sample budget or an
+    // already-expired deadline.
+    let n_walkers = config.walkers.max(1);
+    let mut walkers: Vec<Walker> = Vec::with_capacity(n_walkers);
+    for i in 0..n_walkers {
+        let (tree, cost, props) =
+            sample_random_tree(model, &mut rng).expect("a nested-loop plan always exists");
+        offer(&tree, cost, props, &mut arena, &mut front, &mut stats);
+        // The first seeded cost normalizes the scalarizations: objectives
+        // of wildly different magnitudes then contribute comparably.
+        let reference = walkers.first().map_or(cost, |w: &Walker| w.reference);
+        let scal = walker_scalarization(i, objectives, &reference, &mut rng);
+        walkers.push(Walker {
+            state: Component { tree, cost, props },
+            scal,
+            reference,
+        });
+    }
+
+    let mut iterations = 0u64;
+    while iterations < config.samples {
+        if deadline.expired() {
+            stats.timed_out = true;
+            break;
+        }
+        let walker = &mut walkers[(iterations % n_walkers as u64) as usize];
+        iterations += 1;
+
+        let draw: f64 = rng.gen_range(0.0..1.0);
+        if draw < config.restart_probability {
+            // Exploration: restart this walker on a fresh random tree.
+            let (tree, cost, props) =
+                sample_random_tree(model, &mut rng).expect("a nested-loop plan always exists");
+            offer(&tree, cost, props, &mut arena, &mut front, &mut stats);
+            walker.state = Component { tree, cost, props };
+        } else if draw < config.restart_probability + config.elite_probability {
+            // Exploitation: jump onto the front member best under this
+            // walker's own scalarization direction.
+            let elite = front
+                .iter()
+                .min_by(|a, b| {
+                    walker
+                        .scal
+                        .weighted_cost(&a.cost)
+                        .partial_cmp(&walker.scal.weighted_cost(&b.cost))
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                })
+                .copied();
+            if let Some(elite) = elite {
+                walker.state = Component {
+                    tree: arena.extract_tree(elite.plan),
+                    cost: elite.cost,
+                    props: elite.props,
+                };
+            }
+            // A jump re-uses a stored plan; no candidate is sampled, so
+            // `considered_plans` is not incremented.
+        } else {
+            // Local move: one random transformation of the walker's tree.
+            match mutate_tree(model, &walker.state.tree, &mut rng) {
+                Some((tree, cost, props)) => {
+                    offer(&tree, cost, props, &mut arena, &mut front, &mut stats);
+                    // Accept when the walker's scalarized cost does not
+                    // increase (plateau moves keep the walk mobile); also
+                    // accept a fraction of non-dominated tradeoff moves so
+                    // the walk can cross valleys of its own scalarization.
+                    let old = walker.scal.weighted_cost(&walker.state.cost);
+                    let new = walker.scal.weighted_cost(&cost);
+                    let accept = new <= old
+                        || (!moqo_cost::dominance::strictly_dominates(
+                            &walker.state.cost,
+                            &cost,
+                            objectives,
+                        ) && rng.gen_range(0.0..1.0) < 0.5);
+                    if accept {
+                        walker.state = Component { tree, cost, props };
+                    }
+                }
+                None => {
+                    // Un-costable transformation; still one budget sample.
+                    stats.considered_plans += 1;
+                }
+            }
+        }
+
+        if iterations % stride == 0 {
+            convergence.push(trace_point(
+                iterations,
+                &front,
+                preference,
+                config.record_fronts,
+            ));
+        }
+    }
+
+    if convergence.last().is_none_or(|p| p.iteration != iterations) {
+        convergence.push(trace_point(
+            iterations,
+            &front,
+            preference,
+            config.record_fronts,
+        ));
+    }
+
+    stats.pareto_last_complete = front.len();
+    let final_plans: Vec<PlanEntry> = front.iter().copied().collect();
+    debug_assert!(!final_plans.is_empty());
+    RmqResult {
+        arena,
+        final_plans,
+        stats,
+        convergence,
+        iterations,
+    }
+}
+
+fn trace_point(
+    iteration: u64,
+    front: &PlanSet,
+    preference: &Preference,
+    record_front: bool,
+) -> ConvergencePoint {
+    let best_weighted = select_best(front.as_slice(), preference)
+        .map_or(f64::INFINITY, |e| preference.weighted_cost(&e.cost));
+    ConvergencePoint {
+        iteration,
+        front_size: front.len(),
+        best_weighted,
+        front: if record_front {
+            front.iter().map(|e| e.cost).collect()
+        } else {
+            Vec::new()
+        },
+    }
+}
+
+/// One in-flight component of the random walk: a subtree plus its cost and
+/// physical properties.
+struct Component {
+    tree: JoinTree,
+    cost: CostVector,
+    props: PlanProps,
+}
+
+/// One local search of the population: its current plan and the fixed
+/// scalarization direction it descends.
+struct Walker {
+    state: Component,
+    scal: Weights,
+    reference: CostVector,
+}
+
+/// The scalarization of walker `i`: walkers `0..l` take the unit directions
+/// of the `l` selected objectives (dedicated extreme hunters), later
+/// walkers take random mixtures. All directions are normalized by the
+/// reference cost so each objective contributes comparably.
+fn walker_scalarization(
+    i: usize,
+    objectives: moqo_cost::ObjectiveSet,
+    reference: &CostVector,
+    rng: &mut StdRng,
+) -> Weights {
+    let objs: Vec<_> = objectives.iter().collect();
+    let mut w = Weights::zero();
+    for (k, &o) in objs.iter().enumerate() {
+        let lambda = if i < objs.len() {
+            f64::from(u8::from(k == i))
+        } else {
+            rng.gen_range(0.05..1.0)
+        };
+        let scale = reference.get(o).max(1e-9);
+        w.set(o, lambda / scale);
+    }
+    w
+}
+
+/// Samples a complete random join tree by the random-walk construction and
+/// costs it on the way up. Returns `None` only if some relation admits no
+/// scan at all (impossible for well-formed catalogs).
+fn sample_random_tree(
+    model: &CostModel<'_>,
+    rng: &mut StdRng,
+) -> Option<(JoinTree, CostVector, PlanProps)> {
+    let n = model.graph.n_rels();
+    let mut components: Vec<Component> = Vec::with_capacity(n);
+    for rel in 0..n {
+        let mut ops = scan_configurations(model, rel);
+        ops.shuffle(rng);
+        let (op, cost, props) = ops
+            .into_iter()
+            .find_map(|op| model.scan_cost(rel, op).map(|(c, p)| (op, c, p)))?;
+        components.push(Component {
+            tree: JoinTree::scan(rel, op),
+            cost,
+            props,
+        });
+    }
+
+    while components.len() > 1 {
+        // Candidate pairs: connected ones if any exist (the Cartesian
+        // heuristic), otherwise every pair.
+        let mut pairs: Vec<(usize, usize)> = Vec::new();
+        for i in 0..components.len() {
+            for j in 0..components.len() {
+                if i != j
+                    && model
+                        .graph
+                        .connects(components[i].props.rels, components[j].props.rels)
+                {
+                    pairs.push((i, j));
+                }
+            }
+        }
+        if pairs.is_empty() {
+            for i in 0..components.len() {
+                for j in 0..components.len() {
+                    if i != j {
+                        pairs.push((i, j));
+                    }
+                }
+            }
+        }
+        pairs.shuffle(rng);
+
+        let mut joined = None;
+        'pairs: for (i, j) in pairs {
+            let mut ops = JoinOp::all_configurations();
+            ops.shuffle(rng);
+            for op in ops {
+                if let Some((cost, props)) = cost_join(model, op, &components[i], &components[j]) {
+                    joined = Some((i, j, op, cost, props));
+                    break 'pairs;
+                }
+            }
+        }
+        let (i, j, op, cost, props) = joined?;
+        let (first, second) = (i.min(j), i.max(j));
+        let right = components.swap_remove(second);
+        let left = components.swap_remove(first);
+        let (left, right) = if first == i {
+            (left, right)
+        } else {
+            (right, left)
+        };
+        components.push(Component {
+            tree: JoinTree::join(op, left.tree, right.tree),
+            cost,
+            props,
+        });
+    }
+
+    let c = components.pop()?;
+    Some((c.tree, c.cost, c.props))
+}
+
+/// Applies one random local transformation to a copy of `base` and re-costs
+/// it. Returns `None` when the transformed tree cannot be costed
+/// (inapplicable operator after the rewrite) or no transformation applied.
+fn mutate_tree(
+    model: &CostModel<'_>,
+    base: &JoinTree,
+    rng: &mut StdRng,
+) -> Option<(JoinTree, CostVector, PlanProps)> {
+    let mut tree = base.clone();
+    let n_joins = tree.n_joins();
+    let n_leaves = tree.n_leaves();
+
+    // Try a handful of transformation draws: structural rewrites can be
+    // inapplicable at the drawn position (e.g. rotating over a leaf).
+    let mut transformed = false;
+    for _ in 0..4 {
+        let choice = rng.gen_range(0u32..6);
+        transformed = match choice {
+            0 if n_joins > 0 => tree.commute(rng.gen_range(0..n_joins)),
+            1 if n_joins > 0 => tree.rotate_right(rng.gen_range(0..n_joins)),
+            2 if n_joins > 0 => tree.rotate_left(rng.gen_range(0..n_joins)),
+            3 if n_joins > 0 => {
+                let ops = JoinOp::all_configurations();
+                tree.set_join_op(rng.gen_range(0..n_joins), *ops.as_slice().choose(rng)?)
+            }
+            4 => {
+                let leaf = rng.gen_range(0..n_leaves);
+                let (rel, current) = tree.scan_at(leaf)?;
+                let ops = scan_configurations(model, rel);
+                let new_op = *ops.as_slice().choose(rng)?;
+                // Re-drawing the current operator would re-cost an
+                // identical tree; treat it as a failed draw instead.
+                new_op != current && tree.set_scan_op(leaf, new_op).is_some()
+            }
+            5 if n_joins > 0 => {
+                // Coordinated rewrite towards a pipelined index-nested-loop
+                // join: pick a join whose inner child is a leaf, switch the
+                // leaf to the join key's canonical index scan and the join
+                // to IdxNL in one step (the swaps rarely pay off applied
+                // separately).
+                let k = rng.gen_range(0..n_joins);
+                match tree.join_at(k) {
+                    Some(JoinTree::Join { left, right, .. }) => {
+                        if let JoinTree::Scan { rel, .. } = &**right {
+                            match join_key(model, left.rel_mask(), 1u32 << rel) {
+                                Some(key) if key.inner_indexed => {
+                                    tree.make_index_nl(k, key.right_col)
+                                }
+                                _ => false,
+                            }
+                        } else {
+                            false
+                        }
+                    }
+                    _ => false,
+                }
+            }
+            _ => false,
+        };
+        if transformed {
+            break;
+        }
+    }
+    if !transformed {
+        return None;
+    }
+    let (cost, props) = cost_tree(model, &tree)?;
+    Some((tree, cost, props))
+}
+
+/// Costs an owned join tree bottom-up. Returns `None` when any operator in
+/// the tree is inapplicable (e.g. an index scan on an unindexed column or a
+/// hash join over a predicate-free split).
+#[must_use]
+pub fn cost_tree(model: &CostModel<'_>, tree: &JoinTree) -> Option<(CostVector, PlanProps)> {
+    match tree {
+        JoinTree::Scan { rel, op } => model.scan_cost(*rel, *op),
+        JoinTree::Join { op, left, right } => {
+            let (lc, lp) = cost_tree(model, left)?;
+            let (rc, rp) = cost_tree(model, right)?;
+            let key = join_key(model, lp.rels, rp.rels);
+            let right_canonical = match (&**right, key.as_ref()) {
+                (
+                    JoinTree::Scan {
+                        rel,
+                        op: ScanOp::IndexScan { column },
+                    },
+                    Some(k),
+                ) => *rel == k.right_rel && *column == k.right_col,
+                _ => false,
+            };
+            model.join_cost(*op, (&lc, &lp), (&rc, &rp), key.as_ref(), right_canonical)
+        }
+    }
+}
+
+fn cost_join(
+    model: &CostModel<'_>,
+    op: JoinOp,
+    left: &Component,
+    right: &Component,
+) -> Option<(CostVector, PlanProps)> {
+    let key = join_key(model, left.props.rels, right.props.rels);
+    let right_canonical = match (&right.tree, key.as_ref()) {
+        (
+            JoinTree::Scan {
+                rel,
+                op: ScanOp::IndexScan { column },
+            },
+            Some(k),
+        ) => *rel == k.right_rel && *column == k.right_col,
+        _ => false,
+    };
+    model.join_cost(
+        op,
+        (&left.cost, &left.props),
+        (&right.cost, &right.props),
+        key.as_ref(),
+        right_canonical,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use moqo_catalog::{Catalog, ColumnStats, JoinGraph, JoinGraphBuilder, TableStats};
+    use moqo_cost::{Objective, ObjectiveSet};
+    use moqo_costmodel::CostModelParams;
+
+    fn setup3() -> (CostModelParams, Catalog, JoinGraph) {
+        let params = CostModelParams::default();
+        let mut cat = Catalog::new();
+        cat.add_table(
+            TableStats::new("customer", 15_000.0, 179.0)
+                .with_column(ColumnStats::new("c_custkey", 15_000.0).indexed()),
+        );
+        cat.add_table(
+            TableStats::new("orders", 150_000.0, 121.0)
+                .with_column(ColumnStats::new("o_orderkey", 150_000.0).indexed())
+                .with_column(ColumnStats::new("o_custkey", 15_000.0).indexed()),
+        );
+        cat.add_table(
+            TableStats::new("lineitem", 600_000.0, 129.0)
+                .with_column(ColumnStats::new("l_orderkey", 150_000.0).indexed()),
+        );
+        let graph = JoinGraphBuilder::new(&cat)
+            .rel("customer", 0.2)
+            .rel("orders", 0.5)
+            .rel("lineitem", 0.6)
+            .join(("customer", "c_custkey"), ("orders", "o_custkey"))
+            .join(("orders", "o_orderkey"), ("lineitem", "l_orderkey"))
+            .build();
+        (params, cat, graph)
+    }
+
+    fn pref() -> Preference {
+        Preference::over(ObjectiveSet::from_objectives(&[
+            Objective::TotalTime,
+            Objective::BufferFootprint,
+        ]))
+        .weight(Objective::TotalTime, 1.0)
+        .weight(Objective::BufferFootprint, 1e-6)
+    }
+
+    #[test]
+    fn rmq_returns_full_plans_and_traces_convergence() {
+        let (p, cat, g) = setup3();
+        let model = CostModel::new(&p, &cat, &g);
+        let out = rmq(
+            &model,
+            &pref(),
+            &RmqConfig::new(200, 7),
+            &Deadline::unlimited(),
+        );
+        assert!(!out.final_plans.is_empty());
+        for e in &out.final_plans {
+            assert_eq!(e.props.rels, g.full_mask());
+            assert_eq!(out.arena.leaf_count(e.plan), 3);
+        }
+        assert_eq!(out.iterations, 200);
+        // Elite jumps re-use stored plans and are not counted as sampled
+        // candidates, so the counter trails the iteration count slightly.
+        assert!(out.stats.considered_plans >= 150);
+        assert!(out.stats.considered_plans <= 200 + 6);
+        assert!(!out.convergence.is_empty());
+        assert_eq!(out.convergence.last().unwrap().iteration, 200);
+        // Front sizes in the trace never exceed the peak.
+        for pt in &out.convergence {
+            assert!(pt.front_size <= out.stats.peak_stored_plans);
+            assert!(pt.best_weighted.is_finite());
+        }
+    }
+
+    #[test]
+    fn rmq_is_deterministic_per_seed() {
+        let (p, cat, g) = setup3();
+        let model = CostModel::new(&p, &cat, &g);
+        let cfg = RmqConfig::new(300, 42);
+        let a = rmq(&model, &pref(), &cfg, &Deadline::unlimited());
+        let b = rmq(&model, &pref(), &cfg, &Deadline::unlimited());
+        let av: Vec<CostVector> = a.final_plans.iter().map(|e| e.cost).collect();
+        let bv: Vec<CostVector> = b.final_plans.iter().map(|e| e.cost).collect();
+        assert_eq!(av, bv, "same seed must reproduce the same front");
+        assert_eq!(a.stats.considered_plans, b.stats.considered_plans);
+    }
+
+    #[test]
+    fn rmq_front_is_an_antichain() {
+        let (p, cat, g) = setup3();
+        let model = CostModel::new(&p, &cat, &g);
+        let preference = pref();
+        let out = rmq(
+            &model,
+            &preference,
+            &RmqConfig::new(500, 3),
+            &Deadline::unlimited(),
+        );
+        let vectors: Vec<CostVector> = out.final_plans.iter().map(|e| e.cost).collect();
+        for (i, a) in vectors.iter().enumerate() {
+            for (j, b) in vectors.iter().enumerate() {
+                if i != j {
+                    assert!(
+                        !moqo_cost::dominance::strictly_dominates(a, b, preference.objectives),
+                        "front must be an antichain"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn rmq_zero_budget_still_returns_a_plan() {
+        let (p, cat, g) = setup3();
+        let model = CostModel::new(&p, &cat, &g);
+        let out = rmq(
+            &model,
+            &pref(),
+            &RmqConfig::new(0, 1),
+            &Deadline::unlimited(),
+        );
+        assert_eq!(out.final_plans.len(), out.stats.pareto_last_complete);
+        assert!(!out.final_plans.is_empty());
+        assert_eq!(out.iterations, 0);
+    }
+
+    #[test]
+    fn rmq_respects_deadline() {
+        let (p, cat, g) = setup3();
+        let model = CostModel::new(&p, &cat, &g);
+        let out = rmq(
+            &model,
+            &pref(),
+            &RmqConfig::new(u64::MAX, 5),
+            &Deadline::new(Some(std::time::Duration::from_millis(20))),
+        );
+        assert!(out.stats.timed_out);
+        assert!(!out.final_plans.is_empty());
+        assert!(out.iterations < u64::MAX);
+    }
+
+    #[test]
+    fn rmq_single_relation_block() {
+        let params = CostModelParams::default();
+        let mut cat = Catalog::new();
+        cat.add_table(
+            TableStats::new("t", 1000.0, 100.0)
+                .with_column(ColumnStats::new("id", 1000.0).indexed()),
+        );
+        let graph = JoinGraphBuilder::new(&cat).rel("t", 1.0).build();
+        let model = CostModel::new(&params, &cat, &graph);
+        let out = rmq(
+            &model,
+            &pref(),
+            &RmqConfig::new(50, 9),
+            &Deadline::unlimited(),
+        );
+        assert!(!out.final_plans.is_empty());
+        for e in &out.final_plans {
+            assert_eq!(e.props.rels, 0b1);
+        }
+    }
+
+    #[test]
+    fn cost_tree_matches_direct_costing() {
+        let (p, cat, g) = setup3();
+        let model = CostModel::new(&p, &cat, &g);
+        // Build (customer ⋈ orders) ⋈ lineitem with hash joins and compare
+        // against the incremental costs the walk would produce.
+        let tree = JoinTree::join(
+            JoinOp::HashJoin { dop: 1 },
+            JoinTree::join(
+                JoinOp::HashJoin { dop: 1 },
+                JoinTree::scan(0, ScanOp::SeqScan),
+                JoinTree::scan(1, ScanOp::SeqScan),
+            ),
+            JoinTree::scan(2, ScanOp::SeqScan),
+        );
+        let (cost, props) = cost_tree(&model, &tree).expect("hash joins apply on join edges");
+        assert_eq!(props.rels, 0b111);
+        assert!(cost.get(Objective::TotalTime) > 0.0);
+        // An index-nested-loop join over a non-canonical inner child must
+        // fail to cost.
+        let bad = JoinTree::join(
+            JoinOp::IndexNestedLoop,
+            JoinTree::scan(0, ScanOp::SeqScan),
+            JoinTree::scan(1, ScanOp::SeqScan),
+        );
+        assert!(cost_tree(&model, &bad).is_none());
+    }
+}

@@ -1,0 +1,178 @@
+//! Property tests for `PlanSet::prune_insert` (the `Prune` procedure of
+//! Algorithms 1 and 2), checked against the oracle frontier utilities of
+//! `moqo_cost::pareto_front`:
+//!
+//! 1. the stored set is always an antichain under strict dominance,
+//! 2. under exact pruning the surviving cost-vector set equals the true
+//!    Pareto frontier of everything inserted — hence insertion order never
+//!    changes it,
+//! 3. under approximate pruning every vector ever offered stays
+//!    α-dominated by some survivor (the invariant behind Lemma 2 /
+//!    Theorem 3's base case).
+
+use moqo_core::pareto::{PlanEntry, PlanSet, PruneStrategy};
+use moqo_cost::{pareto_front, CostVector, Objective, ObjectiveSet};
+use moqo_plan::{PlanId, PlanProps, SortOrder};
+use proptest::prelude::*;
+
+fn objs3() -> ObjectiveSet {
+    ObjectiveSet::from_objectives(&[
+        Objective::TotalTime,
+        Objective::BufferFootprint,
+        Objective::IoLoad,
+    ])
+}
+
+fn entry(t: f64, b: f64, io: f64, id: u32) -> PlanEntry {
+    PlanEntry {
+        cost: CostVector::from_pairs(&[
+            (Objective::TotalTime, t),
+            (Objective::BufferFootprint, b),
+            (Objective::IoLoad, io),
+        ]),
+        props: PlanProps {
+            rels: 1,
+            rows: 1.0,
+            width: 1.0,
+            order: SortOrder::None,
+            sampling_factor: 1.0,
+        },
+        plan: PlanId(id),
+    }
+}
+
+fn insert_all(entries: &[PlanEntry], strategy: &PruneStrategy) -> PlanSet {
+    let mut set = PlanSet::new();
+    for e in entries {
+        set.prune_insert(*e, strategy, objs3());
+    }
+    set
+}
+
+/// Projects the stored vectors to sortable triples for set comparison.
+fn surviving_vectors(set: &PlanSet) -> Vec<(f64, f64, f64)> {
+    let mut v: Vec<(f64, f64, f64)> = set
+        .iter()
+        .map(|e| {
+            (
+                e.cost.get(Objective::TotalTime),
+                e.cost.get(Objective::BufferFootprint),
+                e.cost.get(Objective::IoLoad),
+            )
+        })
+        .collect();
+    v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    v.dedup();
+    v
+}
+
+fn arb_points() -> impl Strategy<Value = Vec<(f64, f64, f64)>> {
+    prop::collection::vec((0.1f64..100.0, 0.1f64..100.0, 0.1f64..100.0), 1..=48)
+}
+
+proptest! {
+    /// Exact pruning always leaves an antichain, and the surviving
+    /// cost-vector set is exactly the Pareto frontier of every vector ever
+    /// offered — in particular it is invariant under insertion order.
+    #[test]
+    fn exact_prune_matches_oracle_frontier_in_any_order(
+        points in arb_points(),
+        rotation in 0usize..48,
+    ) {
+        let entries: Vec<PlanEntry> = points
+            .iter()
+            .enumerate()
+            .map(|(i, &(t, b, io))| entry(t, b, io, i as u32))
+            .collect();
+        let strategy = PruneStrategy::exact();
+
+        let in_order = insert_all(&entries, &strategy);
+        prop_assert!(in_order.is_antichain(objs3()));
+
+        // Oracle: frontier of the full vector list.
+        let all: Vec<CostVector> = entries.iter().map(|e| e.cost).collect();
+        let mut oracle: Vec<(f64, f64, f64)> =
+            pareto_front::pareto_frontier(&all, objs3())
+                .iter()
+                .map(|c| {
+                    (
+                        c.get(Objective::TotalTime),
+                        c.get(Objective::BufferFootprint),
+                        c.get(Objective::IoLoad),
+                    )
+                })
+                .collect();
+        oracle.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        prop_assert_eq!(surviving_vectors(&in_order), oracle.clone());
+
+        // Any permutation (here: rotation of the reversal) yields the same
+        // surviving cost-vector set.
+        let mut permuted = entries.clone();
+        permuted.reverse();
+        let pivot = rotation % permuted.len();
+        permuted.rotate_left(pivot);
+        let shuffled = insert_all(&permuted, &strategy);
+        prop_assert!(shuffled.is_antichain(objs3()));
+        prop_assert_eq!(surviving_vectors(&shuffled), oracle);
+    }
+
+    /// Approximate pruning keeps the α-dominance guarantee of Lemma 2:
+    /// every vector ever offered to the set is α-dominated by a survivor
+    /// (deletions stay exact, so coverage cannot drift).
+    #[test]
+    fn approximate_prune_preserves_alpha_coverage(
+        points in arb_points(),
+        alpha in 1.0f64..3.0,
+    ) {
+        let entries: Vec<PlanEntry> = points
+            .iter()
+            .enumerate()
+            .map(|(i, &(t, b, io))| entry(t, b, io, i as u32))
+            .collect();
+        let set = insert_all(&entries, &PruneStrategy::approximate(alpha));
+        prop_assert!(set.is_antichain(objs3()));
+
+        let all: Vec<CostVector> = entries.iter().map(|e| e.cost).collect();
+        let kept: Vec<CostVector> = set.iter().map(|e| e.cost).collect();
+        prop_assert!(kept.len() <= all.len());
+        prop_assert!(
+            pareto_front::is_approx_pareto_set(&kept, &all, alpha + 1e-9, objs3()),
+            "α = {} must cover every inserted vector",
+            alpha
+        );
+    }
+
+    /// Every plan the approximate strategy rejects would also be rejected
+    /// (or deleted later) under exact pruning of the same stream: an
+    /// approx-accepted plan is never exactly dominated by a *current*
+    /// approx-set member.
+    ///
+    /// (Note the set *cardinalities* are incomparable in general: an
+    /// α-rejected plan may fail to perform deletions the exact strategy
+    /// performs, so the approximate set can end up larger than the exact
+    /// one on adversarial streams.)
+    #[test]
+    fn approx_accept_implies_not_dominated(
+        points in arb_points(),
+        alpha in 1.0f64..3.0,
+    ) {
+        let entries: Vec<PlanEntry> = points
+            .iter()
+            .enumerate()
+            .map(|(i, &(t, b, io))| entry(t, b, io, i as u32))
+            .collect();
+        let mut set = PlanSet::new();
+        let strategy = PruneStrategy::approximate(alpha);
+        for e in &entries {
+            let inserted = set.prune_insert(*e, &strategy, objs3());
+            if inserted {
+                // The new plan must actually be in the set and no member
+                // may strictly dominate another (antichain at every step).
+                prop_assert!(set
+                    .iter()
+                    .any(|s| objs3().iter().all(|o| s.cost.get(o) == e.cost.get(o))));
+                prop_assert!(set.is_antichain(objs3()));
+            }
+        }
+    }
+}

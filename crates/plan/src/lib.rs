@@ -19,6 +19,10 @@
 //!   dynamic programming need per plan: estimated output rows, tuple width,
 //!   output [`SortOrder`] (Postgres path keys, coarse) and the cumulated
 //!   sampling factor.
+//!
+//! Randomized search works on owned [`JoinTree`]s extracted from the arena,
+//! transformed (commutativity, associativity, operator swaps) and
+//! re-inserted; see [`tree`].
 
 #![warn(missing_docs)]
 
@@ -26,8 +30,10 @@ mod arena;
 mod display;
 mod operator;
 mod props;
+pub mod tree;
 
 pub use arena::{PlanArena, PlanId, PlanNode};
 pub use display::render_plan;
 pub use operator::{JoinOp, ScanOp, MAX_DOP, SAMPLING_RATES_PCT};
 pub use props::{PlanProps, SortOrder};
+pub use tree::JoinTree;

@@ -260,6 +260,70 @@ pub fn all_queries(catalog: &Catalog) -> Vec<Query> {
     (1..=22).map(|n| query(catalog, n)).collect()
 }
 
+/// The key–foreign-key join cycle the large-query generator walks:
+/// `customer → orders → lineitem → supplier → nation → customer → …`.
+/// Each entry is `(table, column joining to the *next* entry's table,
+/// next entry's column, filter selectivity)`.
+const CHAIN_CYCLE: [(&str, &str, &str, f64); 5] = [
+    ("customer", "c_custkey", "o_custkey", 0.25),
+    ("orders", "o_orderkey", "l_orderkey", 0.5),
+    ("lineitem", "l_suppkey", "s_suppkey", 0.3),
+    ("supplier", "s_nationkey", "n_nationkey", 1.0),
+    ("nation", "n_nationkey", "c_nationkey", 0.4),
+];
+
+/// Builds a TPC-H-style chain join graph with `n_tables` relations —
+/// the large-query workload (8–20 tables) of the randomized optimizer's
+/// evaluation, far beyond the paper's biggest from-clause (Q8's 8 tables).
+///
+/// The chain walks the key–foreign-key cycle `customer → orders → lineitem
+/// → supplier → nation → customer → …`, aliasing each repetition
+/// (`customer_0`, `orders_1`, …), so every edge is a genuine TPC-H join
+/// predicate with System-R selectivity derived from the catalog. The graph
+/// is connected, deterministic, and validates against the TPC-H catalog.
+///
+/// # Panics
+///
+/// Panics if `n_tables` is outside `1..=24` (the dynamic-programming
+/// schemes support at most 24 relations, and comparisons need both sides).
+#[must_use]
+pub fn large_join_graph(catalog: &Catalog, n_tables: usize) -> JoinGraph {
+    assert!(
+        (1..=24).contains(&n_tables),
+        "large join graphs support 1..=24 tables, got {n_tables}"
+    );
+    let mut b = JoinGraphBuilder::new(catalog);
+    let mut aliases: Vec<String> = Vec::with_capacity(n_tables);
+    for i in 0..n_tables {
+        let (table, _, _, selectivity) = CHAIN_CYCLE[i % CHAIN_CYCLE.len()];
+        let alias = format!("{table}_{i}");
+        b = b.rel_aliased(table, &alias, selectivity);
+        aliases.push(alias);
+    }
+    for i in 0..n_tables.saturating_sub(1) {
+        let (_, left_col, right_col, _) = CHAIN_CYCLE[i % CHAIN_CYCLE.len()];
+        b = b.join(
+            (aliases[i].as_str(), left_col),
+            (aliases[i + 1].as_str(), right_col),
+        );
+    }
+    b.build()
+}
+
+/// [`large_join_graph`] wrapped as a single-block [`Query`] named
+/// `CHAIN<n>`.
+///
+/// # Panics
+///
+/// Panics if `n_tables` is outside `1..=24`.
+#[must_use]
+pub fn large_query(catalog: &Catalog, n_tables: usize) -> Query {
+    Query::single_block(
+        format!("CHAIN{n_tables}"),
+        large_join_graph(catalog, n_tables),
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -270,6 +334,34 @@ mod tests {
     const EXPECTED_MAX_TABLES: [usize; 22] = [
         1, 1, 1, 1, 2, 2, 2, 2, 2, 2, 2, 2, 3, 3, 3, 4, 4, 5, 6, 6, 6, 8,
     ];
+
+    #[test]
+    fn large_join_graphs_validate_and_connect() {
+        let cat = tpch::catalog(0.1);
+        for n in [1, 2, 8, 12, 16, 20, 24] {
+            let g = large_join_graph(&cat, n);
+            assert_eq!(g.n_rels(), n, "n = {n}");
+            g.validate(&cat).unwrap_or_else(|e| panic!("n = {n}: {e}"));
+            assert!(g.fully_connected(), "chain of {n} must be connected");
+            assert_eq!(g.edges.len(), n.saturating_sub(1));
+        }
+        let q = large_query(&cat, 20);
+        assert_eq!(q.name, "CHAIN20");
+        assert_eq!(q.max_block_size(), 20);
+    }
+
+    #[test]
+    fn large_join_graph_is_deterministic() {
+        let cat = tpch::catalog(1.0);
+        assert_eq!(large_join_graph(&cat, 13), large_join_graph(&cat, 13));
+    }
+
+    #[test]
+    #[should_panic(expected = "1..=24 tables")]
+    fn oversized_large_join_graph_rejected() {
+        let cat = tpch::catalog(1.0);
+        let _ = large_join_graph(&cat, 25);
+    }
 
     #[test]
     fn all_22_queries_build_and_validate() {

@@ -14,6 +14,7 @@
 //! | EXA | weighted + bounded MOQO | exact | §5 (Ganguly et al.) |
 //! | RTA | weighted MOQO | `α_U`-approximate | §6 |
 //! | IRA | bounded-weighted MOQO | `α_U`-approximate | §7 |
+//! | RMQ | any MOQO, large join graphs | anytime, no formal bound | follow-up (arXiv:1603.00400) |
 //!
 //! ## Quickstart
 //!
@@ -62,7 +63,7 @@ pub mod catalog {
 /// TPC-H workload: catalog builder, the 22 queries, test-case generation.
 pub mod tpch {
     pub use moqo_tpch::catalog;
-    pub use moqo_tpch::queries::{all_queries, query, FIGURE_ORDER};
+    pub use moqo_tpch::queries::{all_queries, large_join_graph, large_query, query, FIGURE_ORDER};
     pub use moqo_tpch::testgen::{
         bounded_test_case, min_cost_vector, weighted_test_case, TestCase,
     };
@@ -72,10 +73,11 @@ pub mod tpch {
 pub mod prelude {
     pub use moqo_catalog::{Catalog, JoinGraph, JoinGraphBuilder, Query};
     pub use moqo_core::{
-        exa, ira, rta, select_best, Algorithm, Deadline, OptimizationResult, Optimizer,
+        exa, ira, rmq, rta, select_best, Algorithm, ConvergencePoint, Deadline, OptimizationResult,
+        Optimizer, RmqConfig, RmqResult,
     };
     pub use moqo_cost::dominance::{approx_dominates, dominates, strictly_dominates};
     pub use moqo_cost::{Bounds, CostVector, Objective, ObjectiveSet, Preference, Weights};
     pub use moqo_costmodel::{CostModel, CostModelParams};
-    pub use moqo_plan::{render_plan, JoinOp, PlanArena, PlanId, ScanOp, SortOrder};
+    pub use moqo_plan::{render_plan, JoinOp, JoinTree, PlanArena, PlanId, ScanOp, SortOrder};
 }
