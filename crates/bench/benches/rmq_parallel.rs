@@ -1,0 +1,75 @@
+//! Parallel RMQ scaling: the same (samples, seed) run at 1/2/4 threads on
+//! 8- and 20-table chain join graphs. Walkers are fully independent, so
+//! speedup should track the thread count up to the walker count — and the
+//! front must not change at all, which the harness asserts once per run.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use moqo_core::{rmq, Deadline, RmqConfig};
+use moqo_cost::{CostVector, Objective, ObjectiveSet, Preference};
+use moqo_costmodel::{CostModel, CostModelParams};
+
+fn preference() -> Preference {
+    Preference::over(ObjectiveSet::empty())
+        .weight(Objective::TotalTime, 1.0)
+        .weight(Objective::BufferFootprint, 1e-6)
+}
+
+fn bench_rmq_parallel(c: &mut Criterion) {
+    let catalog = moqo_tpch::catalog(0.01);
+    let params = CostModelParams {
+        enable_sampling: false,
+        ..CostModelParams::default()
+    };
+    let preference = preference();
+
+    let mut group = c.benchmark_group("rmq_parallel");
+    group.sample_size(10);
+
+    for &n in &[8usize, 20] {
+        let graph = moqo_tpch::large_join_graph(&catalog, n);
+        let model = CostModel::new(&params, &catalog, &graph);
+        let samples = 20_000u64;
+
+        // Determinism check outside the timed region: all thread counts
+        // must reproduce the single-threaded front byte for byte.
+        let front_of = |threads: usize| -> Vec<CostVector> {
+            rmq(
+                &model,
+                &preference,
+                &RmqConfig::new(samples, 42).with_threads(threads),
+                &Deadline::unlimited(),
+            )
+            .final_plans
+            .iter()
+            .map(|e| e.cost)
+            .collect()
+        };
+        let reference = front_of(1);
+        for threads in [2usize, 4] {
+            assert_eq!(
+                front_of(threads),
+                reference,
+                "{n} tables: thread count must not change the front"
+            );
+        }
+
+        for &threads in &[1usize, 2, 4] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("rmq_20k_samples_{n}t"), threads),
+                &threads,
+                |b, &threads| {
+                    let config = RmqConfig::new(samples, 42).with_threads(threads);
+                    b.iter(|| {
+                        rmq(&model, &preference, &config, &Deadline::unlimited())
+                            .final_plans
+                            .len()
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_rmq_parallel);
+criterion_main!(benches);

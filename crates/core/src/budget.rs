@@ -78,6 +78,15 @@ impl Deadline {
     pub fn elapsed(&self) -> Duration {
         self.start.elapsed()
     }
+
+    /// The budget left on the clock right now: `None` for an unlimited
+    /// deadline, zero once expired. Worker threads cannot share a
+    /// [`Deadline`] (the amortization cells are intentionally not `Sync`),
+    /// so each derives its own from the remaining budget at spawn time.
+    #[must_use]
+    pub fn remaining(&self) -> Option<Duration> {
+        self.limit.map(|l| l.saturating_sub(self.start.elapsed()))
+    }
 }
 
 #[cfg(test)]
@@ -116,6 +125,16 @@ mod tests {
         for _ in 0..10_000 {
             assert!(!d.expired());
         }
+    }
+
+    #[test]
+    fn remaining_tracks_the_budget() {
+        assert_eq!(Deadline::unlimited().remaining(), None);
+        let d = Deadline::new(Some(Duration::from_secs(3600)));
+        let r = d.remaining().unwrap();
+        assert!(r <= Duration::from_secs(3600) && r > Duration::from_secs(3500));
+        let expired = Deadline::new(Some(Duration::ZERO));
+        assert_eq!(expired.remaining(), Some(Duration::ZERO));
     }
 
     #[test]

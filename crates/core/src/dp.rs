@@ -26,7 +26,7 @@
 //! remaining sets get a single plan assembled greedily from the
 //! best-weighted stored sub-plans.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 use moqo_catalog::RelMask;
 use moqo_cost::{ObjectiveSet, Weights};
@@ -143,9 +143,16 @@ pub struct DpResult {
 }
 
 /// Per-table-set state: one [`PlanSet`] per output order.
+///
+/// The order index is a `BTreeMap` so entry iteration (and with it the
+/// candidate stream of every superset, the flattened final front, and the
+/// stored sets under *approximate* pruning, which are insertion-order
+/// dependent) is deterministic; a `HashMap`'s per-instance seed made
+/// α > 1 runs irreproducible. Groups per table set are few, so the tree
+/// lookup is not measurable against the prune scans.
 #[derive(Debug, Default)]
 struct OrderGroups {
-    groups: HashMap<SortOrder, PlanSet>,
+    groups: BTreeMap<SortOrder, PlanSet>,
     completed: bool,
 }
 
@@ -206,16 +213,21 @@ pub fn find_pareto_plans(
         table.push(OrderGroups::default());
     }
 
+    let keys = JoinKeys::new(model);
+
     // Phase 1: access paths for single tables.
     for rel in 0..n {
         let mask = 1u32 << rel;
+        let target = &mut table[mask as usize];
         for op in scan_configurations(model, rel) {
             if let Some((cost, props)) = model.scan_cost(rel, op) {
                 stats.considered_plans += 1;
-                let plan = arena.scan(rel, op);
-                insert_entry(
-                    &mut table[mask as usize],
-                    PlanEntry { cost, props, plan },
+                offer_entry(
+                    target,
+                    cost,
+                    props,
+                    |a| a.scan(rel, op),
+                    &mut arena,
                     &strategy,
                     objectives,
                     config.group_by_order,
@@ -223,31 +235,29 @@ pub fn find_pareto_plans(
                 );
             }
         }
-        table[mask as usize].completed = true;
-        stats.pareto_last_complete = table[mask as usize].total_plans();
+        target.completed = true;
+        stats.pareto_last_complete = target.total_plans();
     }
 
     // Phase 2: table sets of increasing cardinality.
-    let masks_by_size = masks_grouped_by_cardinality(n);
-    'outer: for mask in masks_by_size {
+    'outer: for mask in masks_by_cardinality(n) {
         if deadline.expired() {
             stats.timed_out = true;
             break 'outer;
         }
         let splits = enumerate_splits(model, mask, config.tree_shape);
-        for (m1, m2) in splits {
-            let key = join_key(model, m1, m2);
-            // Split the borrow: read sides, write target.
-            let (left_entries, right_entries) = {
-                let l: Vec<PlanEntry> = table[m1 as usize].iter_entries().copied().collect();
-                let r: Vec<PlanEntry> = table[m2 as usize].iter_entries().copied().collect();
-                (l, r)
-            };
-            for left in &left_entries {
-                for right in &right_entries {
+        // Split the borrow: take the target group out of the table, so both
+        // sub-plan sides are read in place — no per-split clones of the two
+        // entry sets. `mask` is a strict superset of every split side, so
+        // the taken slot is never read below.
+        let mut target = std::mem::take(&mut table[mask as usize]);
+        'mask: for (m1, m2) in splits {
+            let key = keys.join_key(m1, m2);
+            for left in table[m1 as usize].iter_entries() {
+                for right in table[m2 as usize].iter_entries() {
                     if deadline.expired() {
                         stats.timed_out = true;
-                        break 'outer;
+                        break 'mask;
                     }
                     let right_canonical = is_canonical_index_scan(&arena, right, key.as_ref());
                     for op in JoinOp::all_configurations() {
@@ -262,10 +272,12 @@ pub fn find_pareto_plans(
                             continue;
                         };
                         stats.considered_plans += 1;
-                        let plan = arena.join(op, left.plan, right.plan);
-                        insert_entry(
-                            &mut table[mask as usize],
-                            PlanEntry { cost, props, plan },
+                        offer_entry(
+                            &mut target,
+                            cost,
+                            props,
+                            |a| a.join(op, left.plan, right.plan),
+                            &mut arena,
                             &strategy,
                             objectives,
                             config.group_by_order,
@@ -275,8 +287,13 @@ pub fn find_pareto_plans(
                 }
             }
         }
-        table[mask as usize].completed = true;
-        stats.pareto_last_complete = table[mask as usize].total_plans();
+        target.completed = !stats.timed_out;
+        let total = target.total_plans();
+        table[mask as usize] = target;
+        if stats.timed_out {
+            break 'outer;
+        }
+        stats.pareto_last_complete = total;
     }
 
     if stats.timed_out {
@@ -317,11 +334,117 @@ pub(crate) fn scan_configurations(model: &CostModel<'_>, rel: usize) -> Vec<Scan
     ops
 }
 
-/// All masks with 2..=n bits, grouped by increasing cardinality.
-fn masks_grouped_by_cardinality(n: usize) -> Vec<RelMask> {
-    let mut masks: Vec<RelMask> = (1..(1u32 << n)).filter(|m| m.count_ones() >= 2).collect();
-    masks.sort_by_key(|m| m.count_ones());
-    masks
+/// All masks with 2..=n bits, in increasing cardinality and ascending
+/// numeric order within each cardinality — the exact order the eager table
+/// produced (stable sort over an ascending range), but streamed: the eager
+/// variant materialized and sorted all `2^n` masks (16M entries at n = 24)
+/// and was built twice on every timed-out run.
+pub(crate) fn masks_by_cardinality(n: usize) -> impl Iterator<Item = RelMask> {
+    let n = u32::try_from(n).expect("query blocks are capped at 24 relations");
+    (2..=n).flat_map(move |k| GosperMasks::new(n, k))
+}
+
+/// Iterator over all `n`-bit masks with exactly `k` bits set, ascending
+/// (Gosper's hack: each step computes the next-larger integer with the same
+/// population count).
+struct GosperMasks {
+    next: Option<u32>,
+    /// Exclusive upper bound `1 << n`.
+    limit: u32,
+}
+
+impl GosperMasks {
+    fn new(n: u32, k: u32) -> Self {
+        debug_assert!(k >= 1 && k <= n && n < 32);
+        GosperMasks {
+            next: Some((1u32 << k) - 1),
+            limit: 1u32 << n,
+        }
+    }
+}
+
+impl Iterator for GosperMasks {
+    type Item = RelMask;
+
+    fn next(&mut self) -> Option<RelMask> {
+        let cur = self.next.take()?;
+        let c = cur & cur.wrapping_neg();
+        let r = cur.wrapping_add(c);
+        let succ = (((r ^ cur) >> 2) / c) | r;
+        if succ < self.limit {
+            self.next = Some(succ);
+        }
+        Some(cur)
+    }
+}
+
+/// Precomputed join-key lookup: one entry per join-graph edge, with the
+/// endpoint bit masks and both normalized key orientations (including the
+/// inner-index catalog probe) resolved once per run. The per-call
+/// [`join_key`] re-derived all of that for every split of every mask; here
+/// the crossing test is two AND ops per edge.
+pub(crate) struct JoinKeys {
+    edges: Vec<EdgeKeys>,
+}
+
+struct EdgeKeys {
+    left_mask: RelMask,
+    right_mask: RelMask,
+    /// Key orientation when the edge's left endpoint is on the outer side.
+    forward: JoinKey,
+    /// Key orientation when the edge's right endpoint is on the outer side.
+    reverse: JoinKey,
+}
+
+impl JoinKeys {
+    pub(crate) fn new(model: &CostModel<'_>) -> Self {
+        let indexed = |rel: usize, col: u16| {
+            model
+                .catalog
+                .table(model.graph.rels[rel].table)
+                .column(col)
+                .indexed
+        };
+        let edges = model
+            .graph
+            .edges
+            .iter()
+            .map(|e| EdgeKeys {
+                left_mask: 1u32 << e.left_rel,
+                right_mask: 1u32 << e.right_rel,
+                forward: JoinKey {
+                    left_rel: e.left_rel,
+                    left_col: e.left_col,
+                    right_rel: e.right_rel,
+                    right_col: e.right_col,
+                    inner_indexed: indexed(e.right_rel, e.right_col),
+                },
+                reverse: JoinKey {
+                    left_rel: e.right_rel,
+                    left_col: e.right_col,
+                    right_rel: e.left_rel,
+                    right_col: e.left_col,
+                    inner_indexed: indexed(e.left_rel, e.left_col),
+                },
+            })
+            .collect();
+        JoinKeys { edges }
+    }
+
+    /// The equi-join predicate for a split: the first edge crossing the two
+    /// sides, normalized so the left fields refer to the `m1` (outer) side.
+    /// Agrees with [`join_key`] on every input.
+    pub(crate) fn join_key(&self, m1: RelMask, m2: RelMask) -> Option<JoinKey> {
+        self.edges.iter().find_map(|e| {
+            if e.left_mask & m1 != 0 && e.right_mask & m2 != 0 {
+                Some(e.forward)
+            } else if e.right_mask & m1 != 0 && e.left_mask & m2 != 0 {
+                Some(e.reverse)
+            } else {
+                None
+            }
+        })
+    }
 }
 
 /// Ordered splits of `mask` into two non-empty disjoint subsets, honouring
@@ -354,30 +477,6 @@ fn enumerate_splits(
     }
 }
 
-/// The equi-join predicate for a split: the first edge crossing the two
-/// sides, normalized so the left fields refer to the `m1` (outer) side.
-pub(crate) fn join_key(model: &CostModel<'_>, m1: RelMask, m2: RelMask) -> Option<JoinKey> {
-    let edge = model.graph.edges.iter().find(|e| e.crosses(m1, m2))?;
-    let left_in_m1 = m1 & (1u32 << edge.left_rel) != 0;
-    let (left_rel, left_col, right_rel, right_col) = if left_in_m1 {
-        (edge.left_rel, edge.left_col, edge.right_rel, edge.right_col)
-    } else {
-        (edge.right_rel, edge.right_col, edge.left_rel, edge.left_col)
-    };
-    let inner_indexed = model
-        .catalog
-        .table(model.graph.rels[right_rel].table)
-        .column(right_col)
-        .indexed;
-    Some(JoinKey {
-        left_rel,
-        left_col,
-        right_rel,
-        right_col,
-        inner_indexed,
-    })
-}
-
 /// Whether `entry` is exactly the canonical index-scan plan on the join
 /// key's inner column (precondition of index-nested-loop joins).
 fn is_canonical_index_scan(arena: &PlanArena, entry: &PlanEntry, key: Option<&JoinKey>) -> bool {
@@ -394,7 +493,45 @@ fn is_canonical_index_scan(arena: &PlanArena, entry: &PlanEntry, key: Option<&Jo
     )
 }
 
-/// Inserts an entry into the right order group, maintaining statistics.
+/// Offers a costed candidate to the right order group, building its arena
+/// node only when it survives the rejection probe. The vast majority of
+/// considered plans are dominated on arrival, so probing before allocating
+/// keeps arena growth bounded by *accepted* plans rather than the full
+/// candidate stream (the caller has already counted the candidate in
+/// `considered_plans`; rejected candidates never touched the stored set, so
+/// every statistic is unchanged against the allocate-then-prune loop).
+#[allow(clippy::too_many_arguments)]
+fn offer_entry(
+    groups: &mut OrderGroups,
+    cost: moqo_cost::CostVector,
+    props: moqo_plan::PlanProps,
+    build_plan: impl FnOnce(&mut PlanArena) -> moqo_plan::PlanId,
+    arena: &mut PlanArena,
+    strategy: &PruneStrategy,
+    objectives: ObjectiveSet,
+    group_by_order: bool,
+    stats: &mut DpStats,
+) {
+    let order_key = if group_by_order {
+        props.order
+    } else {
+        SortOrder::None
+    };
+    let set = groups.groups.entry(order_key).or_default();
+    if set.would_reject(&cost, strategy, objectives) {
+        return;
+    }
+    let plan = build_plan(arena);
+    let deleted = set.insert_unrejected(PlanEntry { cost, props, plan }, strategy, objectives);
+    stats.on_stored_delta(true, deleted);
+    if set.len() > stats.max_group_size {
+        stats.max_group_size = set.len();
+    }
+}
+
+/// Inserts a pre-built entry into the right order group, maintaining
+/// statistics (quick-finish path: the plan node already exists because only
+/// the weighted-best candidate per table set is ever materialized).
 fn insert_entry(
     groups: &mut OrderGroups,
     entry: PlanEntry,
@@ -433,20 +570,29 @@ fn quick_finish(
     stats: &mut DpStats,
 ) {
     let n = model.graph.n_rels();
-    for mask in masks_grouped_by_cardinality(n) {
+    let keys = JoinKeys::new(model);
+    // A table set's best-weighted entry requires a full scan over all of its
+    // order groups, and the old loop recomputed it for both sides of every
+    // split. Sets probed here are always in their final state (the quick
+    // pass walks masks in cardinality order, completing each before any
+    // superset probes it), so one memoized scan per mask suffices.
+    let mut best_cache: HashMap<RelMask, Option<PlanEntry>> = HashMap::new();
+    for mask in masks_by_cardinality(n) {
         if table[mask as usize].completed {
             continue;
         }
         let splits = enumerate_splits(model, mask, TreeShape::Bushy);
         let mut best: Option<PlanEntry> = None;
         for (m1, m2) in splits {
-            let (Some(left), Some(right)) = (
-                table[m1 as usize].best_weighted(weights),
-                table[m2 as usize].best_weighted(weights),
-            ) else {
+            let mut cached_best = |m: RelMask| {
+                *best_cache
+                    .entry(m)
+                    .or_insert_with(|| table[m as usize].best_weighted(weights))
+            };
+            let (Some(left), Some(right)) = (cached_best(m1), cached_best(m2)) else {
                 continue;
             };
-            let key = join_key(model, m1, m2);
+            let key = keys.join_key(m1, m2);
             let right_canonical = is_canonical_index_scan(arena, &right, key.as_ref());
             for op in JoinOp::all_configurations() {
                 let Some((cost, props)) = model.join_cost(
@@ -660,6 +806,63 @@ mod tests {
             result.stats.peak_memory_bytes,
             result.stats.peak_stored_plans * DpStats::bytes_per_stored_plan()
         );
+    }
+
+    #[test]
+    fn gosper_matches_eager_enumeration() {
+        for n in 1..=12usize {
+            let mut eager: Vec<RelMask> =
+                (1..(1u32 << n)).filter(|m| m.count_ones() >= 2).collect();
+            eager.sort_by_key(|m| m.count_ones());
+            let streamed: Vec<RelMask> = masks_by_cardinality(n).collect();
+            assert_eq!(streamed, eager, "n = {n}: order must match the seed");
+        }
+    }
+
+    #[test]
+    fn join_keys_agree_with_linear_scan() {
+        let (p, cat, g) = setup3();
+        let model = CostModel::new(&p, &cat, &g);
+        let keys = JoinKeys::new(&model);
+        // The seed implementation: first edge crossing the split, normalized
+        // so the left fields refer to the outer side, index flag from the
+        // catalog.
+        let reference = |m1: RelMask, m2: RelMask| -> Option<JoinKey> {
+            let edge = model.graph.edges.iter().find(|e| e.crosses(m1, m2))?;
+            let left_in_m1 = m1 & (1u32 << edge.left_rel) != 0;
+            let (left_rel, left_col, right_rel, right_col) = if left_in_m1 {
+                (edge.left_rel, edge.left_col, edge.right_rel, edge.right_col)
+            } else {
+                (edge.right_rel, edge.right_col, edge.left_rel, edge.left_col)
+            };
+            let inner_indexed = model
+                .catalog
+                .table(model.graph.rels[right_rel].table)
+                .column(right_col)
+                .indexed;
+            Some(JoinKey {
+                left_rel,
+                left_col,
+                right_rel,
+                right_col,
+                inner_indexed,
+            })
+        };
+        let n = g.n_rels();
+        for mask in 1..(1u32 << n) {
+            let mut m1 = (mask - 1) & mask;
+            while m1 != 0 {
+                let m2 = mask ^ m1;
+                assert_eq!(
+                    keys.join_key(m1, m2),
+                    reference(m1, m2),
+                    "split {m1:b} | {m2:b}"
+                );
+                m1 = (m1 - 1) & mask;
+            }
+        }
+        // Disjoint non-adjacent sides: no key either way.
+        assert_eq!(keys.join_key(0b001, 0b100), reference(0b001, 0b100));
     }
 
     #[test]

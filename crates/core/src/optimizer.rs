@@ -38,13 +38,17 @@ pub enum Algorithm {
     },
     /// The anytime randomized optimizer: no formal guarantee, but scales to
     /// join graphs far beyond the dynamic-programming schemes. Fully
-    /// deterministic per seed. The per-block iteration budget combines with
-    /// [`Optimizer::with_timeout`] (whichever stops first).
+    /// deterministic per seed at any thread count. The per-block iteration
+    /// budget combines with [`Optimizer::with_timeout`] (whichever stops
+    /// first).
     Rmq {
         /// Iteration budget (sampled candidate plans) per query block.
         samples: u64,
         /// RNG seed.
         seed: u64,
+        /// OS threads sharding the walker population (`0` = all cores);
+        /// changes wall-clock time only, never the resulting front.
+        threads: usize,
     },
 }
 
@@ -233,11 +237,15 @@ impl<'a> Optimizer<'a> {
                         frontier: final_plans.iter().map(|e| e.cost).collect(),
                     });
                 }
-                Algorithm::Rmq { samples, seed } => {
+                Algorithm::Rmq {
+                    samples,
+                    seed,
+                    threads,
+                } => {
                     let out = rmq(
                         &model,
                         preference,
-                        &RmqConfig::new(samples, seed),
+                        &RmqConfig::new(samples, seed).with_threads(threads),
                         &deadline,
                     );
                     let chosen = select_best(&out.final_plans, preference)
@@ -326,6 +334,7 @@ mod tests {
             Algorithm::Rmq {
                 samples: 200,
                 seed: 11,
+                threads: 1,
             },
         ] {
             let result = optimizer.optimize(&q, &p, algo);

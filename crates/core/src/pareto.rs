@@ -124,6 +124,26 @@ impl PlanSet {
         if self.would_reject(&entry.cost, strategy, objectives) {
             return false;
         }
+        self.insert_unrejected(entry, strategy, objectives);
+        true
+    }
+
+    /// The insertion half of [`PlanSet::prune_insert`], for callers that
+    /// already ran [`PlanSet::would_reject`] on `entry.cost` (e.g. to skip
+    /// arena allocation for doomed candidates) — probing twice would double
+    /// the dominant cost of the insert path. Deletes the stored plans the
+    /// new plan dominates and inserts it in sorted position, returning the
+    /// number of deletions.
+    ///
+    /// Inserting an entry that *would* have been rejected breaks the set's
+    /// antichain invariant; it is the caller's contract to probe first.
+    pub fn insert_unrejected(
+        &mut self,
+        entry: PlanEntry,
+        strategy: &PruneStrategy,
+        objectives: ObjectiveSet,
+    ) -> usize {
+        debug_assert!(!self.would_reject(&entry.cost, strategy, objectives));
         let first = objectives.iter().next();
         let key_of = |e: &PlanEntry| first.map_or(0.0, |o| e.cost.get(o));
         let key = key_of(&entry);
@@ -150,11 +170,12 @@ impl PlanSet {
                 kept += 1;
             }
         }
+        let deleted = self.entries.len() - kept;
         self.entries.truncate(kept);
 
         let pos = self.entries.partition_point(|e| key_of(e) <= key);
         self.entries.insert(pos, entry);
-        true
+        deleted
     }
 
     /// Number of stored plans.
@@ -253,6 +274,21 @@ mod tests {
         assert!(set.prune_insert(entry(1.0, 1.0), &s, objs()));
         assert_eq!(set.len(), 2);
         assert!(set.iter().all(|e| e.cost.get(Objective::TotalTime) != 2.0));
+    }
+
+    #[test]
+    fn insert_unrejected_reports_deletions() {
+        let mut set = PlanSet::new();
+        let s = PruneStrategy::exact();
+        set.prune_insert(entry(2.0, 2.0), &s, objs());
+        set.prune_insert(entry(3.0, 1.5), &s, objs());
+        set.prune_insert(entry(4.0, 0.5), &s, objs());
+        // (1,1) dominates the first two entries but not (4, 0.5).
+        let probe = entry(1.0, 1.0);
+        assert!(!set.would_reject(&probe.cost, &s, objs()));
+        assert_eq!(set.insert_unrejected(probe, &s, objs()), 2);
+        assert_eq!(set.len(), 2);
+        assert!(set.is_antichain(objs()));
     }
 
     #[test]

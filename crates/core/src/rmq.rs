@@ -6,17 +6,20 @@
 //! randomized multi-objective query optimization (arXiv:1603.00400), RMQ
 //! trades the formal `α_U` guarantee for scalability: it *samples* complete
 //! join trees and improves them by local plan transformations, maintaining
-//! the incumbent (approximate) Pareto front in a [`PlanSet`] at all times —
+//! an incumbent (approximate) Pareto front in a [`PlanSet`] at all times —
 //! an *anytime* algorithm that can be stopped after any iteration and still
 //! return the best front discovered so far.
 //!
-//! The search runs a small population of **walkers** — independent local
-//! searches over the join-tree transformation neighbourhood. Each walker
-//! descends its own random *scalarization* of the selected objectives
-//! (the first walkers take the unit directions, so every frontier extreme
-//! has a dedicated hunter; the rest take random mixtures, normalized by a
-//! reference cost so objectives of wildly different magnitude contribute
-//! comparably). One iteration advances one walker (round-robin) by either
+//! The search runs a population of **walkers** — *fully independent* local
+//! searches over the join-tree transformation neighbourhood, which is what
+//! makes the population embarrassingly parallel. Each walker owns a private
+//! [`PlanArena`], local front and RNG (seeded from the master seed and its
+//! walker index), and descends its own random *scalarization* of the
+//! selected objectives: the first walkers take the unit directions, so
+//! every frontier extreme has a dedicated hunter; the rest take random
+//! mixtures, normalized by the walker's first sampled cost so objectives of
+//! wildly different magnitude contribute comparably. One iteration advances
+//! one walker by either
 //!
 //! 1. **restarting** it on a fresh join tree sampled by a random walk over
 //!    the join graph: start from one component per base relation (random
@@ -24,8 +27,8 @@
 //!    with a random applicable join operator (falling back to Cartesian
 //!    nested-loop products only when no connected pair remains — the same
 //!    Postgres heuristic the DP honours),
-//! 2. **jumping** it onto the front member that is best under the walker's
-//!    own scalarization (exploitation of the elite set), or
+//! 2. **jumping** it onto the local-front member that is best under the
+//!    walker's own scalarization (exploitation of its elite set), or
 //! 3. **mutating** its current tree with one random transformation — join
 //!    commutativity, join associativity (left/right rotation), a
 //!    join-operator swap, a scan-operator swap, or a coordinated rewrite
@@ -35,22 +38,29 @@
 //!    can cross valleys of its own scalarization while still converging
 //!    towards its corner of the tradeoff space.
 //!
-//! Every successfully costed candidate is offered to the front's
-//! `prune_insert`; the front never stores a dominated plan. All randomness
-//! flows from one seeded [`StdRng`], so runs are fully deterministic per
-//! seed. The iteration budget and the wall-clock [`Deadline`] jointly bound
-//! the run.
+//! The sample budget is dealt to the walkers round-robin (global iteration
+//! `i` belongs to walker `i mod W`), walkers advance in short interleaved
+//! slices (so a wall-clock deadline starves no scalarization direction) —
+//! sharded across [`RmqConfig::threads`] OS threads via
+//! `std::thread::scope` — and the local fronts are merged in walker-index
+//! order, re-rooting the surviving plans (and only those) into one result
+//! arena ([`PlanArena::adopt`]). Because walkers
+//! never communicate, the merged front is **byte-identical for a fixed seed
+//! regardless of thread count**; threads only change wall-clock time. The
+//! iteration budget and the wall-clock [`Deadline`] jointly bound the run
+//! (an expiring deadline trades determinism for punctuality, exactly like
+//! the DP's quick-finish path).
 
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
 
-use moqo_cost::{CostVector, Preference, Weights};
+use moqo_cost::{CostVector, ObjectiveSet, Preference, Weights};
 use moqo_costmodel::CostModel;
-use moqo_plan::{JoinOp, JoinTree, PlanArena, PlanProps, ScanOp};
+use moqo_plan::{JoinOp, JoinTree, PlanArena, PlanId, PlanProps, ScanOp};
 
 use crate::budget::Deadline;
-use crate::dp::{join_key, scan_configurations, DpStats};
+use crate::dp::{scan_configurations, DpStats, JoinKeys};
 use crate::metrics::ConvergencePoint;
 use crate::pareto::{PlanEntry, PlanSet, PruneStrategy};
 use crate::select::select_best;
@@ -58,19 +68,23 @@ use crate::select::select_best;
 /// Configuration of one RMQ run.
 #[derive(Debug, Clone, Copy)]
 pub struct RmqConfig {
-    /// Iteration budget: total number of candidate plans to sample.
+    /// Iteration budget: total number of candidate plans to sample,
+    /// dealt round-robin to the walker population.
     pub samples: u64,
-    /// RNG seed; equal seeds yield bit-identical runs.
+    /// RNG seed; equal seeds yield bit-identical runs at any thread count.
     pub seed: u64,
-    /// Number of concurrent local searches (round-robin). More walkers
-    /// cover more basins; fewer walkers descend deeper per budget.
+    /// Number of independent local searches. More walkers cover more
+    /// basins; fewer walkers descend deeper per budget.
     pub walkers: usize,
+    /// OS threads to shard the walker population over; `0` uses all
+    /// available cores. Never affects the result, only wall-clock time.
+    pub threads: usize,
     /// Per-iteration probability of restarting the walker on a fresh random
     /// join tree (exploration).
     pub restart_probability: f64,
-    /// Per-iteration probability of jumping the walker onto the front
-    /// member that is best under the walker's own scalarization direction
-    /// (exploitation of the elite set).
+    /// Per-iteration probability of jumping the walker onto the member of
+    /// its local front that is best under the walker's own scalarization
+    /// direction (exploitation of the elite set).
     pub elite_probability: f64,
     /// Record one [`ConvergencePoint`] every `convergence_stride`
     /// iterations; `0` picks a stride that yields ≈64 points.
@@ -83,18 +97,27 @@ pub struct RmqConfig {
 
 impl RmqConfig {
     /// A configuration with the default walker population and
-    /// exploration/exploitation balance.
+    /// exploration/exploitation balance, single-threaded.
     #[must_use]
     pub fn new(samples: u64, seed: u64) -> Self {
         RmqConfig {
             samples,
             seed,
-            walkers: 6,
+            walkers: 8,
+            threads: 1,
             restart_probability: 0.05,
             elite_probability: 0.1,
             convergence_stride: 0,
             record_fronts: false,
         }
+    }
+
+    /// Shards the walker population over `threads` OS threads (builder
+    /// style); `0` uses all available cores.
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
     }
 
     fn effective_stride(&self) -> u64 {
@@ -109,26 +132,31 @@ impl RmqConfig {
 /// Result of one RMQ run on a single query block.
 #[derive(Debug)]
 pub struct RmqResult {
-    /// Arena owning every candidate plan generated during the run.
+    /// Arena owning the merged front's plans (walker arenas are private and
+    /// dropped after the merge; only surviving plans are re-rooted here).
     pub arena: PlanArena,
     /// The incumbent Pareto front at stop time (sorted by the first
     /// selected objective).
     pub final_plans: Vec<PlanEntry>,
     /// DP-style counters: `considered_plans` counts sampled candidates,
-    /// `stored_plans`/`peak_stored_plans` track the front.
+    /// `peak_stored_plans` sums the walker-local front peaks (total
+    /// concurrently resident stored plans), `stored_plans` is the merged
+    /// front.
     pub stats: DpStats,
-    /// Convergence trace, one point per stride plus the final state.
+    /// Convergence trace, one point per stride plus the final state. Point
+    /// `g` reconstructs the merged front after `g` global iterations of the
+    /// round-robin schedule.
     pub convergence: Vec<ConvergencePoint>,
-    /// Iterations actually executed (may fall short of the budget on
-    /// deadline expiry).
+    /// Iterations actually executed across all walkers (may fall short of
+    /// the budget on deadline expiry).
     pub iterations: u64,
 }
 
 /// Runs the anytime randomized optimizer on one query block.
 ///
-/// Always returns at least one plan: the first sampled tree is constructed
-/// before the iteration loop and random tree construction cannot fail (a
-/// nested-loop join applies to every component pair).
+/// Always returns at least one plan: every walker seeds itself with one
+/// sampled tree before its iteration loop and random tree construction
+/// cannot fail (a nested-loop join applies to every component pair).
 ///
 /// # Panics
 ///
@@ -149,152 +177,164 @@ pub fn rmq(
 
     let objectives = preference.objectives;
     let strategy = PruneStrategy::exact();
-    let mut rng = StdRng::seed_from_u64(config.seed);
-    let mut arena = PlanArena::new();
-    let mut front = PlanSet::new();
-    let mut stats = DpStats::default();
-    let mut convergence = Vec::new();
-    let stride = config.effective_stride();
+    let keys = JoinKeys::new(model);
+    let n_walkers = config.walkers.max(1);
+    let w64 = n_walkers as u64;
+    // The snapshot schedule is materialized up front, so cap the trace at
+    // MAX_TRACE_POINTS by coarsening the stride: anytime configs pair
+    // `samples = u64::MAX` with a wall-clock deadline, and an explicit
+    // stride must not make the schedule allocation proportional to the
+    // (astronomical) nominal budget.
+    const MAX_TRACE_POINTS: u64 = 4096;
+    let stride = config
+        .effective_stride()
+        .max(config.samples.div_ceil(MAX_TRACE_POINTS));
 
-    let offer = |tree: &JoinTree,
-                 cost: CostVector,
-                 props: PlanProps,
-                 arena: &mut PlanArena,
-                 front: &mut PlanSet,
-                 stats: &mut DpStats| {
-        stats.considered_plans += 1;
-        // Run the rejection test before allocating arena nodes: rejected
-        // candidates (the vast majority) then leave no garbage behind, so
-        // arena growth is bounded by *accepted* plans, not the budget.
-        if front.would_reject(&cost, &strategy, objectives) {
-            return false;
-        }
-        let plan = arena.insert_tree(tree);
-        let before = front.len();
-        let inserted = front.prune_insert(PlanEntry { cost, props, plan }, &strategy, objectives);
-        if inserted {
-            let deleted = before + 1 - front.len();
-            stats.stored_plans += 1;
-            stats.stored_plans -= deleted;
-            if stats.stored_plans > stats.peak_stored_plans {
-                stats.peak_stored_plans = stats.stored_plans;
-                stats.peak_memory_bytes =
-                    stats.peak_stored_plans * DpStats::bytes_per_stored_plan();
-            }
-            if front.len() > stats.max_group_size {
-                stats.max_group_size = front.len();
-            }
-        }
-        inserted
+    // Round-robin schedule: global iteration i (0-based) belongs to walker
+    // i mod W, so walker w's budget and its local progress after g global
+    // iterations are both closed-form (saturating: a budget of u64::MAX
+    // must not overflow the per-walker shares).
+    let local_count = |g: u64, w: usize| g.saturating_sub(w as u64).div_ceil(w64);
+    let trace_points: Vec<u64> = (1..=config.samples / stride).map(|j| j * stride).collect();
+    let walker_inputs: Vec<(u64, u64, Vec<u64>)> = (0..n_walkers)
+        .map(|w| {
+            (
+                local_count(config.samples, w),
+                walker_seed(config.seed, w as u64),
+                trace_points.iter().map(|&g| local_count(g, w)).collect(),
+            )
+        })
+        .collect();
+
+    let threads = effective_threads(config.threads, n_walkers);
+    let runs: Vec<WalkerRun> = if threads <= 1 {
+        run_walkers(
+            model,
+            &keys,
+            objectives,
+            config,
+            0,
+            &walker_inputs,
+            deadline,
+        )
+    } else {
+        let remaining = deadline.remaining();
+        let chunk_size = n_walkers.div_ceil(threads);
+        std::thread::scope(|s| {
+            let handles: Vec<_> = walker_inputs
+                .chunks(chunk_size)
+                .enumerate()
+                .map(|(ci, chunk)| {
+                    let keys = &keys;
+                    s.spawn(move || {
+                        // Walkers cannot share the deadline (its amortization
+                        // cells are not `Sync`); each thread re-derives one
+                        // from the remaining budget.
+                        let local_deadline = Deadline::new(remaining);
+                        run_walkers(
+                            model,
+                            keys,
+                            objectives,
+                            config,
+                            ci * chunk_size,
+                            chunk,
+                            &local_deadline,
+                        )
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("walker threads do not panic"))
+                .collect()
+        })
     };
 
-    // Seed the walker population (and thereby the front), so the anytime
-    // contract (non-empty result) holds even for a zero-sample budget or an
-    // already-expired deadline.
-    let n_walkers = config.walkers.max(1);
-    let mut walkers: Vec<Walker> = Vec::with_capacity(n_walkers);
-    for i in 0..n_walkers {
-        let (tree, cost, props) =
-            sample_random_tree(model, &mut rng).expect("a nested-loop plan always exists");
-        offer(&tree, cost, props, &mut arena, &mut front, &mut stats);
-        // The first seeded cost normalizes the scalarizations: objectives
-        // of wildly different magnitudes then contribute comparably.
-        let reference = walkers.first().map_or(cost, |w: &Walker| w.reference);
-        let scal = walker_scalarization(i, objectives, &reference, &mut rng);
-        walkers.push(Walker {
-            state: Component { tree, cost, props },
-            scal,
-            reference,
-        });
+    // Deterministic merge in walker-index order, on cost vectors first: the
+    // survivors are only known once every walker front has been folded in,
+    // and only they are re-rooted into the result arena — so it holds
+    // exactly the final front's trees, nothing orphaned. Candidate indices
+    // stand in as plan ids during the merge.
+    let mut candidates: Vec<(usize, PlanEntry)> = Vec::new();
+    let mut front = PlanSet::new();
+    for (ri, run) in runs.iter().enumerate() {
+        for e in run.front.iter() {
+            if front.would_reject(&e.cost, &strategy, objectives) {
+                continue;
+            }
+            let placeholder = PlanId(u32::try_from(candidates.len()).expect("front fits in u32"));
+            candidates.push((ri, *e));
+            front.insert_unrejected(
+                PlanEntry {
+                    plan: placeholder,
+                    ..*e
+                },
+                &strategy,
+                objectives,
+            );
+        }
     }
+    let mut arena = PlanArena::new();
+    let final_plans: Vec<PlanEntry> = front
+        .iter()
+        .map(|e| {
+            let (ri, orig) = candidates[e.plan.0 as usize];
+            PlanEntry {
+                plan: arena.adopt(&runs[ri].arena, orig.plan),
+                ..orig
+            }
+        })
+        .collect();
 
-    let mut iterations = 0u64;
-    while iterations < config.samples {
-        if deadline.expired() {
-            stats.timed_out = true;
+    let iterations: u64 = runs.iter().map(|r| r.iterations).sum();
+
+    // Reconstruct the global convergence trace: the merged front after g
+    // global iterations is the walker-order merge of each local front after
+    // its share of the schedule.
+    let mut convergence = Vec::new();
+    let mut max_front = front.len();
+    for (j, &g) in trace_points.iter().enumerate() {
+        if g > iterations {
             break;
         }
-        let walker = &mut walkers[(iterations % n_walkers as u64) as usize];
-        iterations += 1;
-
-        let draw: f64 = rng.gen_range(0.0..1.0);
-        if draw < config.restart_probability {
-            // Exploration: restart this walker on a fresh random tree.
-            let (tree, cost, props) =
-                sample_random_tree(model, &mut rng).expect("a nested-loop plan always exists");
-            offer(&tree, cost, props, &mut arena, &mut front, &mut stats);
-            walker.state = Component { tree, cost, props };
-        } else if draw < config.restart_probability + config.elite_probability {
-            // Exploitation: jump onto the front member best under this
-            // walker's own scalarization direction.
-            let elite = front
-                .iter()
-                .min_by(|a, b| {
-                    walker
-                        .scal
-                        .weighted_cost(&a.cost)
-                        .partial_cmp(&walker.scal.weighted_cost(&b.cost))
-                        .unwrap_or(std::cmp::Ordering::Equal)
-                })
-                .copied();
-            if let Some(elite) = elite {
-                walker.state = Component {
-                    tree: arena.extract_tree(elite.plan),
-                    cost: elite.cost,
-                    props: elite.props,
-                };
-            }
-            // A jump re-uses a stored plan; no candidate is sampled, so
-            // `considered_plans` is not incremented.
-        } else {
-            // Local move: one random transformation of the walker's tree.
-            match mutate_tree(model, &walker.state.tree, &mut rng) {
-                Some((tree, cost, props)) => {
-                    offer(&tree, cost, props, &mut arena, &mut front, &mut stats);
-                    // Accept when the walker's scalarized cost does not
-                    // increase (plateau moves keep the walk mobile); also
-                    // accept a fraction of non-dominated tradeoff moves so
-                    // the walk can cross valleys of its own scalarization.
-                    let old = walker.scal.weighted_cost(&walker.state.cost);
-                    let new = walker.scal.weighted_cost(&cost);
-                    let accept = new <= old
-                        || (!moqo_cost::dominance::strictly_dominates(
-                            &walker.state.cost,
-                            &cost,
-                            objectives,
-                        ) && rng.gen_range(0.0..1.0) < 0.5);
-                    if accept {
-                        walker.state = Component { tree, cost, props };
-                    }
-                }
-                None => {
-                    // Un-costable transformation; still one budget sample.
-                    stats.considered_plans += 1;
-                }
+        let mut merged = PlanSet::new();
+        for run in &runs {
+            for e in &run.snapshots[j] {
+                merged.prune_insert(*e, &strategy, objectives);
             }
         }
-
-        if iterations % stride == 0 {
-            convergence.push(trace_point(
-                iterations,
-                &front,
-                preference,
-                config.record_fronts,
-            ));
-        }
+        max_front = max_front.max(merged.len());
+        convergence.push(trace_point(
+            g,
+            merged.as_slice(),
+            preference,
+            config.record_fronts,
+        ));
     }
-
     if convergence.last().is_none_or(|p| p.iteration != iterations) {
         convergence.push(trace_point(
             iterations,
-            &front,
+            front.as_slice(),
             preference,
             config.record_fronts,
         ));
     }
 
-    stats.pareto_last_complete = front.len();
-    let final_plans: Vec<PlanEntry> = front.iter().copied().collect();
+    let peak_stored: usize = runs
+        .iter()
+        .map(|r| r.peak_front)
+        .sum::<usize>()
+        .max(front.len());
+    let stats = DpStats {
+        considered_plans: runs.iter().map(|r| r.considered).sum(),
+        stored_plans: front.len(),
+        peak_stored_plans: peak_stored,
+        peak_memory_bytes: peak_stored * DpStats::bytes_per_stored_plan(),
+        pareto_last_complete: front.len(),
+        max_group_size: max_front,
+        timed_out: runs.iter().any(|r| r.timed_out),
+    };
+
     debug_assert!(!final_plans.is_empty());
     RmqResult {
         arena,
@@ -305,14 +345,287 @@ pub fn rmq(
     }
 }
 
+/// Everything one walker brings home: its private arena and front, local
+/// counters, and the front snapshots for the global trace reconstruction.
+struct WalkerRun {
+    arena: PlanArena,
+    front: PlanSet,
+    considered: u64,
+    peak_front: usize,
+    iterations: u64,
+    timed_out: bool,
+    /// Front snapshots aligned with the walker's snapshot schedule.
+    snapshots: Vec<Vec<PlanEntry>>,
+}
+
+/// Runs a contiguous chunk of walkers on one thread, interleaving their
+/// iterations in short round-robin slices so a wall-clock deadline starves
+/// no walker: every scalarization direction keeps advancing at roughly the
+/// same rate until the clock (or its budget) stops it. Slicing cannot
+/// affect budget-bound results — walkers share nothing, so any schedule
+/// yields the same per-walker streams; only *where* an expiring deadline
+/// lands is wall-clock dependent, as it always was.
+fn run_walkers(
+    model: &CostModel<'_>,
+    keys: &JoinKeys,
+    objectives: ObjectiveSet,
+    config: &RmqConfig,
+    first_index: usize,
+    inputs: &[(u64, u64, Vec<u64>)],
+    deadline: &Deadline,
+) -> Vec<WalkerRun> {
+    /// Iterations one walker runs before yielding to the next in its chunk.
+    const ITER_SLICE: u64 = 64;
+    let mut states: Vec<WalkerState<'_>> = inputs
+        .iter()
+        .enumerate()
+        .map(|(i, (budget, seed, snaps))| {
+            WalkerState::new(
+                model,
+                keys,
+                objectives,
+                config,
+                first_index + i,
+                *budget,
+                *seed,
+                snaps,
+            )
+        })
+        .collect();
+    let mut target = 0u64;
+    while states.iter().any(|s| !s.done()) {
+        target = target.saturating_add(ITER_SLICE);
+        for s in &mut states {
+            s.advance_to(target, deadline);
+        }
+    }
+    states.into_iter().map(WalkerState::finish).collect()
+}
+
+/// One independent local search, resumable in iteration slices.
+/// Deterministic given (seed, budget): the RNG, arena and front are
+/// private, so the interleaving schedule never shows in the results.
+struct WalkerState<'a> {
+    model: &'a CostModel<'a>,
+    keys: &'a JoinKeys,
+    objectives: ObjectiveSet,
+    config: &'a RmqConfig,
+    budget: u64,
+    snapshot_counts: &'a [u64],
+    rng: StdRng,
+    arena: PlanArena,
+    front: PlanSet,
+    considered: u64,
+    peak_front: usize,
+    snapshots: Vec<Vec<PlanEntry>>,
+    scal: Weights,
+    state: Component,
+    iterations: u64,
+    timed_out: bool,
+}
+
+impl<'a> WalkerState<'a> {
+    /// Seeds the walker (and thereby its front), so the anytime contract
+    /// (non-empty result) holds even for a zero-sample budget or an
+    /// already expired deadline. The first sampled cost normalizes the
+    /// walker's scalarization: objectives of wildly different magnitudes
+    /// then contribute comparably.
+    #[allow(clippy::too_many_arguments)]
+    fn new(
+        model: &'a CostModel<'a>,
+        keys: &'a JoinKeys,
+        objectives: ObjectiveSet,
+        config: &'a RmqConfig,
+        index: usize,
+        budget: u64,
+        seed: u64,
+        snapshot_counts: &'a [u64],
+    ) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let (tree, cost, props) =
+            sample_random_tree(model, keys, &mut rng).expect("a nested-loop plan always exists");
+        let scal = walker_scalarization(index, objectives, &cost, &mut rng);
+        let mut walker = WalkerState {
+            model,
+            keys,
+            objectives,
+            config,
+            budget,
+            snapshot_counts,
+            rng,
+            arena: PlanArena::new(),
+            front: PlanSet::new(),
+            considered: 0,
+            peak_front: 0,
+            snapshots: Vec::with_capacity(snapshot_counts.len()),
+            scal,
+            state: Component { tree, cost, props },
+            iterations: 0,
+            timed_out: false,
+        };
+        let seeded = walker.state.tree.clone();
+        walker.offer(&seeded, cost, props);
+        walker.emit(0);
+        walker
+    }
+
+    /// Offers a costed candidate to the local front. The rejection test
+    /// runs before allocating arena nodes: rejected candidates (the vast
+    /// majority) then leave no garbage behind, so arena growth is bounded
+    /// by *accepted* plans, not the budget.
+    fn offer(&mut self, tree: &JoinTree, cost: CostVector, props: PlanProps) {
+        self.considered += 1;
+        let strategy = PruneStrategy::exact();
+        if self.front.would_reject(&cost, &strategy, self.objectives) {
+            return;
+        }
+        let plan = self.arena.insert_tree(tree);
+        self.front
+            .insert_unrejected(PlanEntry { cost, props, plan }, &strategy, self.objectives);
+        if self.front.len() > self.peak_front {
+            self.peak_front = self.front.len();
+        }
+    }
+
+    /// Pins every snapshot slot whose local count is ≤ `upto` to the
+    /// current front (counts are nondecreasing, so this emits in schedule
+    /// order).
+    fn emit(&mut self, upto: u64) {
+        while self.snapshots.len() < self.snapshot_counts.len()
+            && self.snapshot_counts[self.snapshots.len()] <= upto
+        {
+            self.snapshots.push(self.front.iter().copied().collect());
+        }
+    }
+
+    /// Whether this walker has nothing left to do.
+    fn done(&self) -> bool {
+        self.timed_out || self.iterations >= self.budget
+    }
+
+    /// Advances until the local iteration count reaches `target` (capped by
+    /// the budget) or the deadline expires.
+    fn advance_to(&mut self, target: u64, deadline: &Deadline) {
+        let target = target.min(self.budget);
+        while self.iterations < target && !self.timed_out {
+            if deadline.expired() {
+                self.timed_out = true;
+                break;
+            }
+            self.iterations += 1;
+            self.step();
+            self.emit(self.iterations);
+        }
+        if self.done() {
+            // Outstanding snapshot slots pin the front at exit (deadline
+            // expiry short of the schedule); idempotent once drained.
+            self.emit(u64::MAX);
+        }
+    }
+
+    /// One iteration: restart, elite jump, or local mutation.
+    fn step(&mut self) {
+        let draw: f64 = self.rng.gen_range(0.0..1.0);
+        if draw < self.config.restart_probability {
+            // Exploration: restart this walker on a fresh random tree.
+            let (tree, cost, props) = sample_random_tree(self.model, self.keys, &mut self.rng)
+                .expect("a nested-loop plan always exists");
+            self.offer(&tree, cost, props);
+            self.state = Component { tree, cost, props };
+        } else if draw < self.config.restart_probability + self.config.elite_probability {
+            // Exploitation: jump onto the local-front member best under
+            // this walker's own scalarization direction.
+            let elite = self
+                .front
+                .iter()
+                .min_by(|a, b| {
+                    self.scal
+                        .weighted_cost(&a.cost)
+                        .partial_cmp(&self.scal.weighted_cost(&b.cost))
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                })
+                .copied();
+            if let Some(elite) = elite {
+                self.state = Component {
+                    tree: self.arena.extract_tree(elite.plan),
+                    cost: elite.cost,
+                    props: elite.props,
+                };
+            }
+            // A jump re-uses a stored plan; no candidate is sampled, so
+            // `considered_plans` is not incremented.
+        } else {
+            // Local move: one random transformation of the walker's tree.
+            match mutate_tree(self.model, self.keys, &self.state.tree, &mut self.rng) {
+                Some((tree, cost, props)) => {
+                    self.offer(&tree, cost, props);
+                    // Accept when the walker's scalarized cost does not
+                    // increase (plateau moves keep the walk mobile); also
+                    // accept a fraction of non-dominated tradeoff moves so
+                    // the walk can cross valleys of its own scalarization.
+                    let old = self.scal.weighted_cost(&self.state.cost);
+                    let new = self.scal.weighted_cost(&cost);
+                    let accept = new <= old
+                        || (!moqo_cost::dominance::strictly_dominates(
+                            &self.state.cost,
+                            &cost,
+                            self.objectives,
+                        ) && self.rng.gen_range(0.0..1.0) < 0.5);
+                    if accept {
+                        self.state = Component { tree, cost, props };
+                    }
+                }
+                None => {
+                    // Un-costable transformation; still one budget sample.
+                    self.considered += 1;
+                }
+            }
+        }
+    }
+
+    /// Surrenders the walker's results.
+    fn finish(self) -> WalkerRun {
+        WalkerRun {
+            arena: self.arena,
+            front: self.front,
+            considered: self.considered,
+            peak_front: self.peak_front,
+            iterations: self.iterations,
+            timed_out: self.timed_out,
+            snapshots: self.snapshots,
+        }
+    }
+}
+
+/// Derives walker `i`'s RNG seed from the master seed: SplitMix64 over the
+/// golden-ratio sequence gives decorrelated per-walker streams that depend
+/// only on (seed, index), never on scheduling.
+fn walker_seed(master: u64, i: u64) -> u64 {
+    let mut z = master.wrapping_add(i.wrapping_add(1).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Resolves the thread knob: `0` means all available cores; never more
+/// threads than walkers.
+fn effective_threads(requested: usize, n_walkers: usize) -> usize {
+    let t = if requested == 0 {
+        std::thread::available_parallelism().map_or(1, usize::from)
+    } else {
+        requested
+    };
+    t.clamp(1, n_walkers)
+}
+
 fn trace_point(
     iteration: u64,
-    front: &PlanSet,
+    front: &[PlanEntry],
     preference: &Preference,
     record_front: bool,
 ) -> ConvergencePoint {
-    let best_weighted = select_best(front.as_slice(), preference)
-        .map_or(f64::INFINITY, |e| preference.weighted_cost(&e.cost));
+    let best_weighted =
+        select_best(front, preference).map_or(f64::INFINITY, |e| preference.weighted_cost(&e.cost));
     ConvergencePoint {
         iteration,
         front_size: front.len(),
@@ -333,21 +646,13 @@ struct Component {
     props: PlanProps,
 }
 
-/// One local search of the population: its current plan and the fixed
-/// scalarization direction it descends.
-struct Walker {
-    state: Component,
-    scal: Weights,
-    reference: CostVector,
-}
-
 /// The scalarization of walker `i`: walkers `0..l` take the unit directions
 /// of the `l` selected objectives (dedicated extreme hunters), later
 /// walkers take random mixtures. All directions are normalized by the
 /// reference cost so each objective contributes comparably.
 fn walker_scalarization(
     i: usize,
-    objectives: moqo_cost::ObjectiveSet,
+    objectives: ObjectiveSet,
     reference: &CostVector,
     rng: &mut StdRng,
 ) -> Weights {
@@ -370,6 +675,7 @@ fn walker_scalarization(
 /// scan at all (impossible for well-formed catalogs).
 fn sample_random_tree(
     model: &CostModel<'_>,
+    keys: &JoinKeys,
     rng: &mut StdRng,
 ) -> Option<(JoinTree, CostVector, PlanProps)> {
     let n = model.graph.n_rels();
@@ -418,7 +724,9 @@ fn sample_random_tree(
             let mut ops = JoinOp::all_configurations();
             ops.shuffle(rng);
             for op in ops {
-                if let Some((cost, props)) = cost_join(model, op, &components[i], &components[j]) {
+                if let Some((cost, props)) =
+                    cost_join(model, keys, op, &components[i], &components[j])
+                {
                     joined = Some((i, j, op, cost, props));
                     break 'pairs;
                 }
@@ -449,6 +757,7 @@ fn sample_random_tree(
 /// (inapplicable operator after the rewrite) or no transformation applied.
 fn mutate_tree(
     model: &CostModel<'_>,
+    keys: &JoinKeys,
     base: &JoinTree,
     rng: &mut StdRng,
 ) -> Option<(JoinTree, CostVector, PlanProps)> {
@@ -488,7 +797,7 @@ fn mutate_tree(
                 match tree.join_at(k) {
                     Some(JoinTree::Join { left, right, .. }) => {
                         if let JoinTree::Scan { rel, .. } = &**right {
-                            match join_key(model, left.rel_mask(), 1u32 << rel) {
+                            match keys.join_key(left.rel_mask(), 1u32 << rel) {
                                 Some(key) if key.inner_indexed => {
                                     tree.make_index_nl(k, key.right_col)
                                 }
@@ -510,7 +819,7 @@ fn mutate_tree(
     if !transformed {
         return None;
     }
-    let (cost, props) = cost_tree(model, &tree)?;
+    let (cost, props) = cost_tree_with(model, keys, &tree)?;
     Some((tree, cost, props))
 }
 
@@ -519,12 +828,22 @@ fn mutate_tree(
 /// hash join over a predicate-free split).
 #[must_use]
 pub fn cost_tree(model: &CostModel<'_>, tree: &JoinTree) -> Option<(CostVector, PlanProps)> {
+    cost_tree_with(model, &JoinKeys::new(model), tree)
+}
+
+/// [`cost_tree`] against a precomputed key index — the walker hot path
+/// re-costs a whole tree per mutation, so the per-run index is built once.
+fn cost_tree_with(
+    model: &CostModel<'_>,
+    keys: &JoinKeys,
+    tree: &JoinTree,
+) -> Option<(CostVector, PlanProps)> {
     match tree {
         JoinTree::Scan { rel, op } => model.scan_cost(*rel, *op),
         JoinTree::Join { op, left, right } => {
-            let (lc, lp) = cost_tree(model, left)?;
-            let (rc, rp) = cost_tree(model, right)?;
-            let key = join_key(model, lp.rels, rp.rels);
+            let (lc, lp) = cost_tree_with(model, keys, left)?;
+            let (rc, rp) = cost_tree_with(model, keys, right)?;
+            let key = keys.join_key(lp.rels, rp.rels);
             let right_canonical = match (&**right, key.as_ref()) {
                 (
                     JoinTree::Scan {
@@ -542,11 +861,12 @@ pub fn cost_tree(model: &CostModel<'_>, tree: &JoinTree) -> Option<(CostVector, 
 
 fn cost_join(
     model: &CostModel<'_>,
+    keys: &JoinKeys,
     op: JoinOp,
     left: &Component,
     right: &Component,
 ) -> Option<(CostVector, PlanProps)> {
-    let key = join_key(model, left.props.rels, right.props.rels);
+    let key = keys.join_key(left.props.rels, right.props.rels);
     let right_canonical = match (&right.tree, key.as_ref()) {
         (
             JoinTree::Scan {
@@ -625,9 +945,9 @@ mod tests {
         }
         assert_eq!(out.iterations, 200);
         // Elite jumps re-use stored plans and are not counted as sampled
-        // candidates, so the counter trails the iteration count slightly.
+        // candidates; every walker seeds one extra tree.
         assert!(out.stats.considered_plans >= 150);
-        assert!(out.stats.considered_plans <= 200 + 6);
+        assert!(out.stats.considered_plans <= 200 + 8);
         assert!(!out.convergence.is_empty());
         assert_eq!(out.convergence.last().unwrap().iteration, 200);
         // Front sizes in the trace never exceed the peak.
@@ -648,6 +968,47 @@ mod tests {
         let bv: Vec<CostVector> = b.final_plans.iter().map(|e| e.cost).collect();
         assert_eq!(av, bv, "same seed must reproduce the same front");
         assert_eq!(a.stats.considered_plans, b.stats.considered_plans);
+    }
+
+    #[test]
+    fn rmq_front_is_identical_across_thread_counts() {
+        let (p, cat, g) = setup3();
+        let model = CostModel::new(&p, &cat, &g);
+        let base = RmqConfig::new(400, 21);
+        let reference = rmq(&model, &pref(), &base, &Deadline::unlimited());
+        for threads in [2usize, 3, 4, 0] {
+            let out = rmq(
+                &model,
+                &pref(),
+                &base.with_threads(threads),
+                &Deadline::unlimited(),
+            );
+            assert_eq!(out.iterations, reference.iterations);
+            assert_eq!(
+                out.stats.considered_plans, reference.stats.considered_plans,
+                "threads = {threads}"
+            );
+            assert_eq!(
+                out.final_plans.len(),
+                reference.final_plans.len(),
+                "threads = {threads}"
+            );
+            for (a, b) in out.final_plans.iter().zip(&reference.final_plans) {
+                assert_eq!(a.cost, b.cost, "threads = {threads}");
+                assert_eq!(
+                    out.arena.extract_tree(a.plan),
+                    reference.arena.extract_tree(b.plan),
+                    "threads = {threads}: plans must be structurally identical"
+                );
+            }
+            // The whole trace is reproduced too, not just the final front.
+            assert_eq!(out.convergence.len(), reference.convergence.len());
+            for (a, b) in out.convergence.iter().zip(&reference.convergence) {
+                assert_eq!(a.iteration, b.iteration);
+                assert_eq!(a.front_size, b.front_size);
+                assert_eq!(a.best_weighted, b.best_weighted);
+            }
+        }
     }
 
     #[test]
@@ -705,6 +1066,62 @@ mod tests {
     }
 
     #[test]
+    fn rmq_result_arena_holds_only_the_final_front() {
+        let (p, cat, g) = setup3();
+        let model = CostModel::new(&p, &cat, &g);
+        let out = rmq(
+            &model,
+            &pref(),
+            &RmqConfig::new(300, 11),
+            &Deadline::unlimited(),
+        );
+        // The merge adopts survivors only, after cross-walker domination is
+        // resolved: every arena node belongs to exactly one front plan.
+        let front_nodes: usize = out
+            .final_plans
+            .iter()
+            .map(|e| 2 * out.arena.leaf_count(e.plan) - 1)
+            .sum();
+        assert_eq!(out.arena.len(), front_nodes);
+    }
+
+    #[test]
+    fn rmq_huge_budget_with_explicit_stride_stays_bounded() {
+        let (p, cat, g) = setup3();
+        let model = CostModel::new(&p, &cat, &g);
+        // Anytime usage: a nominal budget of u64::MAX bounded by the clock,
+        // with an explicit convergence stride. The snapshot schedule must
+        // be capped, not proportional to the nominal budget.
+        let cfg = RmqConfig {
+            convergence_stride: 10_000,
+            ..RmqConfig::new(u64::MAX, 3)
+        };
+        let out = rmq(
+            &model,
+            &pref(),
+            &cfg,
+            &Deadline::new(Some(std::time::Duration::from_millis(10))),
+        );
+        assert!(out.stats.timed_out);
+        assert!(!out.final_plans.is_empty());
+        assert!(out.convergence.len() <= 4097);
+    }
+
+    #[test]
+    fn rmq_deadline_applies_across_threads() {
+        let (p, cat, g) = setup3();
+        let model = CostModel::new(&p, &cat, &g);
+        let out = rmq(
+            &model,
+            &pref(),
+            &RmqConfig::new(u64::MAX, 5).with_threads(4),
+            &Deadline::new(Some(std::time::Duration::from_millis(20))),
+        );
+        assert!(out.stats.timed_out);
+        assert!(!out.final_plans.is_empty());
+    }
+
+    #[test]
     fn rmq_single_relation_block() {
         let params = CostModelParams::default();
         let mut cat = Catalog::new();
@@ -724,6 +1141,15 @@ mod tests {
         for e in &out.final_plans {
             assert_eq!(e.props.rels, 0b1);
         }
+    }
+
+    #[test]
+    fn walker_seeds_are_decorrelated() {
+        let a = walker_seed(42, 0);
+        let b = walker_seed(42, 1);
+        let c = walker_seed(43, 0);
+        assert!(a != b && a != c && b != c);
+        assert_eq!(a, walker_seed(42, 0), "pure function of (seed, index)");
     }
 
     #[test]

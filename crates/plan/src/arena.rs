@@ -151,6 +151,26 @@ impl PlanArena {
     pub fn uses_sampling(&self, root: PlanId) -> bool {
         self.scan_ops(root).iter().any(|(_, op)| op.is_sampling())
     }
+
+    /// Copies the plan tree rooted at `root` from `src` into this arena,
+    /// returning the new root id. This is the cross-arena re-rooting step of
+    /// parallel search: worker arenas stay private, and only the surviving
+    /// plans are adopted into the merged arena (children before parents, so
+    /// adopted ids are valid the moment they are created).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `root` does not belong to `src`.
+    pub fn adopt(&mut self, src: &PlanArena, root: PlanId) -> PlanId {
+        match src.node(root) {
+            PlanNode::Scan { rel, op } => self.scan(rel, op),
+            PlanNode::Join { op, left, right } => {
+                let l = self.adopt(src, left);
+                let r = self.adopt(src, right);
+                self.join(op, l, r)
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -200,6 +220,20 @@ mod tests {
         let mut clean = PlanArena::new();
         let s = clean.scan(0, ScanOp::SeqScan);
         assert!(!clean.uses_sampling(s));
+    }
+
+    #[test]
+    fn adopt_copies_across_arenas() {
+        let (src, root) = small_tree();
+        let mut dst = PlanArena::new();
+        // Pre-existing nodes must not confuse the id mapping.
+        dst.scan(7, ScanOp::SeqScan);
+        let adopted = dst.adopt(&src, root);
+        assert_eq!(dst.extract_tree(adopted), src.extract_tree(root));
+        assert_eq!(dst.len(), 1 + src.len());
+        // Adopting a leaf works too.
+        let leaf = dst.adopt(&src, PlanId(0));
+        assert!(matches!(dst.node(leaf), PlanNode::Scan { rel: 0, .. }));
     }
 
     #[test]

@@ -23,6 +23,7 @@ fn same_seed_yields_identical_front() {
     let algo = Algorithm::Rmq {
         samples: 400,
         seed: 99,
+        threads: 1,
     };
     let a = optimizer.optimize(&query, &p, algo);
     let b = optimizer.optimize(&query, &p, algo);
@@ -41,6 +42,7 @@ fn same_seed_yields_identical_front() {
         Algorithm::Rmq {
             samples: 400,
             seed: 100,
+            threads: 1,
         },
     );
     assert_eq!(c.block_plans.len(), a.block_plans.len());
@@ -130,6 +132,7 @@ fn rmq_handles_twenty_table_chain_within_budget() {
     let algo = Algorithm::Rmq {
         samples: 400,
         seed: 7,
+        threads: 2,
     };
 
     let a = optimizer.optimize(&query, &p, algo);
@@ -161,6 +164,7 @@ fn rmq_respects_bounds_when_feasible() {
         Algorithm::Rmq {
             samples: 800,
             seed: 5,
+            threads: 1,
         },
     );
     assert!(
