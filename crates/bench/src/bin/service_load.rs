@@ -1,0 +1,243 @@
+//! Service load replay: hammers the optimization service with a skewed
+//! trace of mixed TPC-H and large-join-graph requests at configurable
+//! concurrency, then reports throughput, latency percentiles, cache hit
+//! ratio and the per-algorithm block mix — and writes the `BENCH_pr4.json`
+//! snapshot the perf trajectory tracks.
+//!
+//! The trace is skewed on purpose: real frontends re-send the same hot
+//! queries, which is exactly what the α-aware plan cache exploits. 80% of
+//! requests draw from the three hottest pool entries (small TPC-H blocks
+//! the DP schemes answer and the cache then serves), the rest spread over
+//! the full pool including all four `large_join_graph` topologies driven
+//! through hinted RMQ.
+//!
+//! Environment knobs:
+//!
+//! | variable | default | meaning |
+//! |----------|---------|---------|
+//! | `MOQO_SMOKE` | unset | `1`: 128 requests, RMQ budgets ÷10 (CI smoke) |
+//! | `MOQO_BENCH_OUT` | `BENCH_pr4.json` | output path |
+//! | `MOQO_SL_REQUESTS` | 512 | trace length |
+//! | `MOQO_SL_WORKERS` | 4 | service worker threads |
+//! | `MOQO_SL_SEED` | 2024 | trace RNG seed |
+
+use std::time::Instant;
+
+use moqo_catalog::Catalog;
+use moqo_core::Algorithm;
+use moqo_cost::{Objective, ObjectiveSet, Preference};
+use moqo_service::{OptimizationRequest, OptimizationService};
+use moqo_tpch::{large_query_with, query, Topology};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn weighted_pref() -> Preference {
+    Preference::over(ObjectiveSet::empty())
+        .weight(Objective::TotalTime, 1.0)
+        .weight(Objective::BufferFootprint, 1e-6)
+}
+
+/// The request pool. The first three entries are the hot set.
+fn pool(catalog: &Catalog, rmq_samples: u64) -> Vec<OptimizationRequest> {
+    let bounded = weighted_pref().bound(Objective::TupleLoss, 0.0);
+    let rmq = Algorithm::Rmq {
+        samples: rmq_samples,
+        seed: 42,
+        threads: 1,
+    };
+    let mut pool = vec![
+        // Hot set: small blocks, served from the cache after first touch.
+        OptimizationRequest::new(query(catalog, 3), weighted_pref(), 2.0),
+        OptimizationRequest::new(query(catalog, 12), weighted_pref(), 1.0),
+        OptimizationRequest::new(query(catalog, 6), bounded, 1.0),
+        // Cold tail: more TPC-H…
+        OptimizationRequest::new(query(catalog, 14), weighted_pref(), 2.0),
+        OptimizationRequest::new(query(catalog, 10), weighted_pref(), 2.0),
+        OptimizationRequest::new(query(catalog, 4), bounded, 1.0),
+        OptimizationRequest::new(query(catalog, 19), weighted_pref(), 1.5),
+        // Bounded + approximate: the IRA path.
+        OptimizationRequest::new(query(catalog, 12), bounded, 1.5),
+    ];
+    // …plus every large-join-graph topology through the anytime search.
+    for topology in Topology::ALL {
+        for n in [8usize, 12] {
+            pool.push(
+                OptimizationRequest::new(
+                    large_query_with(catalog, n, topology),
+                    weighted_pref(),
+                    2.0,
+                )
+                .with_hint(rmq),
+            );
+        }
+    }
+    pool
+}
+
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+struct Cell {
+    name: &'static str,
+    params: Vec<(&'static str, String)>,
+    median_ms: f64,
+    checksum: u64,
+}
+
+fn main() {
+    let smoke = std::env::var("MOQO_SMOKE").is_ok_and(|v| v != "0");
+    let env_usize = |key: &str, default: usize| -> usize {
+        std::env::var(key)
+            .ok()
+            .and_then(|s| s.trim().parse().ok())
+            .unwrap_or(default)
+    };
+    let requests = env_usize("MOQO_SL_REQUESTS", if smoke { 128 } else { 512 });
+    let workers = env_usize("MOQO_SL_WORKERS", 4);
+    let seed = env_usize("MOQO_SL_SEED", 2024) as u64;
+    let rmq_samples: u64 = if smoke { 100 } else { 1000 };
+    let out_path = std::env::var("MOQO_BENCH_OUT").unwrap_or_else(|_| "BENCH_pr4.json".to_owned());
+
+    let catalog = moqo_tpch::catalog(0.01);
+    let service = OptimizationService::builder(catalog.clone())
+        .workers(workers)
+        .queue_capacity(requests.max(16))
+        .cache_capacity(256)
+        .build();
+    let pool = pool(&catalog, rmq_samples);
+    let hot = 3usize.min(pool.len());
+
+    let mut rng = StdRng::seed_from_u64(seed);
+    let trace: Vec<usize> = (0..requests)
+        .map(|_| {
+            if rng.gen_range(0.0..1.0) < 0.8 {
+                rng.gen_range(0..hot)
+            } else {
+                rng.gen_range(0..pool.len())
+            }
+        })
+        .collect();
+
+    let started = Instant::now();
+    let tickets: Vec<_> = trace
+        .iter()
+        .map(|&i| {
+            service
+                .submit(pool[i].clone())
+                .expect("queue sized to the trace")
+        })
+        .collect();
+    let mut completed = 0u64;
+    for t in tickets {
+        let response = t.wait().expect("no deadlines in the trace");
+        assert!(response.weighted_cost.is_finite());
+        completed += 1;
+    }
+    let wall = started.elapsed();
+    let metrics = service.shutdown();
+    let hit_ratio = metrics.cache.hit_ratio();
+
+    println!(
+        "service_load: {requests} requests × {workers} workers in {:.1} ms \
+         ({:.0} req/s wall)",
+        wall.as_secs_f64() * 1e3,
+        completed as f64 / wall.as_secs_f64()
+    );
+    println!(
+        "  latency p50 {:.2} ms | p95 {:.2} ms | p99 {:.2} ms",
+        metrics.p50.as_secs_f64() * 1e3,
+        metrics.p95.as_secs_f64() * 1e3,
+        metrics.p99.as_secs_f64() * 1e3,
+    );
+    println!(
+        "  cache: {:.1}% hit ratio ({} hits / {} misses / {} warm starts, \
+         {} entries, {} evictions)",
+        hit_ratio * 100.0,
+        metrics.cache.hits,
+        metrics.cache.misses,
+        metrics.cache.warm_starts,
+        metrics.cache.entries,
+        metrics.cache.evictions,
+    );
+    println!(
+        "  block mix: {} exa | {} rta | {} ira | {} rmq | {} cache-served \
+         ({} downgraded)",
+        metrics.blocks_exa,
+        metrics.blocks_rta,
+        metrics.blocks_ira,
+        metrics.blocks_rmq,
+        metrics.blocks_cached,
+        metrics.downgraded_blocks,
+    );
+
+    assert_eq!(metrics.completed, completed);
+    assert!(
+        hit_ratio > 0.5,
+        "the skewed trace must produce a >50% cache hit ratio, got {:.1}%",
+        hit_ratio * 100.0
+    );
+
+    let base_params = vec![
+        ("workers", workers.to_string()),
+        ("requests", requests.to_string()),
+    ];
+    let latency_cell = |pct: &'static str, value: std::time::Duration| Cell {
+        name: "service_load_latency",
+        params: {
+            let mut v = base_params.clone();
+            v.push(("percentile", pct.to_owned()));
+            v
+        },
+        median_ms: value.as_secs_f64() * 1e3,
+        checksum: completed,
+    };
+    let cells = [
+        latency_cell("50", metrics.p50),
+        latency_cell("95", metrics.p95),
+        latency_cell("99", metrics.p99),
+        Cell {
+            name: "service_load_hit_ratio_pct",
+            params: base_params.clone(),
+            median_ms: hit_ratio * 100.0,
+            checksum: completed,
+        },
+        Cell {
+            name: "service_load_throughput_rps",
+            params: base_params.clone(),
+            median_ms: completed as f64 / wall.as_secs_f64(),
+            checksum: completed,
+        },
+        Cell {
+            name: "service_load_rmq_blocks",
+            params: base_params,
+            median_ms: metrics.blocks_rmq as f64,
+            checksum: completed,
+        },
+    ];
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"schema\": \"moqo-bench-snapshot/v1\",\n");
+    json.push_str("  \"pr\": 4,\n");
+    json.push_str(&format!("  \"smoke\": {smoke},\n"));
+    json.push_str("  \"results\": [\n");
+    for (i, c) in cells.iter().enumerate() {
+        let params: Vec<String> = c
+            .params
+            .iter()
+            .map(|(k, v)| format!("\"{}\": {}", json_escape(k), v))
+            .collect();
+        json.push_str(&format!(
+            "    {{\"name\": \"{}\", {}, \"median_ms\": {:.4}, \"checksum\": {}}}{}\n",
+            json_escape(c.name),
+            params.join(", "),
+            c.median_ms,
+            c.checksum,
+            if i + 1 < cells.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write(&out_path, json).expect("snapshot file must be writable");
+    println!("\nwrote {} cells to {out_path}", cells.len());
+}

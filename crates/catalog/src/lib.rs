@@ -21,12 +21,14 @@
 
 mod cardinality;
 mod query;
+mod signature;
 mod table;
 
 pub mod tpch;
 
 pub use cardinality::{subset_rows, subset_width};
 pub use query::{BaseRel, JoinEdge, JoinGraph, JoinGraphBuilder, Query, RelMask};
+pub use signature::GraphSignature;
 pub use table::{Catalog, ColumnId, ColumnStats, TableId, TableStats};
 
 /// Default page size used to convert widths×rows into page counts, in bytes

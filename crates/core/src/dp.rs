@@ -96,7 +96,11 @@ pub struct DpStats {
     pub considered_plans: u64,
     /// Plans currently stored across all table sets.
     pub stored_plans: usize,
-    /// Peak of [`DpStats::stored_plans`] over the run.
+    /// Peak of [`DpStats::stored_plans`], sampled whenever a table set
+    /// completes (rather than after every insertion): the stored sets at a
+    /// completion boundary are determined by the candidate *set*, not the
+    /// candidate *order*, so the peak is comparable across enumeration-order
+    /// changes. Transient within-set spikes are deliberately not counted.
     pub peak_stored_plans: usize,
     /// Deterministic memory model: peak stored plans × bytes per stored
     /// plan (plan node + cost vector + entry bookkeeping), in bytes.
@@ -123,6 +127,11 @@ impl DpStats {
             self.stored_plans += 1;
         }
         self.stored_plans -= deleted;
+    }
+
+    /// Samples the peak at a table-set completion boundary (see
+    /// [`DpStats::peak_stored_plans`]).
+    fn on_set_completed(&mut self) {
         if self.stored_plans > self.peak_stored_plans {
             self.peak_stored_plans = self.stored_plans;
             self.peak_memory_bytes = self.peak_stored_plans * Self::bytes_per_stored_plan();
@@ -237,6 +246,7 @@ pub fn find_pareto_plans(
         }
         target.completed = true;
         stats.pareto_last_complete = target.total_plans();
+        stats.on_set_completed();
     }
 
     // Phase 2: table sets of increasing cardinality.
@@ -290,6 +300,9 @@ pub fn find_pareto_plans(
         target.completed = !stats.timed_out;
         let total = target.total_plans();
         table[mask as usize] = target;
+        // A timed-out set is still sampled: its partial plans are resident
+        // and the quick-finish pass builds on top of them.
+        stats.on_set_completed();
         if stats.timed_out {
             break 'outer;
         }
@@ -315,23 +328,57 @@ pub fn find_pareto_plans(
 }
 
 /// Scan operator configurations for one relation: sequential scan, index
-/// scans on every indexed column, and the five sampling rates.
-pub(crate) fn scan_configurations(model: &CostModel<'_>, rel: usize) -> Vec<ScanOp> {
+/// scans on every indexed column, and the five sampling rates — streamed,
+/// so per-relation callers (the DP's phase 1, random tree construction)
+/// allocate nothing.
+pub(crate) fn scan_configurations<'m>(
+    model: &'m CostModel<'_>,
+    rel: usize,
+) -> impl Iterator<Item = ScanOp> + 'm {
     let table = model.catalog.table(model.graph.rels[rel].table);
-    let mut ops = vec![ScanOp::SeqScan];
-    for (ordinal, col) in table.columns.iter().enumerate() {
-        if col.indexed {
-            ops.push(ScanOp::IndexScan {
-                column: ordinal as u16,
-            });
+    let sampling = model.params.enable_sampling;
+    std::iter::once(ScanOp::SeqScan)
+        .chain(
+            table
+                .columns
+                .iter()
+                .enumerate()
+                .filter(|(_, col)| col.indexed)
+                .map(|(ordinal, _)| ScanOp::IndexScan {
+                    column: ordinal as u16,
+                }),
+        )
+        .chain(
+            sampling
+                .then_some(moqo_plan::SAMPLING_RATES_PCT)
+                .into_iter()
+                .flatten()
+                .map(|rate_pct| ScanOp::SamplingScan { rate_pct }),
+        )
+}
+
+/// Per-relation scan configurations materialized once per run — the random
+/// search re-draws scan operators for every sampled tree and every mutation,
+/// so it indexes into this table instead of re-deriving (or re-allocating)
+/// the option list per draw.
+pub(crate) struct ScanOptions {
+    per_rel: Vec<Vec<ScanOp>>,
+}
+
+impl ScanOptions {
+    pub(crate) fn new(model: &CostModel<'_>) -> Self {
+        ScanOptions {
+            per_rel: (0..model.graph.n_rels())
+                .map(|rel| scan_configurations(model, rel).collect())
+                .collect(),
         }
     }
-    if model.params.enable_sampling {
-        for rate_pct in moqo_plan::SAMPLING_RATES_PCT {
-            ops.push(ScanOp::SamplingScan { rate_pct });
-        }
+
+    /// The scan operators applicable to `rel`, in the canonical
+    /// [`scan_configurations`] order.
+    pub(crate) fn for_rel(&self, rel: usize) -> &[ScanOp] {
+        &self.per_rel[rel]
     }
-    ops
 }
 
 /// All masks with 2..=n bits, in increasing cardinality and ascending
@@ -628,6 +675,7 @@ fn quick_finish(
             stats,
         );
         groups.completed = true;
+        stats.on_set_completed();
     }
 }
 

@@ -7,17 +7,17 @@
 
 use std::time::{Duration, Instant};
 
-use moqo_catalog::{Catalog, Query};
+use moqo_catalog::{Catalog, JoinGraph, Query};
 use moqo_cost::{CostVector, Objective, Preference};
 use moqo_costmodel::{CostModel, CostModelParams};
-use moqo_plan::{PlanArena, PlanId};
+use moqo_plan::{JoinTree, PlanArena, PlanId};
 
 use crate::budget::Deadline;
 use crate::exa_rta::{exa, rta};
 use crate::ira::ira;
 use crate::metrics::{BlockReport, OptimizationReport};
 use crate::pareto::PlanEntry;
-use crate::rmq::{rmq, RmqConfig};
+use crate::rmq::{rmq_warm, RmqConfig};
 use crate::select::select_best;
 
 /// The optimization algorithm to run.
@@ -64,8 +64,30 @@ pub struct BlockPlan {
     pub root: PlanId,
     /// Cost vector of the selected plan.
     pub cost: CostVector,
-    /// Cost vectors of the (approximate) Pareto frontier for the block.
-    pub frontier: Vec<CostVector>,
+    /// The (approximate) Pareto frontier for the block: full entries whose
+    /// plan ids resolve in [`BlockPlan::arena`], so callers (plan caches,
+    /// alternative-plan UIs) can extract every frontier plan, not just its
+    /// cost vector.
+    pub frontier: Vec<PlanEntry>,
+}
+
+impl BlockPlan {
+    /// The frontier's cost vectors, in frontier order.
+    #[must_use]
+    pub fn frontier_costs(&self) -> Vec<CostVector> {
+        self.frontier.iter().map(|e| e.cost).collect()
+    }
+
+    /// Extracts the frontier's plans as owned join trees, in frontier order
+    /// — the by-value form a cache or another thread can hold without
+    /// keeping this block's arena alive.
+    #[must_use]
+    pub fn frontier_trees(&self) -> Vec<JoinTree> {
+        self.frontier
+            .iter()
+            .map(|e| self.arena.extract_tree(e.plan))
+            .collect()
+    }
 }
 
 /// The result of optimizing a (possibly multi-block) query.
@@ -168,109 +190,16 @@ impl<'a> Optimizer<'a> {
             !query.blocks.is_empty(),
             "query must have at least one block"
         );
-        assert!(
-            !preference.objectives.is_empty(),
-            "preference must select at least one objective"
-        );
 
         let mut block_plans = Vec::with_capacity(query.blocks.len());
         let mut reports = Vec::with_capacity(query.blocks.len());
         let mut block_costs = Vec::with_capacity(query.blocks.len());
 
         for graph in &query.blocks {
-            let model = CostModel::new(&self.params, self.catalog, graph);
-            let deadline = Deadline::new(self.timeout);
-            let started = Instant::now();
-            let (best, final_plans, stats, iterations, alpha_final): (
-                PlanEntry,
-                Vec<PlanEntry>,
-                crate::dp::DpStats,
-                u32,
-                f64,
-            );
-            match algorithm {
-                Algorithm::Exhaustive => {
-                    let result = exa(&model, preference, &deadline);
-                    let chosen = select_best(&result.final_plans, preference)
-                        .expect("DP returns at least one plan");
-                    best = chosen;
-                    final_plans = result.final_plans;
-                    stats = result.stats;
-                    iterations = 1;
-                    alpha_final = 1.0;
-                    block_plans.push(BlockPlan {
-                        arena: result.arena,
-                        root: best.plan,
-                        cost: best.cost,
-                        frontier: final_plans.iter().map(|e| e.cost).collect(),
-                    });
-                }
-                Algorithm::Rta { alpha } => {
-                    let result = rta(&model, preference, alpha, &deadline);
-                    let chosen = select_best(&result.final_plans, preference)
-                        .expect("DP returns at least one plan");
-                    best = chosen;
-                    final_plans = result.final_plans;
-                    stats = result.stats;
-                    iterations = 1;
-                    alpha_final = alpha;
-                    block_plans.push(BlockPlan {
-                        arena: result.arena,
-                        root: best.plan,
-                        cost: best.cost,
-                        frontier: final_plans.iter().map(|e| e.cost).collect(),
-                    });
-                }
-                Algorithm::Ira { alpha } => {
-                    let out = ira(&model, preference, alpha, &deadline);
-                    best = out.best;
-                    final_plans = out.result.final_plans;
-                    let mut s = out.result.stats;
-                    s.considered_plans = out.total_considered;
-                    stats = s;
-                    iterations = out.iterations;
-                    alpha_final = out.alpha_last;
-                    block_plans.push(BlockPlan {
-                        arena: out.result.arena,
-                        root: best.plan,
-                        cost: best.cost,
-                        frontier: final_plans.iter().map(|e| e.cost).collect(),
-                    });
-                }
-                Algorithm::Rmq {
-                    samples,
-                    seed,
-                    threads,
-                } => {
-                    let out = rmq(
-                        &model,
-                        preference,
-                        &RmqConfig::new(samples, seed).with_threads(threads),
-                        &deadline,
-                    );
-                    let chosen = select_best(&out.final_plans, preference)
-                        .expect("RMQ returns at least one plan");
-                    best = chosen;
-                    final_plans = out.final_plans;
-                    stats = out.stats;
-                    iterations = u32::try_from(out.iterations).unwrap_or(u32::MAX);
-                    // Randomized search carries no precision guarantee.
-                    alpha_final = f64::NAN;
-                    block_plans.push(BlockPlan {
-                        arena: out.arena,
-                        root: best.plan,
-                        cost: best.cost,
-                        frontier: final_plans.iter().map(|e| e.cost).collect(),
-                    });
-                }
-            }
-            block_costs.push(best.cost);
-            reports.push(BlockReport::from_stats(
-                &stats,
-                started.elapsed(),
-                iterations,
-                alpha_final,
-            ));
+            let (block, report) = self.optimize_block(graph, preference, algorithm);
+            block_costs.push(block.cost);
+            block_plans.push(block);
+            reports.push(report);
         }
 
         let total_cost = combine_block_costs(&block_costs);
@@ -281,6 +210,103 @@ impl<'a> Optimizer<'a> {
             total_cost,
             report: OptimizationReport { blocks: reports },
         }
+    }
+
+    /// Optimizes a single query block — the per-block entry point a serving
+    /// layer schedules and caches on ([`Optimizer::optimize`] is this in a
+    /// loop plus [`combine_block_costs`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the block is empty or the preference selects no objectives.
+    #[must_use]
+    pub fn optimize_block(
+        &self,
+        graph: &JoinGraph,
+        preference: &Preference,
+        algorithm: Algorithm,
+    ) -> (BlockPlan, BlockReport) {
+        self.optimize_block_warm(graph, preference, algorithm, &[])
+    }
+
+    /// [`Optimizer::optimize_block`] with warm-start plans: for
+    /// [`Algorithm::Rmq`] the trees seed the walker population (see
+    /// [`rmq_warm`]); the dynamic-programming schemes enumerate
+    /// exhaustively by construction and ignore them.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the block is empty or the preference selects no objectives.
+    #[must_use]
+    pub fn optimize_block_warm(
+        &self,
+        graph: &JoinGraph,
+        preference: &Preference,
+        algorithm: Algorithm,
+        warm_start: &[JoinTree],
+    ) -> (BlockPlan, BlockReport) {
+        assert!(
+            !preference.objectives.is_empty(),
+            "preference must select at least one objective"
+        );
+        let model = CostModel::new(&self.params, self.catalog, graph);
+        let deadline = Deadline::new(self.timeout);
+        let started = Instant::now();
+        let (arena, final_plans, stats, iterations, alpha_final) = match algorithm {
+            Algorithm::Exhaustive => {
+                let result = exa(&model, preference, &deadline);
+                (result.arena, result.final_plans, result.stats, 1, 1.0)
+            }
+            Algorithm::Rta { alpha } => {
+                let result = rta(&model, preference, alpha, &deadline);
+                (result.arena, result.final_plans, result.stats, 1, alpha)
+            }
+            Algorithm::Ira { alpha } => {
+                let out = ira(&model, preference, alpha, &deadline);
+                let mut stats = out.result.stats;
+                stats.considered_plans = out.total_considered;
+                (
+                    out.result.arena,
+                    out.result.final_plans,
+                    stats,
+                    out.iterations,
+                    out.alpha_last,
+                )
+            }
+            Algorithm::Rmq {
+                samples,
+                seed,
+                threads,
+            } => {
+                let out = rmq_warm(
+                    &model,
+                    preference,
+                    &RmqConfig::new(samples, seed).with_threads(threads),
+                    &deadline,
+                    warm_start,
+                );
+                (
+                    out.arena,
+                    out.final_plans,
+                    out.stats,
+                    u32::try_from(out.iterations).unwrap_or(u32::MAX),
+                    // Randomized search carries no precision guarantee.
+                    f64::NAN,
+                )
+            }
+        };
+        let best: PlanEntry =
+            select_best(&final_plans, preference).expect("optimizers return at least one plan");
+        let report = BlockReport::from_stats(&stats, started.elapsed(), iterations, alpha_final);
+        (
+            BlockPlan {
+                arena,
+                root: best.plan,
+                cost: best.cost,
+                frontier: final_plans,
+            },
+            report,
+        )
     }
 }
 

@@ -18,7 +18,10 @@ use moqo_cost::{CostVector, ObjectiveSet};
 use moqo_plan::{PlanId, PlanProps};
 
 /// One stored plan: its cost vector, physical properties and arena id.
-#[derive(Debug, Clone, Copy)]
+/// Equality is bitwise over cost, props and id — two entries are equal only
+/// when they are the same plan in the same arena layout, which is exactly
+/// the "byte-identical fronts" property the deterministic tests assert.
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PlanEntry {
     /// Full nine-dimensional cost vector.
     pub cost: CostVector,

@@ -60,7 +60,7 @@ use moqo_costmodel::CostModel;
 use moqo_plan::{JoinOp, JoinTree, PlanArena, PlanId, PlanProps, ScanOp};
 
 use crate::budget::Deadline;
-use crate::dp::{scan_configurations, DpStats, JoinKeys};
+use crate::dp::{DpStats, JoinKeys, ScanOptions};
 use crate::metrics::ConvergencePoint;
 use crate::pareto::{PlanEntry, PlanSet, PruneStrategy};
 use crate::select::select_best;
@@ -168,6 +168,30 @@ pub fn rmq(
     config: &RmqConfig,
     deadline: &Deadline,
 ) -> RmqResult {
+    rmq_warm(model, preference, config, deadline, &[])
+}
+
+/// [`rmq`] with a warm start: walker `w` seeds itself from
+/// `warm_start[w mod |warm_start|]` (instead of a random tree) when the
+/// tree still costs under this model — the serving layer's plan cache
+/// hands fronts computed for the same block back to the search, so the
+/// walk begins at yesterday's frontier instead of from scratch. Trees that
+/// fail to cost (or an empty slice) fall back to random seeding. Results
+/// remain fully deterministic in `(seed, warm_start, budget)` at any
+/// thread count.
+///
+/// # Panics
+///
+/// Panics if the preference selects no objectives, the block is empty, or
+/// a warm tree references relations outside the block.
+#[must_use]
+pub fn rmq_warm(
+    model: &CostModel<'_>,
+    preference: &Preference,
+    config: &RmqConfig,
+    deadline: &Deadline,
+    warm_start: &[JoinTree],
+) -> RmqResult {
     let n = model.graph.n_rels();
     assert!(n >= 1, "query block must contain at least one relation");
     assert!(
@@ -178,6 +202,7 @@ pub fn rmq(
     let objectives = preference.objectives;
     let strategy = PruneStrategy::exact();
     let keys = JoinKeys::new(model);
+    let scan_opts = ScanOptions::new(model);
     let n_walkers = config.walkers.max(1);
     let w64 = n_walkers as u64;
     // The snapshot schedule is materialized up front, so cap the trace at
@@ -211,10 +236,12 @@ pub fn rmq(
         run_walkers(
             model,
             &keys,
+            &scan_opts,
             objectives,
             config,
             0,
             &walker_inputs,
+            warm_start,
             deadline,
         )
     } else {
@@ -226,6 +253,7 @@ pub fn rmq(
                 .enumerate()
                 .map(|(ci, chunk)| {
                     let keys = &keys;
+                    let scan_opts = &scan_opts;
                     s.spawn(move || {
                         // Walkers cannot share the deadline (its amortization
                         // cells are not `Sync`); each thread re-derives one
@@ -234,10 +262,12 @@ pub fn rmq(
                         run_walkers(
                             model,
                             keys,
+                            scan_opts,
                             objectives,
                             config,
                             ci * chunk_size,
                             chunk,
+                            warm_start,
                             &local_deadline,
                         )
                     })
@@ -365,13 +395,16 @@ struct WalkerRun {
 /// affect budget-bound results — walkers share nothing, so any schedule
 /// yields the same per-walker streams; only *where* an expiring deadline
 /// lands is wall-clock dependent, as it always was.
+#[allow(clippy::too_many_arguments)]
 fn run_walkers(
     model: &CostModel<'_>,
     keys: &JoinKeys,
+    scan_opts: &ScanOptions,
     objectives: ObjectiveSet,
     config: &RmqConfig,
     first_index: usize,
     inputs: &[(u64, u64, Vec<u64>)],
+    warm_start: &[JoinTree],
     deadline: &Deadline,
 ) -> Vec<WalkerRun> {
     /// Iterations one walker runs before yielding to the next in its chunk.
@@ -380,15 +413,14 @@ fn run_walkers(
         .iter()
         .enumerate()
         .map(|(i, (budget, seed, snaps))| {
+            let index = first_index + i;
+            let warm = if warm_start.is_empty() {
+                None
+            } else {
+                Some(&warm_start[index % warm_start.len()])
+            };
             WalkerState::new(
-                model,
-                keys,
-                objectives,
-                config,
-                first_index + i,
-                *budget,
-                *seed,
-                snaps,
+                model, keys, scan_opts, objectives, config, index, *budget, *seed, snaps, warm,
             )
         })
         .collect();
@@ -408,6 +440,7 @@ fn run_walkers(
 struct WalkerState<'a> {
     model: &'a CostModel<'a>,
     keys: &'a JoinKeys,
+    scan_opts: &'a ScanOptions,
     objectives: ObjectiveSet,
     config: &'a RmqConfig,
     budget: u64,
@@ -422,6 +455,9 @@ struct WalkerState<'a> {
     state: Component,
     iterations: u64,
     timed_out: bool,
+    /// Reusable shuffle buffer for scan-operator draws (random tree
+    /// construction re-shuffles the options of every relation).
+    scan_scratch: Vec<ScanOp>,
 }
 
 impl<'a> WalkerState<'a> {
@@ -434,20 +470,31 @@ impl<'a> WalkerState<'a> {
     fn new(
         model: &'a CostModel<'a>,
         keys: &'a JoinKeys,
+        scan_opts: &'a ScanOptions,
         objectives: ObjectiveSet,
         config: &'a RmqConfig,
         index: usize,
         budget: u64,
         seed: u64,
         snapshot_counts: &'a [u64],
+        warm: Option<&JoinTree>,
     ) -> Self {
         let mut rng = StdRng::seed_from_u64(seed);
-        let (tree, cost, props) =
-            sample_random_tree(model, keys, &mut rng).expect("a nested-loop plan always exists");
+        let mut scan_scratch = Vec::new();
+        // A warm tree that no longer costs under this model falls back to
+        // random seeding — the warm start is an accelerator, never a
+        // correctness dependency.
+        let (tree, cost, props) = warm
+            .and_then(|t| cost_tree_with(model, keys, t).map(|(c, p)| (t.clone(), c, p)))
+            .unwrap_or_else(|| {
+                sample_random_tree(model, keys, scan_opts, &mut scan_scratch, &mut rng)
+                    .expect("a nested-loop plan always exists")
+            });
         let scal = walker_scalarization(index, objectives, &cost, &mut rng);
         let mut walker = WalkerState {
             model,
             keys,
+            scan_opts,
             objectives,
             config,
             budget,
@@ -462,6 +509,7 @@ impl<'a> WalkerState<'a> {
             state: Component { tree, cost, props },
             iterations: 0,
             timed_out: false,
+            scan_scratch,
         };
         let seeded = walker.state.tree.clone();
         walker.offer(&seeded, cost, props);
@@ -528,8 +576,14 @@ impl<'a> WalkerState<'a> {
         let draw: f64 = self.rng.gen_range(0.0..1.0);
         if draw < self.config.restart_probability {
             // Exploration: restart this walker on a fresh random tree.
-            let (tree, cost, props) = sample_random_tree(self.model, self.keys, &mut self.rng)
-                .expect("a nested-loop plan always exists");
+            let (tree, cost, props) = sample_random_tree(
+                self.model,
+                self.keys,
+                self.scan_opts,
+                &mut self.scan_scratch,
+                &mut self.rng,
+            )
+            .expect("a nested-loop plan always exists");
             self.offer(&tree, cost, props);
             self.state = Component { tree, cost, props };
         } else if draw < self.config.restart_probability + self.config.elite_probability {
@@ -556,7 +610,13 @@ impl<'a> WalkerState<'a> {
             // `considered_plans` is not incremented.
         } else {
             // Local move: one random transformation of the walker's tree.
-            match mutate_tree(self.model, self.keys, &self.state.tree, &mut self.rng) {
+            match mutate_tree(
+                self.model,
+                self.keys,
+                self.scan_opts,
+                &self.state.tree,
+                &mut self.rng,
+            ) {
                 Some((tree, cost, props)) => {
                     self.offer(&tree, cost, props);
                     // Accept when the walker's scalarized cost does not
@@ -676,16 +736,19 @@ fn walker_scalarization(
 fn sample_random_tree(
     model: &CostModel<'_>,
     keys: &JoinKeys,
+    scan_opts: &ScanOptions,
+    scan_scratch: &mut Vec<ScanOp>,
     rng: &mut StdRng,
 ) -> Option<(JoinTree, CostVector, PlanProps)> {
     let n = model.graph.n_rels();
     let mut components: Vec<Component> = Vec::with_capacity(n);
     for rel in 0..n {
-        let mut ops = scan_configurations(model, rel);
-        ops.shuffle(rng);
-        let (op, cost, props) = ops
-            .into_iter()
-            .find_map(|op| model.scan_cost(rel, op).map(|(c, p)| (op, c, p)))?;
+        scan_scratch.clear();
+        scan_scratch.extend_from_slice(scan_opts.for_rel(rel));
+        scan_scratch.shuffle(rng);
+        let (op, cost, props) = scan_scratch
+            .iter()
+            .find_map(|&op| model.scan_cost(rel, op).map(|(c, p)| (op, c, p)))?;
         components.push(Component {
             tree: JoinTree::scan(rel, op),
             cost,
@@ -758,6 +821,7 @@ fn sample_random_tree(
 fn mutate_tree(
     model: &CostModel<'_>,
     keys: &JoinKeys,
+    scan_opts: &ScanOptions,
     base: &JoinTree,
     rng: &mut StdRng,
 ) -> Option<(JoinTree, CostVector, PlanProps)> {
@@ -781,8 +845,8 @@ fn mutate_tree(
             4 => {
                 let leaf = rng.gen_range(0..n_leaves);
                 let (rel, current) = tree.scan_at(leaf)?;
-                let ops = scan_configurations(model, rel);
-                let new_op = *ops.as_slice().choose(rng)?;
+                let ops = scan_opts.for_rel(rel);
+                let new_op = *ops.choose(rng)?;
                 // Re-drawing the current operator would re-cost an
                 // identical tree; treat it as a failed draw instead.
                 new_op != current && tree.set_scan_op(leaf, new_op).is_some()

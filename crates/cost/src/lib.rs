@@ -57,6 +57,7 @@
 
 mod objective;
 mod preference;
+mod signature;
 mod vector;
 
 pub mod dominance;
@@ -69,6 +70,7 @@ pub mod running_example;
 pub use dominance::{approx_dominates, dominates, strictly_dominates};
 pub use objective::{Objective, ObjectiveSet, NUM_OBJECTIVES};
 pub use preference::{Bounds, Preference, Weights};
+pub use signature::PreferenceSignature;
 pub use vector::CostVector;
 
 /// Relative cost `ρ_I(p)` of a plan with weighted cost `cost` against the

@@ -1,0 +1,84 @@
+//! # moqo_service — a concurrent optimization service with an α-aware plan cache
+//!
+//! The paper trades precision for optimization speed through the
+//! approximation factor α; its anytime follow-up (arXiv:1603.00400) frames
+//! optimization under per-request time budgets. This crate turns those two
+//! ideas into a serving layer a frontend can hammer:
+//!
+//! * **Requests** ([`OptimizationRequest`]) pair a query with a
+//!   [`Preference`](moqo_cost::Preference), a tolerated approximation
+//!   factor `α′`, an optional wall-clock deadline, and an optional
+//!   algorithm hint.
+//! * **Scheduling**: submissions land in a bounded MPMC queue (back-pressure
+//!   surfaces as [`ServiceError::QueueFull`], never silent buffering) and
+//!   are executed by a pool of `std::thread` workers. A pluggable
+//!   [`AlgorithmPolicy`] performs deadline-aware admission per block:
+//!   prefer the strongest scheme the request asks for, downgrade along
+//!   `EXA → IRA/RTA → RMQ` when block size or remaining budget rules it
+//!   out, reject when even the anytime search cannot start.
+//! * **The α-aware plan cache** ([`PlanCache`]): blocks are keyed by
+//!   canonical signatures ([`moqo_catalog::JoinGraph::signature`] ×
+//!   [`moqo_cost::Preference::signature`]). A front computed at factor α
+//!   serves every later request tolerating `α′ ≥ α` directly (with the
+//!   Figure-8 restriction for bounded requests — see [`AlphaCertificate`]),
+//!   and warm-starts the randomized search otherwise. Entries own their
+//!   plans in compact arenas (re-rooted via `PlanArena::adopt`), eviction
+//!   is sharded LRU, and per-entry hit/warm-start statistics are kept.
+//! * **Metrics** ([`ServiceMetrics`]): throughput, p50/p95/p99 latency,
+//!   admission rejections, downgrade counts, per-algorithm block mix, and
+//!   cache counters, all snapshotted on demand.
+//!
+//! Everything is std-only — no async runtime — and deterministic under a
+//! test configuration (one worker, fixed RMQ seed, no deadlines).
+//!
+//! ## Example
+//!
+//! ```
+//! use moqo_service::{OptimizationRequest, OptimizationService};
+//! use moqo_cost::{Objective, ObjectiveSet, Preference};
+//!
+//! let catalog = moqo_catalog::tpch::catalog(0.01);
+//! let service = OptimizationService::builder(catalog.clone()).workers(2).build();
+//!
+//! let query = {
+//!     // Any query built against the service's catalog works; here a tiny
+//!     // two-relation block.
+//!     use moqo_catalog::{JoinGraphBuilder, Query};
+//!     let block = JoinGraphBuilder::new(&catalog)
+//!         .rel("orders", 1.0)
+//!         .rel("lineitem", 0.5)
+//!         .join(("orders", "o_orderkey"), ("lineitem", "l_orderkey"))
+//!         .build();
+//!     Query::single_block("example", block)
+//! };
+//! let preference = Preference::over(ObjectiveSet::empty())
+//!     .weight(Objective::TotalTime, 1.0)
+//!     .bound(Objective::TupleLoss, 0.0);
+//!
+//! let request = OptimizationRequest::new(query, preference, 1.0);
+//! let response = service.submit_wait(request.clone()).unwrap();
+//! assert!(response.respects_bounds);
+//!
+//! // The same request again is a cache hit.
+//! let again = service.submit_wait(request).unwrap();
+//! assert!(again.fully_cached());
+//! ```
+
+#![warn(missing_docs)]
+
+mod cache;
+mod metrics;
+mod policy;
+mod queue;
+mod request;
+mod service;
+
+pub use cache::{CacheKey, CacheLookup, CacheSnapshot, EntryStats, PlanCache};
+pub use metrics::{AlgorithmKind, MetricsSnapshot, ServiceMetrics};
+pub use policy::{Admission, AlgorithmPolicy, DeadlineAwarePolicy, PolicyContext};
+pub use queue::{BoundedQueue, PushError};
+pub use request::{
+    AlphaCertificate, BlockOutcome, BlockSource, OptimizationRequest, OptimizationResponse,
+    ServiceError,
+};
+pub use service::{OptimizationService, ServiceBuilder, ServiceConfig, Ticket};

@@ -1,0 +1,228 @@
+//! Service-level observability: request counters, per-algorithm mix, and
+//! latency percentiles.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use moqo_core::Algorithm;
+
+use crate::cache::CacheSnapshot;
+
+/// Which algorithm family served a block (the service's per-algorithm mix).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AlgorithmKind {
+    /// The exact algorithm.
+    Exa,
+    /// The representative-tradeoffs approximation scheme.
+    Rta,
+    /// The iterative-refinement approximation scheme.
+    Ira,
+    /// The anytime randomized optimizer.
+    Rmq,
+    /// No algorithm ran — the block came straight from the plan cache.
+    CacheServe,
+}
+
+impl AlgorithmKind {
+    /// Classifies an [`Algorithm`].
+    #[must_use]
+    pub fn of(algorithm: Algorithm) -> Self {
+        match algorithm {
+            Algorithm::Exhaustive => AlgorithmKind::Exa,
+            Algorithm::Rta { .. } => AlgorithmKind::Rta,
+            Algorithm::Ira { .. } => AlgorithmKind::Ira,
+            Algorithm::Rmq { .. } => AlgorithmKind::Rmq,
+        }
+    }
+
+    const COUNT: usize = 5;
+
+    fn index(self) -> usize {
+        match self {
+            AlgorithmKind::Exa => 0,
+            AlgorithmKind::Rta => 1,
+            AlgorithmKind::Ira => 2,
+            AlgorithmKind::Rmq => 3,
+            AlgorithmKind::CacheServe => 4,
+        }
+    }
+}
+
+/// Live counters; cheap to update from every worker.
+pub struct ServiceMetrics {
+    started: Instant,
+    submitted: AtomicU64,
+    completed: AtomicU64,
+    rejected: AtomicU64,
+    queue_full: AtomicU64,
+    downgraded_blocks: AtomicU64,
+    algo_blocks: [AtomicU64; AlgorithmKind::COUNT],
+    /// Completed-request latencies in microseconds (submission → response).
+    latencies_us: Mutex<Vec<u64>>,
+}
+
+impl Default for ServiceMetrics {
+    fn default() -> Self {
+        ServiceMetrics {
+            started: Instant::now(),
+            submitted: AtomicU64::new(0),
+            completed: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+            queue_full: AtomicU64::new(0),
+            downgraded_blocks: AtomicU64::new(0),
+            algo_blocks: std::array::from_fn(|_| AtomicU64::new(0)),
+            latencies_us: Mutex::new(Vec::new()),
+        }
+    }
+}
+
+impl ServiceMetrics {
+    pub(crate) fn on_submitted(&self) {
+        self.submitted.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn on_queue_full(&self) {
+        self.queue_full.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn on_rejected(&self) {
+        self.rejected.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn on_block(&self, kind: AlgorithmKind, downgraded: bool) {
+        self.algo_blocks[kind.index()].fetch_add(1, Ordering::Relaxed);
+        if downgraded {
+            self.downgraded_blocks.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    pub(crate) fn on_completed(&self, latency: Duration) {
+        self.completed.fetch_add(1, Ordering::Relaxed);
+        let us = u64::try_from(latency.as_micros()).unwrap_or(u64::MAX);
+        self.latencies_us
+            .lock()
+            .expect("metrics lock poisoned")
+            .push(us);
+    }
+
+    /// A consistent-enough point-in-time view (counters are relaxed; the
+    /// latency histogram is copied under its lock).
+    #[must_use]
+    pub fn snapshot(&self, cache: CacheSnapshot) -> MetricsSnapshot {
+        let mut latencies = self
+            .latencies_us
+            .lock()
+            .expect("metrics lock poisoned")
+            .clone();
+        latencies.sort_unstable();
+        let percentile = |p: f64| -> Duration {
+            if latencies.is_empty() {
+                return Duration::ZERO;
+            }
+            let rank = (p * (latencies.len() - 1) as f64).round() as usize;
+            Duration::from_micros(latencies[rank.min(latencies.len() - 1)])
+        };
+        let completed = self.completed.load(Ordering::Relaxed);
+        let elapsed = self.started.elapsed();
+        MetricsSnapshot {
+            uptime: elapsed,
+            submitted: self.submitted.load(Ordering::Relaxed),
+            completed,
+            rejected: self.rejected.load(Ordering::Relaxed),
+            queue_full: self.queue_full.load(Ordering::Relaxed),
+            downgraded_blocks: self.downgraded_blocks.load(Ordering::Relaxed),
+            throughput_rps: if elapsed.as_secs_f64() > 0.0 {
+                completed as f64 / elapsed.as_secs_f64()
+            } else {
+                0.0
+            },
+            p50: percentile(0.50),
+            p95: percentile(0.95),
+            p99: percentile(0.99),
+            blocks_exa: self.algo_blocks[0].load(Ordering::Relaxed),
+            blocks_rta: self.algo_blocks[1].load(Ordering::Relaxed),
+            blocks_ira: self.algo_blocks[2].load(Ordering::Relaxed),
+            blocks_rmq: self.algo_blocks[3].load(Ordering::Relaxed),
+            blocks_cached: self.algo_blocks[4].load(Ordering::Relaxed),
+            cache,
+        }
+    }
+}
+
+/// Everything an operator dashboard would plot.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MetricsSnapshot {
+    /// Time since the service started.
+    pub uptime: Duration,
+    /// Requests accepted into the queue.
+    pub submitted: u64,
+    /// Requests answered with a plan.
+    pub completed: u64,
+    /// Requests rejected by admission control.
+    pub rejected: u64,
+    /// Submissions bounced off a full queue.
+    pub queue_full: u64,
+    /// Blocks that ran a weaker algorithm than the request preferred.
+    pub downgraded_blocks: u64,
+    /// Completed requests per second of uptime.
+    pub throughput_rps: f64,
+    /// Median request latency (submission → response).
+    pub p50: Duration,
+    /// 95th-percentile latency.
+    pub p95: Duration,
+    /// 99th-percentile latency.
+    pub p99: Duration,
+    /// Blocks optimized by the exact algorithm.
+    pub blocks_exa: u64,
+    /// Blocks optimized by RTA.
+    pub blocks_rta: u64,
+    /// Blocks optimized by IRA.
+    pub blocks_ira: u64,
+    /// Blocks optimized by RMQ (fresh or warm-started).
+    pub blocks_rmq: u64,
+    /// Blocks served straight from the plan cache.
+    pub blocks_cached: u64,
+    /// Plan-cache counters.
+    pub cache: CacheSnapshot,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_over_known_latencies() {
+        let m = ServiceMetrics::default();
+        for ms in 1..=100u64 {
+            m.on_completed(Duration::from_millis(ms));
+        }
+        let snap = m.snapshot(CacheSnapshot::default());
+        assert_eq!(snap.completed, 100);
+        assert_eq!(snap.p50, Duration::from_millis(51));
+        assert_eq!(snap.p95, Duration::from_millis(95));
+        assert_eq!(snap.p99, Duration::from_millis(99));
+        assert!(snap.throughput_rps > 0.0);
+    }
+
+    #[test]
+    fn empty_metrics_are_zero() {
+        let m = ServiceMetrics::default();
+        let snap = m.snapshot(CacheSnapshot::default());
+        assert_eq!(snap.p50, Duration::ZERO);
+        assert_eq!(snap.completed, 0);
+    }
+
+    #[test]
+    fn block_mix_accumulates() {
+        let m = ServiceMetrics::default();
+        m.on_block(AlgorithmKind::Exa, false);
+        m.on_block(AlgorithmKind::Rmq, true);
+        m.on_block(AlgorithmKind::CacheServe, false);
+        let snap = m.snapshot(CacheSnapshot::default());
+        assert_eq!(snap.blocks_exa, 1);
+        assert_eq!(snap.blocks_rmq, 1);
+        assert_eq!(snap.blocks_cached, 1);
+        assert_eq!(snap.downgraded_blocks, 1);
+    }
+}

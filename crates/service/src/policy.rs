@@ -1,0 +1,292 @@
+//! Deadline-aware admission: which algorithm runs, and whether at all.
+//!
+//! The anytime follow-up (arXiv:1603.00400) frames optimization under
+//! per-request time budgets; a serving layer turns that framing into an
+//! admission decision. The default policy picks the *preferred* scheme from
+//! the request (`α = 1` → EXA; bounded → IRA; otherwise RTA), then
+//! downgrades along `EXA → IRA/RTA → RMQ` whenever the block size or the
+//! remaining deadline budget rules a scheme out, and rejects only when even
+//! the anytime randomized search cannot start before the deadline.
+
+use std::time::Duration;
+
+use moqo_core::Algorithm;
+
+/// What the policy sees about one block of a request at scheduling time.
+#[derive(Debug, Clone, Copy)]
+pub struct PolicyContext {
+    /// Relations in the block under decision.
+    pub block_size: usize,
+    /// Tolerated approximation factor `α′` of the request.
+    pub alpha: f64,
+    /// Whether the request bounds any selected objective.
+    pub bounded: bool,
+    /// Deadline budget left when the decision is made (`None` = unlimited).
+    pub remaining: Option<Duration>,
+    /// The request's algorithm override, if any.
+    pub hint: Option<Algorithm>,
+}
+
+/// The admission decision for one block.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Admission {
+    /// Run this algorithm; `downgraded` records that it is weaker (larger
+    /// guarantee, or none) than the request's preferred scheme.
+    Run {
+        /// The algorithm to execute.
+        algorithm: Algorithm,
+        /// Whether deadline/size gates forced a weaker scheme.
+        downgraded: bool,
+    },
+    /// The deadline cannot be met by any admitted algorithm.
+    Reject,
+}
+
+/// Pluggable admission policy. Implementations must be callable from every
+/// worker thread.
+pub trait AlgorithmPolicy: Send + Sync {
+    /// Decides what to run for one block.
+    fn admit(&self, ctx: &PolicyContext) -> Admission;
+}
+
+/// The default policy: size and deadline gates around the preference order
+/// `EXA → IRA/RTA → RMQ`, with a crude-but-tunable exponential model of
+/// dynamic-programming cost.
+#[derive(Debug, Clone)]
+pub struct DeadlineAwarePolicy {
+    /// Largest block the exact algorithm may attempt (default 7: the DP
+    /// table doubles per relation and EXA keeps full Pareto sets).
+    pub exa_max_tables: usize,
+    /// Largest block any DP scheme (RTA/IRA) may attempt (default 10).
+    pub dp_max_tables: usize,
+    /// Sample budget handed to RMQ fallbacks (default 2000).
+    pub rmq_samples: u64,
+    /// RMQ seed; fixed per service so results are reproducible.
+    pub rmq_seed: u64,
+    /// Threads per RMQ run (default 1 — the worker pool is the parallelism).
+    pub rmq_threads: usize,
+    /// Precision the DP falls back to when a request demands exactness on
+    /// a block too large for EXA (default 2.0): RTA/IRA at α = 1 would run
+    /// the *same* full-precision DP as EXA (the internal pruning precision
+    /// `α^(1/n)` degenerates to 1), so a genuine downgrade must relax α.
+    pub relaxed_alpha: f64,
+    /// Requests with less remaining budget than this are rejected outright
+    /// (default 200 µs: below that even RMQ's first sample won't land).
+    pub min_budget: Duration,
+    /// DP cost model `base · growthⁿ` — base term (default 2 µs).
+    pub dp_base: Duration,
+    /// DP cost model growth per relation (default 3.5).
+    pub dp_growth: f64,
+}
+
+impl Default for DeadlineAwarePolicy {
+    fn default() -> Self {
+        DeadlineAwarePolicy {
+            exa_max_tables: 7,
+            dp_max_tables: 10,
+            rmq_samples: 2000,
+            rmq_seed: 0x5EED,
+            rmq_threads: 1,
+            relaxed_alpha: 2.0,
+            min_budget: Duration::from_micros(200),
+            dp_base: Duration::from_micros(2),
+            dp_growth: 3.5,
+        }
+    }
+}
+
+impl DeadlineAwarePolicy {
+    /// Estimated wall time of one DP run over `tables` relations:
+    /// `dp_base · dp_growthⁿ`. Deliberately pessimistic for EXA-sized
+    /// blocks so deadline pressure downgrades early rather than times out.
+    #[must_use]
+    pub fn estimated_dp_time(&self, tables: usize) -> Duration {
+        let factor = self
+            .dp_growth
+            .powi(i32::try_from(tables).unwrap_or(i32::MAX));
+        self.dp_base.mul_f64(factor.min(1e15))
+    }
+
+    fn rmq(&self) -> Algorithm {
+        Algorithm::Rmq {
+            samples: self.rmq_samples,
+            seed: self.rmq_seed,
+            threads: self.rmq_threads,
+        }
+    }
+
+    fn dp_fits(&self, ctx: &PolicyContext) -> bool {
+        match ctx.remaining {
+            None => true,
+            Some(rem) => self.estimated_dp_time(ctx.block_size) <= rem,
+        }
+    }
+}
+
+impl AlgorithmPolicy for DeadlineAwarePolicy {
+    fn admit(&self, ctx: &PolicyContext) -> Admission {
+        if let Some(rem) = ctx.remaining {
+            if rem < self.min_budget {
+                return Admission::Reject;
+            }
+        }
+        // An explicit hint bypasses the preference order and the size
+        // gates, but never the minimum-budget admission above.
+        if let Some(hint) = ctx.hint {
+            return Admission::Run {
+                algorithm: hint,
+                downgraded: false,
+            };
+        }
+        let preferred = if ctx.alpha <= 1.0 {
+            Algorithm::Exhaustive
+        } else if ctx.bounded {
+            Algorithm::Ira { alpha: ctx.alpha }
+        } else {
+            Algorithm::Rta { alpha: ctx.alpha }
+        };
+        // Size + deadline gates, weakest last.
+        let exa_ok = ctx.block_size <= self.exa_max_tables && self.dp_fits(ctx);
+        let dp_ok = ctx.block_size <= self.dp_max_tables && self.dp_fits(ctx);
+        match preferred {
+            Algorithm::Exhaustive if exa_ok => Admission::Run {
+                algorithm: preferred,
+                downgraded: false,
+            },
+            // An exactness-demanding request that EXA cannot serve within
+            // limits degrades to the approximate DP at `relaxed_alpha` —
+            // α = 1 would re-run the exact DP under another name (see the
+            // field docs) — or falls through to the anytime search.
+            Algorithm::Exhaustive if dp_ok => Admission::Run {
+                algorithm: if ctx.bounded {
+                    Algorithm::Ira {
+                        alpha: self.relaxed_alpha,
+                    }
+                } else {
+                    Algorithm::Rta {
+                        alpha: self.relaxed_alpha,
+                    }
+                },
+                downgraded: true,
+            },
+            Algorithm::Ira { .. } | Algorithm::Rta { .. } if dp_ok => Admission::Run {
+                algorithm: preferred,
+                downgraded: false,
+            },
+            _ => Admission::Run {
+                algorithm: self.rmq(),
+                downgraded: true,
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx(
+        block_size: usize,
+        alpha: f64,
+        bounded: bool,
+        remaining: Option<Duration>,
+    ) -> PolicyContext {
+        PolicyContext {
+            block_size,
+            alpha,
+            bounded,
+            remaining,
+            hint: None,
+        }
+    }
+
+    #[test]
+    fn preference_order_without_pressure() {
+        let p = DeadlineAwarePolicy::default();
+        assert_eq!(
+            p.admit(&ctx(4, 1.0, false, None)),
+            Admission::Run {
+                algorithm: Algorithm::Exhaustive,
+                downgraded: false
+            }
+        );
+        assert_eq!(
+            p.admit(&ctx(4, 2.0, false, None)),
+            Admission::Run {
+                algorithm: Algorithm::Rta { alpha: 2.0 },
+                downgraded: false
+            }
+        );
+        assert_eq!(
+            p.admit(&ctx(4, 2.0, true, None)),
+            Admission::Run {
+                algorithm: Algorithm::Ira { alpha: 2.0 },
+                downgraded: false
+            }
+        );
+    }
+
+    #[test]
+    fn size_gates_downgrade() {
+        let p = DeadlineAwarePolicy::default();
+        // Too big for EXA but fine for the approximate DP: precision is
+        // genuinely relaxed (α = 1 would re-run the exact DP).
+        match p.admit(&ctx(9, 1.0, false, None)) {
+            Admission::Run {
+                algorithm: Algorithm::Rta { alpha },
+                downgraded: true,
+            } => assert_eq!(alpha, p.relaxed_alpha),
+            other => panic!("expected RTA downgrade, got {other:?}"),
+        }
+        match p.admit(&ctx(9, 1.0, true, None)) {
+            Admission::Run {
+                algorithm: Algorithm::Ira { alpha },
+                downgraded: true,
+            } => assert_eq!(alpha, p.relaxed_alpha),
+            other => panic!("expected IRA downgrade, got {other:?}"),
+        }
+        // Too big for any DP.
+        match p.admit(&ctx(16, 1.5, false, None)) {
+            Admission::Run {
+                algorithm: Algorithm::Rmq { .. },
+                downgraded: true,
+            } => {}
+            other => panic!("expected RMQ fallback, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn deadline_gates_downgrade_and_reject() {
+        let p = DeadlineAwarePolicy::default();
+        // 8 tables ≈ 2 µs · 3.5⁸ ≈ 45 ms estimated; a 1 ms budget forces
+        // the anytime search.
+        match p.admit(&ctx(8, 1.5, false, Some(Duration::from_millis(1)))) {
+            Admission::Run {
+                algorithm: Algorithm::Rmq { .. },
+                downgraded: true,
+            } => {}
+            other => panic!("expected RMQ under deadline pressure, got {other:?}"),
+        }
+        // Below the minimum budget nothing is admitted.
+        assert_eq!(
+            p.admit(&ctx(2, 1.5, false, Some(Duration::from_micros(50)))),
+            Admission::Reject
+        );
+    }
+
+    #[test]
+    fn hints_bypass_gates_but_not_admission() {
+        let p = DeadlineAwarePolicy::default();
+        let mut c = ctx(16, 1.0, false, None);
+        c.hint = Some(Algorithm::Exhaustive);
+        assert_eq!(
+            p.admit(&c),
+            Admission::Run {
+                algorithm: Algorithm::Exhaustive,
+                downgraded: false
+            }
+        );
+        c.remaining = Some(Duration::from_micros(10));
+        assert_eq!(p.admit(&c), Admission::Reject);
+    }
+}

@@ -1,0 +1,183 @@
+//! A bounded multi-producer/multi-consumer work queue on std primitives.
+//!
+//! Producers never block: a full queue rejects the push immediately, which
+//! is the admission-control contract of the service (back-pressure must be
+//! visible to the caller, not absorbed silently). Consumers block on a
+//! condvar until an item arrives or the queue is closed and drained.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex};
+
+struct State<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+struct Shared<T> {
+    state: Mutex<State<T>>,
+    not_empty: Condvar,
+}
+
+/// The error returned by [`BoundedQueue::try_push`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PushError {
+    /// The queue holds `capacity` items; the caller should reject or retry.
+    Full,
+    /// The queue was closed; no further work is accepted.
+    Closed,
+}
+
+/// A bounded MPMC queue; cloning shares the underlying channel.
+pub struct BoundedQueue<T> {
+    shared: Arc<Shared<T>>,
+    capacity: usize,
+}
+
+impl<T> Clone for BoundedQueue<T> {
+    fn clone(&self) -> Self {
+        BoundedQueue {
+            shared: Arc::clone(&self.shared),
+            capacity: self.capacity,
+        }
+    }
+}
+
+impl<T> BoundedQueue<T> {
+    /// A queue admitting at most `capacity` pending items.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "a zero-capacity queue admits nothing");
+        BoundedQueue {
+            shared: Arc::new(Shared {
+                state: Mutex::new(State {
+                    items: VecDeque::with_capacity(capacity),
+                    closed: false,
+                }),
+                not_empty: Condvar::new(),
+            }),
+            capacity,
+        }
+    }
+
+    /// Non-blocking push; fails on a full or closed queue.
+    ///
+    /// # Errors
+    ///
+    /// [`PushError::Full`] at capacity, [`PushError::Closed`] after
+    /// [`BoundedQueue::close`].
+    pub fn try_push(&self, item: T) -> Result<(), PushError> {
+        let mut state = self.shared.state.lock().expect("queue lock poisoned");
+        if state.closed {
+            return Err(PushError::Closed);
+        }
+        if state.items.len() >= self.capacity {
+            return Err(PushError::Full);
+        }
+        state.items.push_back(item);
+        drop(state);
+        self.shared.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Blocks until an item is available; returns `None` once the queue is
+    /// closed *and* drained (the worker-shutdown signal).
+    pub fn pop_blocking(&self) -> Option<T> {
+        let mut state = self.shared.state.lock().expect("queue lock poisoned");
+        loop {
+            if let Some(item) = state.items.pop_front() {
+                return Some(item);
+            }
+            if state.closed {
+                return None;
+            }
+            state = self
+                .shared
+                .not_empty
+                .wait(state)
+                .expect("queue lock poisoned");
+        }
+    }
+
+    /// Closes the queue: pending items still drain, new pushes fail, and
+    /// blocked consumers wake up.
+    pub fn close(&self) {
+        let mut state = self.shared.state.lock().expect("queue lock poisoned");
+        state.closed = true;
+        drop(state);
+        self.shared.not_empty.notify_all();
+    }
+
+    /// Number of items currently pending.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.shared
+            .state
+            .lock()
+            .expect("queue lock poisoned")
+            .items
+            .len()
+    }
+
+    /// Whether no items are pending.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_pop_roundtrip() {
+        let q = BoundedQueue::new(2);
+        q.try_push(1).unwrap();
+        q.try_push(2).unwrap();
+        assert_eq!(q.try_push(3), Err(PushError::Full));
+        assert_eq!(q.pop_blocking(), Some(1));
+        assert_eq!(q.pop_blocking(), Some(2));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn close_drains_then_signals() {
+        let q = BoundedQueue::new(4);
+        q.try_push(7).unwrap();
+        q.close();
+        assert_eq!(q.try_push(8), Err(PushError::Closed));
+        assert_eq!(q.pop_blocking(), Some(7));
+        assert_eq!(q.pop_blocking(), None);
+    }
+
+    #[test]
+    fn consumers_across_threads() {
+        let q = BoundedQueue::new(64);
+        let total: usize = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..4)
+                .map(|_| {
+                    let q = q.clone();
+                    s.spawn(move || {
+                        let mut sum = 0usize;
+                        while let Some(v) = q.pop_blocking() {
+                            sum += v;
+                        }
+                        sum
+                    })
+                })
+                .collect();
+            for v in 1..=32usize {
+                while q.try_push(v) == Err(PushError::Full) {
+                    std::thread::yield_now();
+                }
+            }
+            q.close();
+            handles.into_iter().map(|h| h.join().unwrap()).sum()
+        });
+        assert_eq!(total, (1..=32).sum::<usize>());
+    }
+}

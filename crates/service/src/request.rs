@@ -1,0 +1,260 @@
+//! The service's request/response vocabulary.
+
+use std::time::Duration;
+
+use moqo_catalog::Query;
+use moqo_core::{combine_block_costs, Algorithm, PlanEntry};
+use moqo_cost::{CostVector, Preference};
+use moqo_plan::{PlanArena, PlanId};
+
+/// One optimization request: what to optimize, how precisely, and by when.
+#[derive(Debug, Clone)]
+pub struct OptimizationRequest {
+    /// The query to optimize (one or more blocks).
+    pub query: Query,
+    /// Objectives, weights and bounds.
+    pub preference: Preference,
+    /// Tolerated approximation factor `α′ ≥ 1`: the caller accepts any plan
+    /// whose guarantee is at least this tight. `1.0` demands exactness.
+    pub alpha: f64,
+    /// Wall-clock budget measured from submission (queue wait counts
+    /// against it); `None` waits as long as optimization takes.
+    pub deadline: Option<Duration>,
+    /// Optional algorithm override; bypasses the policy's preference order
+    /// but not its admission check.
+    pub hint: Option<Algorithm>,
+}
+
+impl OptimizationRequest {
+    /// A request with precision `alpha`, no deadline, no hint.
+    #[must_use]
+    pub fn new(query: Query, preference: Preference, alpha: f64) -> Self {
+        OptimizationRequest {
+            query,
+            preference,
+            alpha,
+            deadline: None,
+            hint: None,
+        }
+    }
+
+    /// Sets a deadline (builder style).
+    #[must_use]
+    pub fn with_deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Forces an algorithm (builder style).
+    #[must_use]
+    pub fn with_hint(mut self, hint: Algorithm) -> Self {
+        self.hint = Some(hint);
+        self
+    }
+
+    /// Whether any selected objective carries a finite bound — the
+    /// bounded-weighted case where cache serving needs the stronger
+    /// certificate (see [`AlphaCertificate`]).
+    #[must_use]
+    pub fn is_bounded(&self) -> bool {
+        self.preference.is_bounded()
+    }
+}
+
+/// Proof that a cached front may serve a request: the front was computed
+/// with guarantee `cached_alpha` and the request tolerates
+/// `requested_alpha ≥ cached_alpha`.
+///
+/// For *bounded* requests an `α`-approximate Pareto set does not guarantee
+/// an `α`-approximate plan (the paper's Figure 8 pathology: near-identical
+/// cost vectors can differ in feasibility), so the certificate additionally
+/// requires `cached_alpha == 1` — an exact front always contains the true
+/// bounded-weighted optimum. Approximate fronts still serve bounded
+/// requests indirectly, as RMQ warm starts.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AlphaCertificate {
+    /// Guarantee the cached front was computed with (`1.0` = exact,
+    /// `+∞` = RMQ, no guarantee).
+    pub cached_alpha: f64,
+    /// Precision the request tolerates.
+    pub requested_alpha: f64,
+    /// Whether the request bounds any selected objective.
+    pub bounded: bool,
+}
+
+impl AlphaCertificate {
+    /// Whether this certificate licenses a direct cache hit.
+    #[must_use]
+    pub fn is_valid(&self) -> bool {
+        self.cached_alpha.is_finite()
+            && self.cached_alpha <= self.requested_alpha
+            && (!self.bounded || self.cached_alpha <= 1.0)
+    }
+}
+
+/// How one block of a response was produced.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BlockSource {
+    /// Freshly optimized (cache miss or no cacheable entry).
+    Computed {
+        /// Algorithm that ran.
+        algorithm: Algorithm,
+        /// Whether the policy downgraded the preferred algorithm to meet
+        /// the deadline or size limits.
+        downgraded: bool,
+    },
+    /// Served directly from the plan cache under a valid certificate.
+    CacheHit {
+        /// The coverage certificate (always valid when this variant is
+        /// returned).
+        certificate: AlphaCertificate,
+    },
+    /// Recomputed, but seeded from a cached front (RMQ warm start).
+    WarmStarted {
+        /// Algorithm that ran (always an RMQ variant today).
+        algorithm: Algorithm,
+        /// Whether the policy downgraded the preferred algorithm.
+        downgraded: bool,
+        /// Precision of the cached front the walkers started from.
+        cached_alpha: f64,
+    },
+}
+
+/// The served plan for one query block, self-contained and `Send`.
+#[derive(Debug)]
+pub struct BlockOutcome {
+    /// Arena owning every plan in this outcome.
+    pub arena: PlanArena,
+    /// The selected plan.
+    pub root: PlanId,
+    /// Cost vector of the selected plan.
+    pub cost: CostVector,
+    /// The (approximate) Pareto frontier backing the selection.
+    pub frontier: Vec<PlanEntry>,
+    /// Where the block came from.
+    pub source: BlockSource,
+    /// Precision guarantee attached to the frontier (`∞` when none).
+    pub achieved_alpha: f64,
+}
+
+/// A completed optimization, with latency accounting.
+#[derive(Debug)]
+pub struct OptimizationResponse {
+    /// Per-block outcomes in query block order.
+    pub blocks: Vec<BlockOutcome>,
+    /// Combined cost over all blocks ([`combine_block_costs`] rules).
+    pub total_cost: CostVector,
+    /// Weighted cost of the combined vector under the request preference.
+    pub weighted_cost: f64,
+    /// Whether the combined cost respects the request's bounds.
+    pub respects_bounds: bool,
+    /// Time spent queued before a worker picked the request up.
+    pub queue_wait: Duration,
+    /// Worker processing time (cache probes + optimization).
+    pub service_time: Duration,
+}
+
+impl OptimizationResponse {
+    /// Assembles a response from block outcomes plus timing.
+    #[must_use]
+    pub fn from_blocks(
+        blocks: Vec<BlockOutcome>,
+        preference: &Preference,
+        queue_wait: Duration,
+        service_time: Duration,
+    ) -> Self {
+        let costs: Vec<CostVector> = blocks.iter().map(|b| b.cost).collect();
+        let total_cost = combine_block_costs(&costs);
+        OptimizationResponse {
+            weighted_cost: preference.weighted_cost(&total_cost),
+            respects_bounds: preference.respects_bounds(&total_cost),
+            blocks,
+            total_cost,
+            queue_wait,
+            service_time,
+        }
+    }
+
+    /// Total latency from submission to completion.
+    #[must_use]
+    pub fn latency(&self) -> Duration {
+        self.queue_wait + self.service_time
+    }
+
+    /// Whether every block was a direct cache hit.
+    #[must_use]
+    pub fn fully_cached(&self) -> bool {
+        self.blocks
+            .iter()
+            .all(|b| matches!(b.source, BlockSource::CacheHit { .. }))
+    }
+}
+
+/// Why a request produced no plan.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServiceError {
+    /// The bounded work queue was at capacity (back-pressure).
+    QueueFull,
+    /// The service is shutting down.
+    ShuttingDown,
+    /// Admission control rejected the request (deadline unmeetable, block
+    /// too large for every admitted algorithm, …).
+    Rejected(String),
+    /// The worker processing the request disappeared (service dropped
+    /// while the ticket was outstanding).
+    WorkerLost,
+}
+
+impl std::fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServiceError::QueueFull => write!(f, "work queue is full"),
+            ServiceError::ShuttingDown => write!(f, "service is shutting down"),
+            ServiceError::Rejected(reason) => write!(f, "request rejected: {reason}"),
+            ServiceError::WorkerLost => write!(f, "worker terminated before responding"),
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn certificate_rules() {
+        let ok = AlphaCertificate {
+            cached_alpha: 1.5,
+            requested_alpha: 2.0,
+            bounded: false,
+        };
+        assert!(ok.is_valid());
+        let too_loose = AlphaCertificate {
+            cached_alpha: 2.5,
+            requested_alpha: 2.0,
+            bounded: false,
+        };
+        assert!(!too_loose.is_valid());
+        let rmq = AlphaCertificate {
+            cached_alpha: f64::INFINITY,
+            requested_alpha: 100.0,
+            bounded: false,
+        };
+        assert!(!rmq.is_valid(), "no-guarantee fronts never serve directly");
+        // Figure 8: approximate fronts cannot serve bounded requests…
+        let bounded_approx = AlphaCertificate {
+            cached_alpha: 1.5,
+            requested_alpha: 2.0,
+            bounded: true,
+        };
+        assert!(!bounded_approx.is_valid());
+        // …but exact fronts can.
+        let bounded_exact = AlphaCertificate {
+            cached_alpha: 1.0,
+            requested_alpha: 2.0,
+            bounded: true,
+        };
+        assert!(bounded_exact.is_valid());
+    }
+}

@@ -1,0 +1,412 @@
+//! The optimization service: submission, scheduling, and the worker pool.
+
+use std::sync::mpsc;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+use moqo_catalog::Catalog;
+use moqo_core::{select_best, Algorithm, Optimizer};
+use moqo_costmodel::CostModelParams;
+
+use crate::cache::{CacheKey, CacheLookup, CacheSnapshot, EntryStats, PlanCache};
+use crate::metrics::{AlgorithmKind, MetricsSnapshot, ServiceMetrics};
+use crate::policy::{Admission, AlgorithmPolicy, DeadlineAwarePolicy, PolicyContext};
+use crate::queue::{BoundedQueue, PushError};
+use crate::request::{
+    AlphaCertificate, BlockOutcome, BlockSource, OptimizationRequest, OptimizationResponse,
+    ServiceError,
+};
+
+/// Tuning knobs of one [`OptimizationService`].
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Worker threads executing optimizations (default 2; pass the core
+    /// count for throughput, 1 for fully deterministic processing order).
+    pub workers: usize,
+    /// Bounded work-queue capacity; submissions beyond it are rejected with
+    /// [`ServiceError::QueueFull`] (default 256).
+    pub queue_capacity: usize,
+    /// Plan-cache capacity in entries (default 1024).
+    pub cache_capacity: usize,
+    /// Plan-cache shard count (default 8).
+    pub cache_shards: usize,
+    /// Cost-model parameters shared by every optimization.
+    pub params: CostModelParams,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            workers: 2,
+            queue_capacity: 256,
+            cache_capacity: 1024,
+            cache_shards: 8,
+            params: CostModelParams::default(),
+        }
+    }
+}
+
+type Responder = mpsc::Sender<Result<OptimizationResponse, ServiceError>>;
+
+struct Job {
+    request: OptimizationRequest,
+    submitted: Instant,
+    responder: Responder,
+}
+
+struct ServiceInner {
+    catalog: Catalog,
+    params: CostModelParams,
+    queue: BoundedQueue<Job>,
+    cache: PlanCache,
+    metrics: ServiceMetrics,
+    policy: Box<dyn AlgorithmPolicy>,
+}
+
+/// A handle to one outstanding request; blocks on [`Ticket::wait`].
+pub struct Ticket {
+    receiver: mpsc::Receiver<Result<OptimizationResponse, ServiceError>>,
+}
+
+impl Ticket {
+    /// Blocks until the response (or rejection) arrives.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the worker's [`ServiceError`]; [`ServiceError::WorkerLost`]
+    /// if the service terminated with the request in flight.
+    pub fn wait(self) -> Result<OptimizationResponse, ServiceError> {
+        self.receiver
+            .recv()
+            .unwrap_or(Err(ServiceError::WorkerLost))
+    }
+}
+
+/// Builder for [`OptimizationService`].
+pub struct ServiceBuilder {
+    catalog: Catalog,
+    config: ServiceConfig,
+    policy: Box<dyn AlgorithmPolicy>,
+}
+
+impl ServiceBuilder {
+    /// Starts a builder over the catalog the service will serve.
+    #[must_use]
+    pub fn new(catalog: Catalog) -> Self {
+        ServiceBuilder {
+            catalog,
+            config: ServiceConfig::default(),
+            policy: Box::new(DeadlineAwarePolicy::default()),
+        }
+    }
+
+    /// Replaces the whole config.
+    #[must_use]
+    pub fn config(mut self, config: ServiceConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Sets the worker count.
+    #[must_use]
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.config.workers = workers;
+        self
+    }
+
+    /// Sets the queue capacity.
+    #[must_use]
+    pub fn queue_capacity(mut self, capacity: usize) -> Self {
+        self.config.queue_capacity = capacity;
+        self
+    }
+
+    /// Sets the plan-cache capacity (entries).
+    #[must_use]
+    pub fn cache_capacity(mut self, capacity: usize) -> Self {
+        self.config.cache_capacity = capacity;
+        self
+    }
+
+    /// Replaces the admission policy.
+    #[must_use]
+    pub fn policy(mut self, policy: impl AlgorithmPolicy + 'static) -> Self {
+        self.policy = Box::new(policy);
+        self
+    }
+
+    /// Replaces the cost-model parameters.
+    #[must_use]
+    pub fn params(mut self, params: CostModelParams) -> Self {
+        self.config.params = params;
+        self
+    }
+
+    /// Spawns the workers and returns the running service.
+    #[must_use]
+    pub fn build(self) -> OptimizationService {
+        let workers = self.config.workers.max(1);
+        let inner = Arc::new(ServiceInner {
+            catalog: self.catalog,
+            params: self.config.params.clone(),
+            queue: BoundedQueue::new(self.config.queue_capacity),
+            cache: PlanCache::new(self.config.cache_capacity, self.config.cache_shards),
+            metrics: ServiceMetrics::default(),
+            policy: self.policy,
+        });
+        let handles = (0..workers)
+            .map(|i| {
+                let inner = Arc::clone(&inner);
+                std::thread::Builder::new()
+                    .name(format!("moqo-worker-{i}"))
+                    .spawn(move || worker_loop(&inner))
+                    .expect("worker thread spawns")
+            })
+            .collect();
+        OptimizationService {
+            inner,
+            workers: handles,
+        }
+    }
+}
+
+/// A concurrent optimization service over one catalog: bounded submission
+/// queue, std-thread worker pool, deadline-aware admission, and the α-aware
+/// plan cache. See the crate docs for the serving semantics.
+pub struct OptimizationService {
+    inner: Arc<ServiceInner>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl OptimizationService {
+    /// Builder entry point.
+    #[must_use]
+    pub fn builder(catalog: Catalog) -> ServiceBuilder {
+        ServiceBuilder::new(catalog)
+    }
+
+    /// A service with default configuration.
+    #[must_use]
+    pub fn new(catalog: Catalog) -> Self {
+        ServiceBuilder::new(catalog).build()
+    }
+
+    /// Submits a request; returns immediately with a [`Ticket`].
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::QueueFull`] under back-pressure,
+    /// [`ServiceError::ShuttingDown`] after shutdown began.
+    pub fn submit(&self, request: OptimizationRequest) -> Result<Ticket, ServiceError> {
+        let (tx, rx) = mpsc::channel();
+        let job = Job {
+            request,
+            submitted: Instant::now(),
+            responder: tx,
+        };
+        match self.inner.queue.try_push(job) {
+            Ok(()) => {
+                self.inner.metrics.on_submitted();
+                Ok(Ticket { receiver: rx })
+            }
+            Err(PushError::Full) => {
+                self.inner.metrics.on_queue_full();
+                Err(ServiceError::QueueFull)
+            }
+            Err(PushError::Closed) => Err(ServiceError::ShuttingDown),
+        }
+    }
+
+    /// Submits and blocks for the response.
+    ///
+    /// # Errors
+    ///
+    /// See [`OptimizationService::submit`] and [`Ticket::wait`].
+    pub fn submit_wait(
+        &self,
+        request: OptimizationRequest,
+    ) -> Result<OptimizationResponse, ServiceError> {
+        self.submit(request)?.wait()
+    }
+
+    /// Metrics snapshot including cache counters.
+    #[must_use]
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.inner.metrics.snapshot(self.inner.cache.snapshot())
+    }
+
+    /// Cache-only snapshot.
+    #[must_use]
+    pub fn cache_snapshot(&self) -> CacheSnapshot {
+        self.inner.cache.snapshot()
+    }
+
+    /// Usage statistics of one cache entry, if resident.
+    #[must_use]
+    pub fn cache_entry_stats(&self, key: &CacheKey) -> Option<EntryStats> {
+        self.inner.cache.entry_stats(key)
+    }
+
+    /// Requests currently waiting in the queue.
+    #[must_use]
+    pub fn queued(&self) -> usize {
+        self.inner.queue.len()
+    }
+
+    /// Stops accepting work, drains the queue, and joins the workers.
+    pub fn shutdown(mut self) -> MetricsSnapshot {
+        self.shutdown_in_place();
+        self.metrics()
+    }
+
+    fn shutdown_in_place(&mut self) {
+        self.inner.queue.close();
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for OptimizationService {
+    fn drop(&mut self) {
+        self.shutdown_in_place();
+    }
+}
+
+fn worker_loop(inner: &ServiceInner) {
+    while let Some(job) = inner.queue.pop_blocking() {
+        let result = process(inner, &job.request, job.submitted);
+        if result.is_err() {
+            inner.metrics.on_rejected();
+        }
+        if let Ok(response) = &result {
+            inner
+                .metrics
+                .on_completed(job.submitted.elapsed().max(response.latency()));
+        }
+        // A dropped ticket is fine; the work (and the cache fill) still
+        // happened.
+        let _ = job.responder.send(result);
+    }
+}
+
+fn process(
+    inner: &ServiceInner,
+    request: &OptimizationRequest,
+    submitted: Instant,
+) -> Result<OptimizationResponse, ServiceError> {
+    let queue_wait = submitted.elapsed();
+    let processing_started = Instant::now();
+    let bounded = request.is_bounded();
+    let mut blocks = Vec::with_capacity(request.query.blocks.len());
+
+    for graph in &request.query.blocks {
+        let remaining = request
+            .deadline
+            .map(|d| d.saturating_sub(submitted.elapsed()));
+        let key = CacheKey {
+            graph: graph.signature(),
+            preference: request.preference.signature(),
+        };
+        let lookup = inner.cache.lookup(&key, graph, request.alpha, bounded);
+        if let CacheLookup::Hit {
+            arena,
+            frontier,
+            alpha,
+        } = lookup
+        {
+            let best =
+                select_best(&frontier, &request.preference).expect("cached fronts are never empty");
+            inner.metrics.on_block(AlgorithmKind::CacheServe, false);
+            blocks.push(BlockOutcome {
+                arena,
+                root: best.plan,
+                cost: best.cost,
+                frontier,
+                source: BlockSource::CacheHit {
+                    certificate: AlphaCertificate {
+                        cached_alpha: alpha,
+                        requested_alpha: request.alpha,
+                        bounded,
+                    },
+                },
+                achieved_alpha: alpha,
+            });
+            continue;
+        }
+
+        let decision = inner.policy.admit(&PolicyContext {
+            block_size: graph.n_rels(),
+            alpha: request.alpha,
+            bounded,
+            remaining,
+            hint: request.hint,
+        });
+        let Admission::Run {
+            algorithm,
+            downgraded,
+        } = decision
+        else {
+            return Err(ServiceError::Rejected(format!(
+                "deadline budget {remaining:?} admits no algorithm for a {}-relation block",
+                graph.n_rels()
+            )));
+        };
+
+        let mut optimizer = Optimizer::new(&inner.catalog).with_params(inner.params.clone());
+        if let Some(rem) = remaining {
+            optimizer = optimizer.with_timeout(rem);
+        }
+        // Cached fronts that cannot serve directly still seed the
+        // randomized search; tree extraction is deferred to here so DP
+        // recomputes never pay for (or get counted as) a warm start.
+        let (warm_trees, warm_alpha) = match lookup {
+            CacheLookup::NotServable { .. } if matches!(algorithm, Algorithm::Rmq { .. }) => {
+                match inner.cache.warm_trees(&key, graph) {
+                    Some((trees, alpha)) => (trees, Some(alpha)),
+                    None => (Vec::new(), None),
+                }
+            }
+            _ => (Vec::new(), None),
+        };
+        let (block, report) =
+            optimizer.optimize_block_warm(graph, &request.preference, algorithm, &warm_trees);
+        let achieved_alpha = if report.alpha_final.is_nan() {
+            f64::INFINITY
+        } else {
+            report.alpha_final
+        };
+        inner
+            .cache
+            .insert(key, graph, &block.frontier, &block.arena, achieved_alpha);
+        inner
+            .metrics
+            .on_block(AlgorithmKind::of(algorithm), downgraded);
+        blocks.push(BlockOutcome {
+            source: match warm_alpha {
+                Some(cached_alpha) => BlockSource::WarmStarted {
+                    algorithm,
+                    downgraded,
+                    cached_alpha,
+                },
+                None => BlockSource::Computed {
+                    algorithm,
+                    downgraded,
+                },
+            },
+            arena: block.arena,
+            root: block.root,
+            cost: block.cost,
+            frontier: block.frontier,
+            achieved_alpha,
+        });
+    }
+
+    Ok(OptimizationResponse::from_blocks(
+        blocks,
+        &request.preference,
+        queue_wait,
+        processing_started.elapsed(),
+    ))
+}

@@ -17,5 +17,8 @@ pub mod queries;
 pub mod testgen;
 
 pub use moqo_catalog::tpch::catalog;
-pub use queries::{all_queries, large_join_graph, large_query, query, FIGURE_ORDER};
+pub use queries::{
+    all_queries, large_join_graph, large_join_graph_with, large_query, large_query_with, query,
+    Topology, FIGURE_ORDER,
+};
 pub use testgen::{bounded_test_case, weighted_test_case, TestCase};

@@ -272,6 +272,49 @@ const CHAIN_CYCLE: [(&str, &str, &str, f64); 5] = [
     ("nation", "n_nationkey", "c_nationkey", 0.4),
 ];
 
+/// Join-graph topology of the large-query generator: the shape of the edge
+/// set over `n` aliased TPC-H relations. Topology is the main driver of
+/// optimizer difficulty — it decides how many connected splits the dynamic
+/// programming enumerates and how constrained the randomized walk is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Topology {
+    /// Path `r_0 – r_1 – … – r_{n−1}` over the key–foreign-key cycle
+    /// `customer → orders → lineitem → supplier → nation → customer → …`
+    /// (the original `large_join_graph` workload).
+    Chain,
+    /// Hub-and-spokes: one `customer` hub joined to `n − 1` `orders`
+    /// streams on the custkey (a fact-table fan-out).
+    Star,
+    /// [`Topology::Chain`] over alternating `customer`/`orders` relations
+    /// with a closing custkey edge back to relation 0.
+    Cycle,
+    /// Every pair of relations joined: alternating `customer`/`orders`
+    /// relations with custkey edges between all opposite-table pairs and
+    /// key self-join edges between all same-table pairs.
+    Clique,
+}
+
+impl Topology {
+    /// All four generated topologies.
+    pub const ALL: [Topology; 4] = [
+        Topology::Chain,
+        Topology::Star,
+        Topology::Cycle,
+        Topology::Clique,
+    ];
+
+    /// Upper-case name used in generated query names (`CHAIN12`, `STAR8`).
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Topology::Chain => "CHAIN",
+            Topology::Star => "STAR",
+            Topology::Cycle => "CYCLE",
+            Topology::Clique => "CLIQUE",
+        }
+    }
+}
+
 /// Builds a TPC-H-style chain join graph with `n_tables` relations —
 /// the large-query workload (8–20 tables) of the randomized optimizer's
 /// evaluation, far beyond the paper's biggest from-clause (Q8's 8 tables).
@@ -281,6 +324,7 @@ const CHAIN_CYCLE: [(&str, &str, &str, f64); 5] = [
 /// (`customer_0`, `orders_1`, …), so every edge is a genuine TPC-H join
 /// predicate with System-R selectivity derived from the catalog. The graph
 /// is connected, deterministic, and validates against the TPC-H catalog.
+/// See [`large_join_graph_with`] for the star/cycle/clique variants.
 ///
 /// # Panics
 ///
@@ -288,10 +332,35 @@ const CHAIN_CYCLE: [(&str, &str, &str, f64); 5] = [
 /// schemes support at most 24 relations, and comparisons need both sides).
 #[must_use]
 pub fn large_join_graph(catalog: &Catalog, n_tables: usize) -> JoinGraph {
+    large_join_graph_with(catalog, n_tables, Topology::Chain)
+}
+
+/// Builds a large join graph of the requested [`Topology`].
+///
+/// All variants use genuine TPC-H join predicates with System-R
+/// selectivities from the catalog; star/cycle/clique build on the
+/// customer–orders custkey relationship (plus key self-joins between
+/// aliases of the same table where the topology demands an edge), so every
+/// `n` in range works for every topology. Deterministic and validated.
+///
+/// # Panics
+///
+/// Panics if `n_tables` is outside `1..=24`.
+#[must_use]
+pub fn large_join_graph_with(catalog: &Catalog, n_tables: usize, topology: Topology) -> JoinGraph {
     assert!(
         (1..=24).contains(&n_tables),
         "large join graphs support 1..=24 tables, got {n_tables}"
     );
+    match topology {
+        Topology::Chain => chain_graph(catalog, n_tables),
+        Topology::Star => star_graph(catalog, n_tables),
+        Topology::Cycle => cycle_graph(catalog, n_tables),
+        Topology::Clique => clique_graph(catalog, n_tables),
+    }
+}
+
+fn chain_graph(catalog: &Catalog, n_tables: usize) -> JoinGraph {
     let mut b = JoinGraphBuilder::new(catalog);
     let mut aliases: Vec<String> = Vec::with_capacity(n_tables);
     for i in 0..n_tables {
@@ -310,6 +379,75 @@ pub fn large_join_graph(catalog: &Catalog, n_tables: usize) -> JoinGraph {
     b.build()
 }
 
+/// The customer/orders backbone of the star/cycle/clique variants: relation
+/// `i` is `customer_i` (even `i`) or `orders_i` (odd `i`), and any pair of
+/// relations admits a genuine join predicate — custkey across tables, the
+/// respective key within a table.
+fn alternating_rel(i: usize) -> (&'static str, &'static str, f64) {
+    if i % 2 == 0 {
+        ("customer", "c_custkey", 0.25)
+    } else {
+        ("orders", "o_custkey", 0.5)
+    }
+}
+
+fn alternating_backbone(catalog: &Catalog, n_tables: usize) -> (JoinGraphBuilder<'_>, Vec<String>) {
+    let mut b = JoinGraphBuilder::new(catalog);
+    let mut aliases = Vec::with_capacity(n_tables);
+    for i in 0..n_tables {
+        let (table, _, selectivity) = alternating_rel(i);
+        let alias = format!("{table}_{i}");
+        b = b.rel_aliased(table, &alias, selectivity);
+        aliases.push(alias);
+    }
+    (b, aliases)
+}
+
+fn backbone_join<'a>(
+    b: JoinGraphBuilder<'a>,
+    aliases: &[String],
+    i: usize,
+    j: usize,
+) -> JoinGraphBuilder<'a> {
+    let (_, col_i, _) = alternating_rel(i);
+    let (_, col_j, _) = alternating_rel(j);
+    b.join((aliases[i].as_str(), col_i), (aliases[j].as_str(), col_j))
+}
+
+fn star_graph(catalog: &Catalog, n_tables: usize) -> JoinGraph {
+    let mut b = JoinGraphBuilder::new(catalog);
+    let hub = "customer_0".to_owned();
+    b = b.rel_aliased("customer", &hub, 0.25);
+    for i in 1..n_tables {
+        let spoke = format!("orders_{i}");
+        b = b.rel_aliased("orders", &spoke, 0.5);
+        b = b.join((hub.as_str(), "c_custkey"), (spoke.as_str(), "o_custkey"));
+    }
+    b.build()
+}
+
+fn cycle_graph(catalog: &Catalog, n_tables: usize) -> JoinGraph {
+    let (mut b, aliases) = alternating_backbone(catalog, n_tables);
+    for i in 0..n_tables.saturating_sub(1) {
+        b = backbone_join(b, &aliases, i, i + 1);
+    }
+    // Close the ring (a 2-ring would duplicate the chain edge).
+    if n_tables >= 3 {
+        b = backbone_join(b, &aliases, n_tables - 1, 0);
+    }
+    b.build()
+}
+
+fn clique_graph(catalog: &Catalog, n_tables: usize) -> JoinGraph {
+    let (mut b, aliases) = alternating_backbone(catalog, n_tables);
+    for i in 0..n_tables {
+        for j in (i + 1)..n_tables {
+            b = backbone_join(b, &aliases, i, j);
+        }
+    }
+    b.build()
+}
+
 /// [`large_join_graph`] wrapped as a single-block [`Query`] named
 /// `CHAIN<n>`.
 ///
@@ -318,9 +456,20 @@ pub fn large_join_graph(catalog: &Catalog, n_tables: usize) -> JoinGraph {
 /// Panics if `n_tables` is outside `1..=24`.
 #[must_use]
 pub fn large_query(catalog: &Catalog, n_tables: usize) -> Query {
+    large_query_with(catalog, n_tables, Topology::Chain)
+}
+
+/// [`large_join_graph_with`] wrapped as a single-block [`Query`] named
+/// `<TOPOLOGY><n>` (e.g. `STAR12`).
+///
+/// # Panics
+///
+/// Panics if `n_tables` is outside `1..=24`.
+#[must_use]
+pub fn large_query_with(catalog: &Catalog, n_tables: usize, topology: Topology) -> Query {
     Query::single_block(
-        format!("CHAIN{n_tables}"),
-        large_join_graph(catalog, n_tables),
+        format!("{}{n_tables}", topology.name()),
+        large_join_graph_with(catalog, n_tables, topology),
     )
 }
 
@@ -354,6 +503,62 @@ mod tests {
     fn large_join_graph_is_deterministic() {
         let cat = tpch::catalog(1.0);
         assert_eq!(large_join_graph(&cat, 13), large_join_graph(&cat, 13));
+    }
+
+    #[test]
+    fn topology_variants_validate_and_connect() {
+        let cat = tpch::catalog(0.1);
+        for topology in Topology::ALL {
+            for n in [1usize, 2, 3, 8, 13, 20, 24] {
+                let g = large_join_graph_with(&cat, n, topology);
+                assert_eq!(g.n_rels(), n, "{topology:?} n = {n}");
+                g.validate(&cat)
+                    .unwrap_or_else(|e| panic!("{topology:?} n = {n}: {e}"));
+                assert!(g.fully_connected(), "{topology:?} of {n} must connect");
+                let expected_edges = match topology {
+                    Topology::Chain | Topology::Star => n.saturating_sub(1),
+                    Topology::Cycle => {
+                        if n >= 3 {
+                            n
+                        } else {
+                            n.saturating_sub(1)
+                        }
+                    }
+                    Topology::Clique => n * n.saturating_sub(1) / 2,
+                };
+                assert_eq!(g.edges.len(), expected_edges, "{topology:?} n = {n}");
+            }
+        }
+    }
+
+    #[test]
+    fn topology_variants_are_deterministic_and_distinct() {
+        let cat = tpch::catalog(0.1);
+        for topology in Topology::ALL {
+            assert_eq!(
+                large_join_graph_with(&cat, 9, topology),
+                large_join_graph_with(&cat, 9, topology)
+            );
+        }
+        // At n = 5 all four edge sets differ.
+        let graphs: Vec<JoinGraph> = Topology::ALL
+            .iter()
+            .map(|&t| large_join_graph_with(&cat, 5, t))
+            .collect();
+        for i in 0..graphs.len() {
+            for j in (i + 1)..graphs.len() {
+                assert_ne!(graphs[i], graphs[j], "{i} vs {j}");
+            }
+        }
+    }
+
+    #[test]
+    fn topology_queries_are_named_by_shape() {
+        let cat = tpch::catalog(0.1);
+        let q = large_query_with(&cat, 12, Topology::Star);
+        assert_eq!(q.name, "STAR12");
+        assert_eq!(q.max_block_size(), 12);
+        assert_eq!(large_query_with(&cat, 7, Topology::Clique).name, "CLIQUE7");
     }
 
     #[test]

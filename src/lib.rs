@@ -46,6 +46,8 @@
 //! * [`plan`] — operators, plan arena, plan rendering.
 //! * [`costmodel`] — the nine-objective recursive cost formulas.
 //! * [`core`] — EXA/RTA/IRA/Selinger, Pareto pruning, the optimizer facade.
+//! * [`service`] — the concurrent optimization service: bounded work queue,
+//!   worker pool, deadline-aware admission, α-aware plan cache, metrics.
 //! * [`tpch`] — the 22 TPC-H queries and the §8 test-case generator.
 
 #![warn(missing_docs)]
@@ -54,6 +56,7 @@ pub use moqo_core as core;
 pub use moqo_cost as cost;
 pub use moqo_costmodel as costmodel;
 pub use moqo_plan as plan;
+pub use moqo_service as service;
 
 /// Catalog, statistics and join-graph query model.
 pub mod catalog {
@@ -63,7 +66,10 @@ pub mod catalog {
 /// TPC-H workload: catalog builder, the 22 queries, test-case generation.
 pub mod tpch {
     pub use moqo_tpch::catalog;
-    pub use moqo_tpch::queries::{all_queries, large_join_graph, large_query, query, FIGURE_ORDER};
+    pub use moqo_tpch::queries::{
+        all_queries, large_join_graph, large_join_graph_with, large_query, large_query_with, query,
+        Topology, FIGURE_ORDER,
+    };
     pub use moqo_tpch::testgen::{
         bounded_test_case, min_cost_vector, weighted_test_case, TestCase,
     };
@@ -80,4 +86,7 @@ pub mod prelude {
     pub use moqo_cost::{Bounds, CostVector, Objective, ObjectiveSet, Preference, Weights};
     pub use moqo_costmodel::{CostModel, CostModelParams};
     pub use moqo_plan::{render_plan, JoinOp, JoinTree, PlanArena, PlanId, ScanOp, SortOrder};
+    pub use moqo_service::{
+        OptimizationRequest, OptimizationResponse, OptimizationService, ServiceError,
+    };
 }

@@ -114,7 +114,7 @@ fn frontier_is_byproduct_of_optimization() {
     let result = optimizer.optimize(&query, &case.preference, Algorithm::Exhaustive);
     let frontier = &result.block_plans[0].frontier;
     let chosen = result.block_plans[0].cost;
-    assert!(frontier.contains(&chosen));
+    assert!(frontier.iter().any(|e| e.cost == chosen));
 }
 
 #[test]

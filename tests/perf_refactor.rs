@@ -291,7 +291,7 @@ fn parallel_rmq_is_thread_count_invariant() {
         .weight(Objective::BufferFootprint, 1e-6);
     let optimizer = Optimizer::new(&catalog);
 
-    let fronts: Vec<Vec<CostVector>> = [1usize, 2, 4]
+    let fronts: Vec<Vec<moqo::core::PlanEntry>> = [1usize, 2, 4]
         .iter()
         .map(|&threads| {
             let result = optimizer.optimize(

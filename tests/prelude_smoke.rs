@@ -74,4 +74,13 @@ fn every_prelude_export_resolves() {
         let result: OptimizationResult = optimizer.optimize(&query, &pref, algorithm);
         assert!(result.weighted_cost.is_finite());
     }
+
+    // moqo_service exports: submit one request end to end.
+    let service = OptimizationService::new(catalog.clone());
+    let request = OptimizationRequest::new(query.clone(), pref, 1.5);
+    let response: Result<OptimizationResponse, ServiceError> = service.submit_wait(request);
+    assert!(response
+        .expect("small request succeeds")
+        .weighted_cost
+        .is_finite());
 }
