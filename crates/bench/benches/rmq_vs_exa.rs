@@ -18,8 +18,10 @@ fn preference() -> Preference {
 }
 
 fn params() -> CostModelParams {
-    // Sampling off so the exact front is a sound quality oracle (see the
-    // fig9 fidelity note).
+    // Sampling off keeps the timing rows comparable with every earlier
+    // snapshot (the sampled plan space is ~3× larger). Soundness no longer
+    // depends on it: props-aware pruning makes the exact front a valid
+    // quality oracle with sampling enabled too.
     CostModelParams {
         enable_sampling: false,
         ..CostModelParams::default()

@@ -9,6 +9,9 @@
 //!   `PlanSet::prune_insert` at 2/6/9 objectives,
 //! * **EXA** — the exact DP on 6- and 8-table chain join graphs
 //!   (sampling off),
+//! * **EXA, props-aware** — the same chains with sampling scans enabled,
+//!   where `PruneMode::auto` switches every pruning site to props-aware
+//!   dominance; the checksum gates the sound mode's fronts,
 //! * **RMQ** — 1k and 10k samples on 8- and 20-table chains at 1, 2 and
 //!   4 threads (the fronts are seed-deterministic, so the per-thread rows
 //!   also certify the parallel merge: `front` must agree per column).
@@ -138,6 +141,29 @@ fn main() {
             checksum: front,
         });
         println!("exa_chain tables={n}: {ms:.3} ms (front {front})");
+    }
+
+    // EXA with sampling scans enabled: the leaking regime, where the
+    // entry points auto-select props-aware pruning. The front sizes gate
+    // the sound mode's behaviour the same way the cost-only rows gate the
+    // paper baseline.
+    let sampled_params = CostModelParams::default();
+    debug_assert!(sampled_params.enable_sampling);
+    for &n in &[6usize, 8] {
+        let graph = moqo_tpch::large_join_graph(&catalog, n);
+        let model = CostModel::new(&sampled_params, &catalog, &graph);
+        let (ms, front) = median_ms(reps, || {
+            exa(&model, &preference, &Deadline::unlimited())
+                .final_plans
+                .len()
+        });
+        cells.push(Cell {
+            name: "exa_chain_props".into(),
+            params: vec![("tables", n.to_string())],
+            median_ms: ms,
+            checksum: front,
+        });
+        println!("exa_chain_props tables={n}: {ms:.3} ms (front {front})");
     }
 
     // RMQ: samples × tables × threads. Fronts are deterministic per seed,

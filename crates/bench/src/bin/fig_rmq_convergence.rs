@@ -55,12 +55,18 @@ fn main() {
     let sizes = env_sizes();
 
     let catalog = moqo_tpch::catalog(harness.scale_factor);
-    // Sampling off: the exact front is then a sound coverage oracle (cost
-    // vectors fully determine downstream costs; see the fig9 fidelity note).
-    let params = CostModelParams {
-        enable_sampling: false,
-        ..CostModelParams::default()
-    };
+    // Sampling stays enabled: with TupleLoss unselected, `PruneMode::auto`
+    // runs both the EXA reference and RMQ props-aware, which keeps the
+    // exact front a sound coverage oracle over the full plan space —
+    // sampling scans included. (This binary used to disable sampling as a
+    // workaround for the cost-only pruning leak the props-aware mode
+    // fixed.) Note the sampled plan space is ~3× larger than the old
+    // sampling-off workload, so per-budget coverage numbers are NOT
+    // comparable with pre-PR-5 runs: at the default 4k samples the walk
+    // covers little of the sampled frontier extremes; raise
+    // MOQO_RMQ_SAMPLES (~40k reaches >90% on a 4-table chain) to watch
+    // coverage converge.
+    let params = CostModelParams::default();
     let preference = Preference::over(ObjectiveSet::empty())
         .weight(Objective::TotalTime, 1.0)
         .weight(Objective::BufferFootprint, 1e-6);

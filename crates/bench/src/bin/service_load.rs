@@ -1,7 +1,7 @@
 //! Service load replay: hammers the optimization service with a skewed
 //! trace of mixed TPC-H and large-join-graph requests at configurable
 //! concurrency, then reports throughput, latency percentiles, cache hit
-//! ratio and the per-algorithm block mix — and writes the `BENCH_pr4.json`
+//! ratio and the per-algorithm block mix — and writes the `BENCH_pr5.json`
 //! snapshot the perf trajectory tracks.
 //!
 //! The trace is skewed on purpose: real frontends re-send the same hot
@@ -16,10 +16,19 @@
 //! | variable | default | meaning |
 //! |----------|---------|---------|
 //! | `MOQO_SMOKE` | unset | `1`: 128 requests, RMQ budgets ÷10 (CI smoke) |
-//! | `MOQO_BENCH_OUT` | `BENCH_pr4.json` | output path |
+//! | `MOQO_BENCH_OUT` | `BENCH_pr5.json` | output path |
 //! | `MOQO_SL_REQUESTS` | 512 | trace length |
 //! | `MOQO_SL_WORKERS` | 4 | service worker threads |
 //! | `MOQO_SL_SEED` | 2024 | trace RNG seed |
+//! | `MOQO_SL_REPLAY` | unset | `1`: deterministic replay — one worker, submit-after-wait |
+//!
+//! Under concurrency the *completion* results are deterministic but the
+//! cache hit/miss counters race (whichever worker reaches a cold key first
+//! fills it; the rest hit). The replay mode removes the race entirely: a
+//! single worker processes one request at a time in trace order, so the
+//! hit/miss/warm-start cells become machine-independent integers that
+//! `bench_diff`'s checksum gate can diff across snapshots — they are only
+//! emitted in this mode.
 
 use std::time::Instant;
 
@@ -93,11 +102,16 @@ fn main() {
             .and_then(|s| s.trim().parse().ok())
             .unwrap_or(default)
     };
+    let replay = std::env::var("MOQO_SL_REPLAY").is_ok_and(|v| v != "0");
     let requests = env_usize("MOQO_SL_REQUESTS", if smoke { 128 } else { 512 });
-    let workers = env_usize("MOQO_SL_WORKERS", 4);
+    let workers = if replay {
+        1
+    } else {
+        env_usize("MOQO_SL_WORKERS", 4)
+    };
     let seed = env_usize("MOQO_SL_SEED", 2024) as u64;
     let rmq_samples: u64 = if smoke { 100 } else { 1000 };
-    let out_path = std::env::var("MOQO_BENCH_OUT").unwrap_or_else(|_| "BENCH_pr4.json".to_owned());
+    let out_path = std::env::var("MOQO_BENCH_OUT").unwrap_or_else(|_| "BENCH_pr5.json".to_owned());
 
     let catalog = moqo_tpch::catalog(0.01);
     let service = OptimizationService::builder(catalog.clone())
@@ -120,19 +134,31 @@ fn main() {
         .collect();
 
     let started = Instant::now();
-    let tickets: Vec<_> = trace
-        .iter()
-        .map(|&i| {
-            service
-                .submit(pool[i].clone())
-                .expect("queue sized to the trace")
-        })
-        .collect();
     let mut completed = 0u64;
-    for t in tickets {
-        let response = t.wait().expect("no deadlines in the trace");
-        assert!(response.weighted_cost.is_finite());
-        completed += 1;
+    if replay {
+        // Submit-after-wait: exactly one request in flight, so every cache
+        // probe sees the deterministic state the trace prefix produced.
+        for &i in &trace {
+            let response = service
+                .submit_wait(pool[i].clone())
+                .expect("no deadlines in the trace");
+            assert!(response.weighted_cost.is_finite());
+            completed += 1;
+        }
+    } else {
+        let tickets: Vec<_> = trace
+            .iter()
+            .map(|&i| {
+                service
+                    .submit(pool[i].clone())
+                    .expect("queue sized to the trace")
+            })
+            .collect();
+        for t in tickets {
+            let response = t.wait().expect("no deadlines in the trace");
+            assert!(response.weighted_cost.is_finite());
+            completed += 1;
+        }
     }
     let wall = started.elapsed();
     let metrics = service.shutdown();
@@ -192,7 +218,7 @@ fn main() {
         median_ms: value.as_secs_f64() * 1e3,
         checksum: completed,
     };
-    let cells = [
+    let mut cells = vec![
         latency_cell("50", metrics.p50),
         latency_cell("95", metrics.p95),
         latency_cell("99", metrics.p99),
@@ -210,23 +236,49 @@ fn main() {
         },
         Cell {
             name: "service_load_rmq_blocks",
-            params: base_params,
+            params: base_params.clone(),
             median_ms: metrics.blocks_rmq as f64,
             checksum: completed,
         },
     ];
+    if replay {
+        // Cache counters are only deterministic in replay mode; the value
+        // doubles as the checksum so `bench_diff` gates it.
+        for (counter, value) in [
+            ("hits", metrics.cache.hits),
+            ("misses", metrics.cache.misses),
+            ("warm_starts", metrics.cache.warm_starts),
+            ("insertions", metrics.cache.insertions),
+        ] {
+            let mut params = base_params.clone();
+            params.push(("counter", counter.to_owned()));
+            cells.push(Cell {
+                name: "service_load_replay_cache",
+                params,
+                median_ms: value as f64,
+                checksum: value,
+            });
+        }
+    }
 
     let mut json = String::new();
     json.push_str("{\n");
     json.push_str("  \"schema\": \"moqo-bench-snapshot/v1\",\n");
-    json.push_str("  \"pr\": 4,\n");
+    json.push_str("  \"pr\": 5,\n");
     json.push_str(&format!("  \"smoke\": {smoke},\n"));
     json.push_str("  \"results\": [\n");
     for (i, c) in cells.iter().enumerate() {
         let params: Vec<String> = c
             .params
             .iter()
-            .map(|(k, v)| format!("\"{}\": {}", json_escape(k), v))
+            .map(|(k, v)| {
+                // Numeric values stay bare; anything else is a JSON string.
+                if v.parse::<f64>().is_ok() {
+                    format!("\"{}\": {}", json_escape(k), v)
+                } else {
+                    format!("\"{}\": \"{}\"", json_escape(k), json_escape(v))
+                }
+            })
             .collect();
         json.push_str(&format!(
             "    {{\"name\": \"{}\", {}, \"median_ms\": {:.4}, \"checksum\": {}}}{}\n",

@@ -34,7 +34,7 @@ use moqo_costmodel::{CostModel, JoinKey};
 use moqo_plan::{JoinOp, PlanArena, PlanNode, ScanOp, SortOrder};
 
 use crate::budget::Deadline;
-use crate::pareto::{PlanSet, PruneStrategy};
+use crate::pareto::{PlanSet, PruneMode, PruneStrategy};
 
 pub use crate::pareto::PlanEntry;
 
@@ -53,6 +53,12 @@ pub struct DpConfig {
     /// bushy plans in addition to left-deep plans" (§5); bushy is the
     /// default everywhere.
     pub tree_shape: TreeShape,
+    /// Dominance relation plans are discarded under. The algorithm entry
+    /// points select this via [`PruneMode::auto`]; calling
+    /// `find_pareto_plans` directly with [`PruneMode::CostOnly`] while
+    /// sampling scans are enabled and `TupleLoss` is unselected reproduces
+    /// the unsound pruning the mode exists to fix.
+    pub prune_mode: PruneMode,
 }
 
 /// Which join-tree shapes the dynamic programming enumerates.
@@ -67,7 +73,7 @@ pub enum TreeShape {
 }
 
 impl DpConfig {
-    /// Exact enumeration (EXA).
+    /// Exact enumeration (EXA) with cost-only pruning.
     #[must_use]
     pub fn exact() -> Self {
         DpConfig {
@@ -75,6 +81,7 @@ impl DpConfig {
             approx_deletion: false,
             group_by_order: true,
             tree_shape: TreeShape::Bushy,
+            prune_mode: PruneMode::CostOnly,
         }
     }
 
@@ -85,6 +92,13 @@ impl DpConfig {
             alpha_internal,
             ..DpConfig::exact()
         }
+    }
+
+    /// Replaces the pruning mode (builder style).
+    #[must_use]
+    pub fn with_prune_mode(mut self, mode: PruneMode) -> Self {
+        self.prune_mode = mode;
+        self
     }
 }
 
@@ -212,6 +226,7 @@ pub fn find_pareto_plans(
     let strategy = PruneStrategy {
         alpha_internal: config.alpha_internal,
         approx_deletion: config.approx_deletion,
+        mode: config.prune_mode,
     };
     let full_mask: RelMask = model.graph.full_mask();
     let mut arena = PlanArena::new();
@@ -311,7 +326,13 @@ pub fn find_pareto_plans(
 
     if stats.timed_out {
         quick_finish(
-            model, &mut table, &mut arena, weights, objectives, &mut stats,
+            model,
+            &mut table,
+            &mut arena,
+            weights,
+            objectives,
+            config.prune_mode,
+            &mut stats,
         );
     }
 
@@ -427,11 +448,17 @@ impl Iterator for GosperMasks {
 
 /// Precomputed join-key lookup: one entry per join-graph edge, with the
 /// endpoint bit masks and both normalized key orientations (including the
-/// inner-index catalog probe) resolved once per run. The per-call
-/// [`join_key`] re-derived all of that for every split of every mask; here
-/// the crossing test is two AND ops per edge.
+/// inner-index catalog probe) resolved once per run, plus a per-relation
+/// incidence index. The per-call [`join_key`] re-derived all of that for
+/// every split of every mask; the first rework made the crossing test two
+/// AND ops per edge but still scanned *all* edges per probe — on dense
+/// graphs (cliques: O(n²) edges) the probe now walks only the edges
+/// incident to the outer side's relations.
 pub(crate) struct JoinKeys {
     edges: Vec<EdgeKeys>,
+    /// For each relation, ascending indices into `edges` of the edges
+    /// incident to it.
+    by_rel: Vec<Vec<u32>>,
 }
 
 struct EdgeKeys {
@@ -452,7 +479,7 @@ impl JoinKeys {
                 .column(col)
                 .indexed
         };
-        let edges = model
+        let edges: Vec<EdgeKeys> = model
             .graph
             .edges
             .iter()
@@ -475,20 +502,49 @@ impl JoinKeys {
                 },
             })
             .collect();
-        JoinKeys { edges }
+        let mut by_rel = vec![Vec::new(); model.graph.n_rels()];
+        for (i, e) in model.graph.edges.iter().enumerate() {
+            let i = u32::try_from(i).expect("edge count fits in u32");
+            by_rel[e.left_rel].push(i);
+            by_rel[e.right_rel].push(i);
+        }
+        JoinKeys { edges, by_rel }
     }
 
-    /// The equi-join predicate for a split: the first edge crossing the two
-    /// sides, normalized so the left fields refer to the `m1` (outer) side.
-    /// Agrees with [`join_key`] on every input.
+    /// The equi-join predicate for a split: the lowest-index edge crossing
+    /// the two sides (identical to the seed's "first edge in declaration
+    /// order"), normalized so the left fields refer to the `m1` (outer)
+    /// side. Probes only the edges incident to `m1`'s relations via the
+    /// per-relation index instead of scanning the whole edge list.
     pub(crate) fn join_key(&self, m1: RelMask, m2: RelMask) -> Option<JoinKey> {
-        self.edges.iter().find_map(|e| {
-            if e.left_mask & m1 != 0 && e.right_mask & m2 != 0 {
-                Some(e.forward)
-            } else if e.right_mask & m1 != 0 && e.left_mask & m2 != 0 {
-                Some(e.reverse)
+        let mut best: Option<u32> = None;
+        let mut rels = m1;
+        while rels != 0 {
+            let rel = rels.trailing_zeros() as usize;
+            rels &= rels - 1;
+            for &ei in &self.by_rel[rel] {
+                if best.is_some_and(|b| ei >= b) {
+                    // Incidence lists are ascending: nothing later on this
+                    // relation can beat the incumbent.
+                    break;
+                }
+                let e = &self.edges[ei as usize];
+                // `rel ∈ m1` by construction; the edge crosses iff its
+                // other endpoint lies in `m2`.
+                let crosses = (e.left_mask & (1u32 << rel) != 0 && e.right_mask & m2 != 0)
+                    || (e.right_mask & (1u32 << rel) != 0 && e.left_mask & m2 != 0);
+                if crosses {
+                    best = Some(ei);
+                    break;
+                }
+            }
+        }
+        best.map(|ei| {
+            let e = &self.edges[ei as usize];
+            if e.left_mask & m1 != 0 {
+                e.forward
             } else {
-                None
+                e.reverse
             }
         })
     }
@@ -497,30 +553,56 @@ impl JoinKeys {
 /// Ordered splits of `mask` into two non-empty disjoint subsets, honouring
 /// the Cartesian-product heuristic: if any split is connected by a join
 /// edge, unconnected splits are dropped. Left-deep enumeration restricts
-/// the inner (right) side to singletons.
-fn enumerate_splits(
-    model: &CostModel<'_>,
+/// the inner (right) side to singletons. Streamed — the eager version
+/// allocated two `Vec`s per mask in the DP's hottest outer loop. The
+/// connected-splits-exist decision is made up front from a single edge
+/// scan: `mask` admits a connected split iff some edge lies entirely
+/// within it (either endpoint's singleton split is then connected, and for
+/// left-deep shape the `(mask∖{v}, {v})` split qualifies), so the
+/// heuristic never needs the full split list materialized.
+fn enumerate_splits<'g>(
+    model: &'g CostModel<'_>,
     mask: RelMask,
     shape: TreeShape,
-) -> Vec<(RelMask, RelMask)> {
-    let mut connected = Vec::new();
-    let mut all = Vec::new();
-    // Standard sub-mask enumeration; each ordered pair appears once.
-    let mut m1 = (mask - 1) & mask;
-    while m1 != 0 {
-        let m2 = mask ^ m1;
-        if shape == TreeShape::Bushy || m2.count_ones() == 1 {
-            all.push((m1, m2));
-            if model.graph.connects(m1, m2) {
-                connected.push((m1, m2));
-            }
-        }
-        m1 = (m1 - 1) & mask;
+) -> SplitIter<'g> {
+    debug_assert!(mask.count_ones() >= 2, "splits need at least two relations");
+    let connected_only = model.graph.edges.iter().any(|e| e.within(mask));
+    SplitIter {
+        graph: model.graph,
+        mask,
+        next_m1: (mask - 1) & mask,
+        shape,
+        connected_only,
     }
-    if connected.is_empty() {
-        all
-    } else {
-        connected
+}
+
+/// Streaming sub-mask enumeration behind [`enumerate_splits`]; yields the
+/// exact sequence the eager version produced (descending `m1`, filtered).
+struct SplitIter<'g> {
+    graph: &'g moqo_catalog::JoinGraph,
+    mask: RelMask,
+    next_m1: RelMask,
+    shape: TreeShape,
+    connected_only: bool,
+}
+
+impl Iterator for SplitIter<'_> {
+    type Item = (RelMask, RelMask);
+
+    fn next(&mut self) -> Option<(RelMask, RelMask)> {
+        while self.next_m1 != 0 {
+            let m1 = self.next_m1;
+            self.next_m1 = (m1 - 1) & self.mask;
+            let m2 = self.mask ^ m1;
+            if self.shape == TreeShape::LeftDeep && m2.count_ones() != 1 {
+                continue;
+            }
+            if self.connected_only && !self.graph.connects(m1, m2) {
+                continue;
+            }
+            return Some((m1, m2));
+        }
+        None
     }
 }
 
@@ -565,7 +647,7 @@ fn offer_entry(
         SortOrder::None
     };
     let set = groups.groups.entry(order_key).or_default();
-    if set.would_reject(&cost, strategy, objectives) {
+    if set.would_reject(&cost, &props, strategy, objectives) {
         return;
     }
     let plan = build_plan(arena);
@@ -614,6 +696,7 @@ fn quick_finish(
     arena: &mut PlanArena,
     weights: &Weights,
     objectives: ObjectiveSet,
+    prune_mode: PruneMode,
     stats: &mut DpStats,
 ) {
     let n = model.graph.n_rels();
@@ -669,7 +752,7 @@ fn quick_finish(
         insert_entry(
             groups,
             entry,
-            &PruneStrategy::exact(),
+            &PruneStrategy::exact().with_mode(prune_mode),
             objectives,
             true,
             stats,
@@ -918,15 +1001,76 @@ mod tests {
         let (p, cat, g) = setup3();
         let model = CostModel::new(&p, &cat, &g);
         // Mask {customer, orders} = 0b011: splits (01|10) and (10|01).
-        let splits = enumerate_splits(&model, 0b011, TreeShape::Bushy);
+        let splits: Vec<_> = enumerate_splits(&model, 0b011, TreeShape::Bushy).collect();
         assert_eq!(splits.len(), 2);
         assert!(splits.contains(&(0b001, 0b010)));
         assert!(splits.contains(&(0b010, 0b001)));
         // Full mask: customer–lineitem is not an edge, so the connected
         // splits exclude ({customer},{lineitem}) pairs joined directly —
         // but 0b101 vs 0b010 IS connected via both edges.
-        let full_splits = enumerate_splits(&model, 0b111, TreeShape::Bushy);
+        let full_splits: Vec<_> = enumerate_splits(&model, 0b111, TreeShape::Bushy).collect();
         assert!(full_splits.contains(&(0b101, 0b010)));
         assert_eq!(full_splits.len(), 6);
+    }
+
+    /// The streaming split iterator must reproduce the eager seed
+    /// implementation — same splits, same order, same Cartesian fallback —
+    /// on every mask of connected, partially connected and edge-free
+    /// graphs, for both tree shapes.
+    #[test]
+    fn streaming_splits_match_eager_reference() {
+        let eager = |model: &CostModel<'_>, mask: RelMask, shape: TreeShape| {
+            let mut connected = Vec::new();
+            let mut all = Vec::new();
+            let mut m1 = (mask - 1) & mask;
+            while m1 != 0 {
+                let m2 = mask ^ m1;
+                if shape == TreeShape::Bushy || m2.count_ones() == 1 {
+                    all.push((m1, m2));
+                    if model.graph.connects(m1, m2) {
+                        connected.push((m1, m2));
+                    }
+                }
+                m1 = (m1 - 1) & mask;
+            }
+            if connected.is_empty() {
+                all
+            } else {
+                connected
+            }
+        };
+
+        let params = CostModelParams::default();
+        let mut cat = Catalog::new();
+        for name in ["a", "b", "c", "d"] {
+            cat.add_table(
+                TableStats::new(name, 1000.0, 50.0)
+                    .with_column(ColumnStats::new("id", 1000.0).indexed()),
+            );
+        }
+        // A path a–b–c plus an isolated d: masks containing d alone with
+        // others exercise the Cartesian fallback.
+        let graph = JoinGraphBuilder::new(&cat)
+            .rel("a", 1.0)
+            .rel("b", 1.0)
+            .rel("c", 1.0)
+            .rel("d", 1.0)
+            .join(("a", "id"), ("b", "id"))
+            .join(("b", "id"), ("c", "id"))
+            .build();
+        let model = CostModel::new(&params, &cat, &graph);
+        for mask in 1u32..(1 << 4) {
+            if mask.count_ones() < 2 {
+                continue;
+            }
+            for shape in [TreeShape::Bushy, TreeShape::LeftDeep] {
+                let streamed: Vec<_> = enumerate_splits(&model, mask, shape).collect();
+                assert_eq!(
+                    streamed,
+                    eager(&model, mask, shape),
+                    "mask {mask:b} shape {shape:?}"
+                );
+            }
+        }
     }
 }

@@ -6,12 +6,19 @@
 //! approximate dominance at internal precision `α_i = α_U^(1/|Q|)`, chosen
 //! so that the recursive error accumulation over at most `|Q|` combination
 //! levels stays within `α_U` (Theorem 3's induction).
+//!
+//! Both entry points derive their [`PruneMode`] through [`PruneMode::auto`]:
+//! props-aware pruning exactly when sampling scans are enabled and
+//! `TupleLoss` is unselected — the regime in which plan cardinality leaks
+//! past the cost vector and cost-only pruning would void Lemma 2 /
+//! Theorem 3 — and the paper's cost-only rule everywhere else.
 
 use moqo_cost::{ObjectiveSet, Preference};
 use moqo_costmodel::CostModel;
 
 use crate::budget::Deadline;
 use crate::dp::{find_pareto_plans, DpConfig, DpResult};
+use crate::pareto::PruneMode;
 
 /// The internal pruning precision the RTA derives from the user precision:
 /// `α_i = α_U^(1/n)` for a block of `n` tables (Algorithm 2,
@@ -53,7 +60,8 @@ pub fn rta(
     run(model, preference.objectives, preference, alpha_i, deadline)
 }
 
-/// Shared driver: `FindParetoPlans` with a given internal precision.
+/// Shared driver: `FindParetoPlans` with a given internal precision and
+/// the auto-selected pruning mode.
 pub(crate) fn run(
     model: &CostModel<'_>,
     objectives: ObjectiveSet,
@@ -61,7 +69,8 @@ pub(crate) fn run(
     alpha_internal: f64,
     deadline: &Deadline,
 ) -> DpResult {
-    let config = DpConfig::approximate(alpha_internal);
+    let config = DpConfig::approximate(alpha_internal)
+        .with_prune_mode(PruneMode::auto(model.params.enable_sampling, objectives));
     find_pareto_plans(model, objectives, &config, &preference.weights, deadline)
 }
 

@@ -7,6 +7,7 @@ use std::time::Duration;
 use moqo_cost::CostVector;
 
 use crate::dp::DpStats;
+use crate::pareto::PruneMode;
 
 /// One sampled point of an anytime optimizer's convergence trace: the state
 /// of the incumbent Pareto front after `iteration` samples.
@@ -44,12 +45,25 @@ pub struct BlockReport {
     /// Final per-iteration precision used (IRA), or the configured internal
     /// precision (RTA), or 1.0 (EXA), or NaN (RMQ — no guarantee).
     pub alpha_final: f64,
+    /// Dominance relation every pruning site of the run discarded plans
+    /// under (see [`PruneMode::auto`]). A guarantee — and with it any
+    /// α-certificate derived from the block's front — is only meaningful
+    /// together with the mode that produced it: a cost-only front computed
+    /// while sampling leaks cardinality past the cost vector covers less
+    /// than its α claims.
+    pub prune_mode: PruneMode,
 }
 
 impl BlockReport {
     /// Builds a report from DP statistics plus timing.
     #[must_use]
-    pub fn from_stats(stats: &DpStats, elapsed: Duration, iterations: u32, alpha: f64) -> Self {
+    pub fn from_stats(
+        stats: &DpStats,
+        elapsed: Duration,
+        iterations: u32,
+        alpha: f64,
+        prune_mode: PruneMode,
+    ) -> Self {
         BlockReport {
             elapsed,
             timed_out: stats.timed_out,
@@ -59,6 +73,7 @@ impl BlockReport {
             considered_plans: stats.considered_plans,
             iterations,
             alpha_final: alpha,
+            prune_mode,
         }
     }
 }
@@ -129,6 +144,7 @@ mod tests {
             considered_plans: 10,
             iterations: iters,
             alpha_final: 1.0,
+            prune_mode: PruneMode::CostOnly,
         }
     }
 

@@ -16,7 +16,7 @@ use crate::budget::Deadline;
 use crate::exa_rta::{exa, rta};
 use crate::ira::ira;
 use crate::metrics::{BlockReport, OptimizationReport};
-use crate::pareto::PlanEntry;
+use crate::pareto::{PlanEntry, PruneMode};
 use crate::rmq::{rmq_warm, RmqConfig};
 use crate::select::select_best;
 
@@ -251,6 +251,11 @@ impl<'a> Optimizer<'a> {
         );
         let model = CostModel::new(&self.params, self.catalog, graph);
         let deadline = Deadline::new(self.timeout);
+        // The mode every algorithm's pruning sites run under — recorded in
+        // the report so serving layers can refuse to mix fronts certified
+        // under different modes. The inner algorithms derive the same value
+        // through the same function; this is the single selection rule.
+        let prune_mode = PruneMode::auto(self.params.enable_sampling, preference.objectives);
         let started = Instant::now();
         let (arena, final_plans, stats, iterations, alpha_final) = match algorithm {
             Algorithm::Exhaustive => {
@@ -297,7 +302,13 @@ impl<'a> Optimizer<'a> {
         };
         let best: PlanEntry =
             select_best(&final_plans, preference).expect("optimizers return at least one plan");
-        let report = BlockReport::from_stats(&stats, started.elapsed(), iterations, alpha_final);
+        let report = BlockReport::from_stats(
+            &stats,
+            started.elapsed(),
+            iterations,
+            alpha_final,
+            prune_mode,
+        );
         (
             BlockPlan {
                 arena,

@@ -12,10 +12,19 @@
 //!   deleting approximately dominated plans would let the stored set drift
 //!   arbitrarily far from the frontier — that unsound variant is available
 //!   behind [`PruneStrategy::approx_deletion`] purely as an ablation.
+//!
+//! Orthogonally to the precision, a [`PruneMode`] selects the dominance
+//! relation: cost-only (the paper's rule) or props-aware, which refuses to
+//! discard a plan whose physical properties (row count, sort order) are
+//! better than its dominator's. Props-aware mode is what keeps pruning
+//! sound when sampling scans let cardinality leak past the cost vector;
+//! see [`PruneMode::auto`] for the selection rule every caller shares.
 
-use moqo_cost::dominance::{approx_dominates, dominates};
-use moqo_cost::{CostVector, ObjectiveSet};
-use moqo_plan::{PlanId, PlanProps};
+use moqo_cost::dominance::{
+    approx_dominates, approx_dominates_with_props, dominates, dominates_with_props, PropsKey,
+};
+use moqo_cost::{CostVector, Objective, ObjectiveSet};
+use moqo_plan::{PlanId, PlanProps, SortOrder};
 
 /// One stored plan: its cost vector, physical properties and arena id.
 /// Equality is bitwise over cost, props and id — two entries are equal only
@@ -31,6 +40,62 @@ pub struct PlanEntry {
     pub plan: PlanId,
 }
 
+/// Which dominance relation `Prune` discards plans under.
+///
+/// Cost-only pruning is the paper's original rule; it is sound exactly when
+/// the selected cost components determine every downstream cost. Sampling
+/// scans break that: plan cardinality then varies within a table set, feeds
+/// every parent operator's formula, and — when [`Objective::TupleLoss`] is
+/// not selected — is invisible to the cost vector, so a cost-dominated plan
+/// with fewer rows may still lead to the cheapest complete plan.
+/// Props-aware pruning additionally requires the dominator's [`PropsKey`]
+/// (row count, interest properties) to cover the discarded plan's, which
+/// restores Lemma 2 / Theorem 3 in that regime at the price of larger
+/// stored sets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum PruneMode {
+    /// Discard on (approximate) cost dominance alone.
+    #[default]
+    CostOnly,
+    /// Discard only when dominated in cost *and* covered in physical
+    /// properties.
+    PropsAware,
+}
+
+impl PruneMode {
+    /// The mode under which pruning is sound for a given configuration:
+    /// props-aware exactly when sampling scans are in the plan space and
+    /// `TupleLoss` is not among the selected objectives (the only regime in
+    /// which cardinality leaks past the cost vector), cost-only otherwise.
+    /// Every algorithm entry point and the serving layer derive their mode
+    /// through this one function so all pruning sites agree.
+    #[must_use]
+    pub fn auto(sampling_enabled: bool, objectives: ObjectiveSet) -> Self {
+        if sampling_enabled && !objectives.contains(Objective::TupleLoss) {
+            PruneMode::PropsAware
+        } else {
+            PruneMode::CostOnly
+        }
+    }
+}
+
+/// The [`PropsKey`] of a plan's physical properties: output rows plus the
+/// sort order encoded as the opaque interest tag ([`SortOrder::None`] maps
+/// to [`PropsKey::NO_INTEREST`], so any sorted plan covers an unsorted one
+/// at equal-or-fewer rows).
+#[must_use]
+pub fn props_key(props: &PlanProps) -> PropsKey {
+    let interest = match props.order {
+        SortOrder::None => PropsKey::NO_INTEREST,
+        // 1 + packed (rel, col): never collides with NO_INTEREST.
+        SortOrder::Col { rel, col } => 1 + ((rel as u64) << 16 | u64::from(col)),
+    };
+    PropsKey {
+        rows: props.rows,
+        interest,
+    }
+}
+
 /// Pruning configuration shared by one dynamic-programming run.
 #[derive(Debug, Clone, Copy)]
 pub struct PruneStrategy {
@@ -41,25 +106,98 @@ pub struct PruneStrategy {
     /// *approximately* dominates (destroys the near-optimality guarantee,
     /// §6.2 remark).
     pub approx_deletion: bool,
+    /// Dominance relation plans are discarded under.
+    pub mode: PruneMode,
 }
 
 impl PruneStrategy {
-    /// Exact pruning (EXA).
+    /// Exact cost-only pruning (EXA).
     #[must_use]
     pub fn exact() -> Self {
         PruneStrategy {
             alpha_internal: 1.0,
             approx_deletion: false,
+            mode: PruneMode::CostOnly,
         }
     }
 
-    /// Approximate pruning with internal precision `alpha_internal` (RTA).
+    /// Approximate cost-only pruning with internal precision
+    /// `alpha_internal` (RTA).
     #[must_use]
     pub fn approximate(alpha_internal: f64) -> Self {
         debug_assert!(alpha_internal >= 1.0);
         PruneStrategy {
             alpha_internal,
             approx_deletion: false,
+            mode: PruneMode::CostOnly,
+        }
+    }
+
+    /// Replaces the pruning mode (builder style).
+    #[must_use]
+    pub fn with_mode(mut self, mode: PruneMode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// Whether `candidate` is discarded in favour of `incumbent` under this
+    /// strategy's mode and precision.
+    #[inline]
+    fn rejects(
+        &self,
+        incumbent: &PlanEntry,
+        cost: &CostVector,
+        key: &PropsKey,
+        objectives: ObjectiveSet,
+    ) -> bool {
+        match self.mode {
+            PruneMode::CostOnly => {
+                approx_dominates(&incumbent.cost, cost, self.alpha_internal, objectives)
+            }
+            PruneMode::PropsAware => approx_dominates_with_props(
+                &incumbent.cost,
+                &props_key(&incumbent.props),
+                cost,
+                key,
+                self.alpha_internal,
+                objectives,
+            ),
+        }
+    }
+
+    /// Whether a stored plan is deleted by an inserted one (exact dominance
+    /// unless the `approx_deletion` ablation is on).
+    #[inline]
+    fn deletes(
+        &self,
+        inserted: &PlanEntry,
+        key: &PropsKey,
+        stored: &PlanEntry,
+        objectives: ObjectiveSet,
+    ) -> bool {
+        match (self.mode, self.approx_deletion) {
+            (PruneMode::CostOnly, false) => dominates(&inserted.cost, &stored.cost, objectives),
+            (PruneMode::CostOnly, true) => approx_dominates(
+                &inserted.cost,
+                &stored.cost,
+                self.alpha_internal,
+                objectives,
+            ),
+            (PruneMode::PropsAware, false) => dominates_with_props(
+                &inserted.cost,
+                key,
+                &stored.cost,
+                &props_key(&stored.props),
+                objectives,
+            ),
+            (PruneMode::PropsAware, true) => approx_dominates_with_props(
+                &inserted.cost,
+                key,
+                &stored.cost,
+                &props_key(&stored.props),
+                self.alpha_internal,
+                objectives,
+            ),
         }
     }
 }
@@ -85,15 +223,19 @@ impl PlanSet {
     }
 
     /// The rejection test of `prune_insert` alone: does some stored plan
-    /// (approximately) dominate `cost`? Lets callers that must allocate
-    /// per-candidate resources (e.g. arena nodes) skip doomed candidates
-    /// without mutating the set. A dominating plan needs `e ≤ α·key` in the
-    /// first objective, so the sorted order lets the scan stop at the first
-    /// entry beyond that cutoff.
+    /// (approximately) dominate the candidate — in props-aware mode, while
+    /// also covering its physical properties? Lets callers that must
+    /// allocate per-candidate resources (e.g. arena nodes) skip doomed
+    /// candidates without mutating the set. A dominating plan needs
+    /// `e ≤ α·key` in the first objective regardless of mode (cost
+    /// dominance stays necessary), so the sorted order keeps its
+    /// binary-search cutoff; props-aware mode merely partitions what the
+    /// scanned prefix may reject.
     #[must_use]
     pub fn would_reject(
         &self,
         cost: &CostVector,
+        props: &PlanProps,
         strategy: &PruneStrategy,
         objectives: ObjectiveSet,
     ) -> bool {
@@ -101,11 +243,12 @@ impl PlanSet {
         let key_of = |e: &PlanEntry| first.map_or(0.0, |o| e.cost.get(o));
         let alpha = strategy.alpha_internal;
         let cutoff = alpha * first.map_or(0.0, |o| cost.get(o));
+        let candidate_key = props_key(props);
         for e in &self.entries {
             if key_of(e) > cutoff {
                 break;
             }
-            if approx_dominates(&e.cost, cost, alpha, objectives) {
+            if strategy.rejects(e, cost, &candidate_key, objectives) {
                 return true;
             }
         }
@@ -124,7 +267,7 @@ impl PlanSet {
     ) -> bool {
         // "Check whether new plan useful": some stored plan (approximately)
         // dominates the new one?
-        if self.would_reject(&entry.cost, strategy, objectives) {
+        if self.would_reject(&entry.cost, &entry.props, strategy, objectives) {
             return false;
         }
         self.insert_unrejected(entry, strategy, objectives);
@@ -146,16 +289,19 @@ impl PlanSet {
         strategy: &PruneStrategy,
         objectives: ObjectiveSet,
     ) -> usize {
-        debug_assert!(!self.would_reject(&entry.cost, strategy, objectives));
+        debug_assert!(!self.would_reject(&entry.cost, &entry.props, strategy, objectives));
         let first = objectives.iter().next();
         let key_of = |e: &PlanEntry| first.map_or(0.0, |o| e.cost.get(o));
         let key = key_of(&entry);
         let alpha = strategy.alpha_internal;
+        let inserted_key = props_key(&entry.props);
 
         // "Delete dominated plans". Exact dominance unless the unsound
-        // ablation is requested. A deletable plan needs a first-objective
-        // cost of at least `key` (or `key/α` for the ablation), so only a
-        // sorted suffix qualifies; compact it in place, preserving order.
+        // ablation is requested; props-aware mode additionally requires the
+        // new plan to cover the victim's props. A deletable plan needs a
+        // first-objective cost of at least `key` (or `key/α` for the
+        // ablation) in every mode, so only a sorted suffix qualifies;
+        // compact it in place, preserving order.
         let delete_start = if strategy.approx_deletion {
             self.entries.partition_point(|e| key_of(e) < key / alpha)
         } else {
@@ -163,11 +309,7 @@ impl PlanSet {
         };
         let mut kept = delete_start;
         for read in delete_start..self.entries.len() {
-            let doomed = if strategy.approx_deletion {
-                approx_dominates(&entry.cost, &self.entries[read].cost, alpha, objectives)
-            } else {
-                dominates(&entry.cost, &self.entries[read].cost, objectives)
-            };
+            let doomed = strategy.deletes(&entry, &inserted_key, &self.entries[read], objectives);
             if !doomed {
                 self.entries.swap(kept, read);
                 kept += 1;
@@ -211,6 +353,25 @@ impl PlanSet {
         for (i, a) in self.entries.iter().enumerate() {
             for (j, b) in self.entries.iter().enumerate() {
                 if i != j && moqo_cost::dominance::strictly_dominates(&a.cost, &b.cost, objectives)
+                {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Invariant check (test helper) for props-aware exact pruning: no
+    /// entry may strictly dominate another in cost *while also covering*
+    /// its props key — plain cost domination between entries of different
+    /// props classes is expected and sound.
+    #[must_use]
+    pub fn is_props_antichain(&self, objectives: ObjectiveSet) -> bool {
+        for (i, a) in self.entries.iter().enumerate() {
+            for (j, b) in self.entries.iter().enumerate() {
+                if i != j
+                    && props_key(&a.props).covers(&props_key(&b.props))
+                    && moqo_cost::dominance::strictly_dominates(&a.cost, &b.cost, objectives)
                 {
                     return false;
                 }
@@ -288,7 +449,7 @@ mod tests {
         set.prune_insert(entry(4.0, 0.5), &s, objs());
         // (1,1) dominates the first two entries but not (4, 0.5).
         let probe = entry(1.0, 1.0);
-        assert!(!set.would_reject(&probe.cost, &s, objs()));
+        assert!(!set.would_reject(&probe.cost, &probe.props, &s, objs()));
         assert_eq!(set.insert_unrejected(probe, &s, objs()), 2);
         assert_eq!(set.len(), 2);
         assert!(set.is_antichain(objs()));
@@ -355,6 +516,7 @@ mod tests {
         let s = PruneStrategy {
             alpha_internal: alpha,
             approx_deletion: true,
+            mode: PruneMode::CostOnly,
         };
         let mut all = Vec::new();
         let (mut t, mut b) = (1.0f64, 1000.0f64);
@@ -391,5 +553,108 @@ mod tests {
             factor <= alpha,
             "sound pruning stays within α; got {factor}"
         );
+    }
+
+    fn entry_with_rows(t: f64, b: f64, rows: f64) -> PlanEntry {
+        let mut e = entry(t, b);
+        e.props.rows = rows;
+        e
+    }
+
+    #[test]
+    fn auto_mode_selects_props_aware_only_for_the_leak_regime() {
+        let no_loss = objs();
+        let with_loss =
+            ObjectiveSet::from_objectives(&[Objective::TotalTime, Objective::TupleLoss]);
+        assert_eq!(PruneMode::auto(true, no_loss), PruneMode::PropsAware);
+        assert_eq!(PruneMode::auto(false, no_loss), PruneMode::CostOnly);
+        assert_eq!(PruneMode::auto(true, with_loss), PruneMode::CostOnly);
+        assert_eq!(PruneMode::auto(false, with_loss), PruneMode::CostOnly);
+    }
+
+    #[test]
+    fn props_aware_keeps_cost_dominated_plan_with_fewer_rows() {
+        let s = PruneStrategy::exact().with_mode(PruneMode::PropsAware);
+        let mut set = PlanSet::new();
+        assert!(set.prune_insert(entry_with_rows(1.0, 1.0, 100.0), &s, objs()));
+        // Cost-dominated, but only 10 output rows: must survive, because a
+        // parent operator over it can be arbitrarily cheaper.
+        assert!(set.prune_insert(entry_with_rows(2.0, 2.0, 10.0), &s, objs()));
+        assert_eq!(set.len(), 2);
+        assert!(set.is_props_antichain(objs()));
+        // The same stream under cost-only pruning discards it.
+        let mut cost_only = PlanSet::new();
+        let c = PruneStrategy::exact();
+        assert!(cost_only.prune_insert(entry_with_rows(1.0, 1.0, 100.0), &c, objs()));
+        assert!(!cost_only.prune_insert(entry_with_rows(2.0, 2.0, 10.0), &c, objs()));
+    }
+
+    #[test]
+    fn props_aware_still_prunes_within_a_props_class() {
+        let s = PruneStrategy::exact().with_mode(PruneMode::PropsAware);
+        let mut set = PlanSet::new();
+        assert!(set.prune_insert(entry_with_rows(1.0, 1.0, 50.0), &s, objs()));
+        // Same rows, dominated cost: discarded exactly as in cost-only mode.
+        assert!(!set.prune_insert(entry_with_rows(2.0, 2.0, 50.0), &s, objs()));
+        // A dominator with *fewer* rows also prunes.
+        assert!(!set.prune_insert(entry_with_rows(2.0, 2.0, 200.0), &s, objs()));
+        assert_eq!(set.len(), 1);
+    }
+
+    #[test]
+    fn props_aware_deletion_spares_fewer_row_incumbents() {
+        let s = PruneStrategy::exact().with_mode(PruneMode::PropsAware);
+        let mut set = PlanSet::new();
+        set.prune_insert(entry_with_rows(2.0, 2.0, 10.0), &s, objs());
+        set.prune_insert(entry_with_rows(3.0, 3.0, 100.0), &s, objs());
+        // (1,1,50) cost-dominates both, but covers only the 100-row entry.
+        assert!(set.prune_insert(entry_with_rows(1.0, 1.0, 50.0), &s, objs()));
+        assert_eq!(set.len(), 2);
+        assert!(set
+            .iter()
+            .any(|e| e.cost.get(Objective::TotalTime) == 2.0 && e.props.rows == 10.0));
+        assert!(set.iter().all(|e| e.cost.get(Objective::TotalTime) != 3.0));
+    }
+
+    #[test]
+    fn props_aware_interest_tags_partition_orders() {
+        let s = PruneStrategy::exact().with_mode(PruneMode::PropsAware);
+        let mut set = PlanSet::new();
+        let mut sorted = entry_with_rows(2.0, 2.0, 50.0);
+        sorted.props.order = SortOrder::on(0, 1);
+        let unsorted = entry_with_rows(1.0, 1.0, 50.0);
+        // An unsorted dominator cannot discard a sorted plan…
+        assert!(set.prune_insert(unsorted, &s, objs()));
+        assert!(set.prune_insert(sorted, &s, objs()));
+        assert_eq!(set.len(), 2);
+        // …but a sorted dominator discards an unsorted one.
+        let mut set2 = PlanSet::new();
+        let mut sorted_cheap = entry_with_rows(1.0, 1.0, 50.0);
+        sorted_cheap.props.order = SortOrder::on(0, 1);
+        assert!(set2.prune_insert(sorted_cheap, &s, objs()));
+        assert!(!set2.prune_insert(entry_with_rows(2.0, 2.0, 50.0), &s, objs()));
+    }
+
+    #[test]
+    fn modes_agree_when_rows_and_orders_are_uniform() {
+        // Without sampling every plan of a (table set, order) group has the
+        // same rows and order, so the two modes are bit-identical.
+        let cost_only = PruneStrategy::approximate(1.3);
+        let props = PruneStrategy::approximate(1.3).with_mode(PruneMode::PropsAware);
+        let mut a = PlanSet::new();
+        let mut b = PlanSet::new();
+        for i in 0..64u32 {
+            let t = 1.0 + f64::from(i % 17) * 0.21;
+            let bcost = 40.0 / t;
+            let (ra, rb) = (
+                a.prune_insert(entry(t, bcost), &cost_only, objs()),
+                b.prune_insert(entry(t, bcost), &props, objs()),
+            );
+            assert_eq!(ra, rb, "insert {i}");
+        }
+        assert_eq!(a.as_slice().len(), b.as_slice().len());
+        for (x, y) in a.iter().zip(b.iter()) {
+            assert_eq!(x, y);
+        }
     }
 }

@@ -62,7 +62,7 @@ use moqo_plan::{JoinOp, JoinTree, PlanArena, PlanId, PlanProps, ScanOp};
 use crate::budget::Deadline;
 use crate::dp::{DpStats, JoinKeys, ScanOptions};
 use crate::metrics::ConvergencePoint;
-use crate::pareto::{PlanEntry, PlanSet, PruneStrategy};
+use crate::pareto::{PlanEntry, PlanSet, PruneMode, PruneStrategy};
 use crate::select::select_best;
 
 /// Configuration of one RMQ run.
@@ -200,7 +200,12 @@ pub fn rmq_warm(
     );
 
     let objectives = preference.objectives;
-    let strategy = PruneStrategy::exact();
+    // Same soundness rule as the DP schemes: props-aware fronts whenever
+    // sampling lets cardinality leak past the cost vector (the offer path,
+    // the cross-walker merge and the trace reconstruction must all agree,
+    // or the merged front could discard a walker's props-distinct plans).
+    let strategy =
+        PruneStrategy::exact().with_mode(PruneMode::auto(model.params.enable_sampling, objectives));
     let keys = JoinKeys::new(model);
     let scan_opts = ScanOptions::new(model);
     let n_walkers = config.walkers.max(1);
@@ -289,7 +294,7 @@ pub fn rmq_warm(
     let mut front = PlanSet::new();
     for (ri, run) in runs.iter().enumerate() {
         for e in run.front.iter() {
-            if front.would_reject(&e.cost, &strategy, objectives) {
+            if front.would_reject(&e.cost, &e.props, &strategy, objectives) {
                 continue;
             }
             let placeholder = PlanId(u32::try_from(candidates.len()).expect("front fits in u32"));
@@ -448,6 +453,7 @@ struct WalkerState<'a> {
     rng: StdRng,
     arena: PlanArena,
     front: PlanSet,
+    strategy: PruneStrategy,
     considered: u64,
     peak_front: usize,
     snapshots: Vec<Vec<PlanEntry>>,
@@ -502,6 +508,8 @@ impl<'a> WalkerState<'a> {
             rng,
             arena: PlanArena::new(),
             front: PlanSet::new(),
+            strategy: PruneStrategy::exact()
+                .with_mode(PruneMode::auto(model.params.enable_sampling, objectives)),
             considered: 0,
             peak_front: 0,
             snapshots: Vec::with_capacity(snapshot_counts.len()),
@@ -523,8 +531,11 @@ impl<'a> WalkerState<'a> {
     /// by *accepted* plans, not the budget.
     fn offer(&mut self, tree: &JoinTree, cost: CostVector, props: PlanProps) {
         self.considered += 1;
-        let strategy = PruneStrategy::exact();
-        if self.front.would_reject(&cost, &strategy, self.objectives) {
+        let strategy = self.strategy;
+        if self
+            .front
+            .would_reject(&cost, &props, &strategy, self.objectives)
+        {
             return;
         }
         let plan = self.arena.insert_tree(tree);
@@ -1077,9 +1088,44 @@ mod tests {
 
     #[test]
     fn rmq_front_is_an_antichain() {
+        // Default params enable sampling and the preference omits
+        // TupleLoss, so the front is props-aware: a member may be
+        // cost-dominated only by members that do NOT cover its props
+        // (fewer rows / an interesting order are legitimate reasons to
+        // survive).
         let (p, cat, g) = setup3();
         let model = CostModel::new(&p, &cat, &g);
         let preference = pref();
+        let out = rmq(
+            &model,
+            &preference,
+            &RmqConfig::new(500, 3),
+            &Deadline::unlimited(),
+        );
+        for (i, a) in out.final_plans.iter().enumerate() {
+            for (j, b) in out.final_plans.iter().enumerate() {
+                if i != j {
+                    assert!(
+                        !(crate::pareto::props_key(&a.props)
+                            .covers(&crate::pareto::props_key(&b.props))
+                            && moqo_cost::dominance::strictly_dominates(
+                                &a.cost,
+                                &b.cost,
+                                preference.objectives
+                            )),
+                        "front must be a props-aware antichain"
+                    );
+                }
+            }
+        }
+
+        // With sampling disabled the mode auto-selects cost-only and the
+        // plain antichain property holds.
+        let no_sampling = CostModelParams {
+            enable_sampling: false,
+            ..CostModelParams::default()
+        };
+        let model = CostModel::new(&no_sampling, &cat, &g);
         let out = rmq(
             &model,
             &preference,
@@ -1092,7 +1138,7 @@ mod tests {
                 if i != j {
                     assert!(
                         !moqo_cost::dominance::strictly_dominates(a, b, preference.objectives),
-                        "front must be an antichain"
+                        "cost-only front must be a plain antichain"
                     );
                 }
             }

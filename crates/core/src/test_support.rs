@@ -1,0 +1,138 @@
+//! Hidden test support: the **no-pruning reference DP** that the
+//! props-aware soundness tests (`crates/core/tests/props_pruning_properties.rs`
+//! and the workspace-level `tests/props_pruning.rs`) measure pruning
+//! against. One shared implementation, so a cost-model change (new scan
+//! operator, changed IdxNL precondition, new join configuration) cannot
+//! silently leave one copy testing a stale plan space.
+//!
+//! Not part of the public API — the module is `#[doc(hidden)]` and its
+//! behaviour may change without notice.
+
+use moqo_cost::{CostVector, ObjectiveSet};
+use moqo_costmodel::{CostModel, JoinKey};
+use moqo_plan::{JoinOp, PlanId, PlanProps, ScanOp, SortOrder};
+
+use crate::pareto::{PlanEntry, PlanSet, PruneStrategy};
+
+/// The cost-Pareto frontier over **every** plan of a block, computed with
+/// no pruning at all: the DP table stores every `(cost, props)` pair ever
+/// generated per table set, and only the *complete* plans are reduced to
+/// their frontier at the end (sound — nothing is downstream of a complete
+/// plan). Exponential in the block size, hence the 3-relation cap.
+///
+/// # Panics
+///
+/// Panics if the block has more than 3 relations.
+#[must_use]
+pub fn reference_frontier(model: &CostModel<'_>, objectives: ObjectiveSet) -> Vec<CostVector> {
+    let graph = model.graph;
+    let n = graph.n_rels();
+    assert!(n <= 3, "the no-pruning oracle explodes beyond 3 relations");
+    let full = graph.full_mask() as usize;
+    // The `bool` marks canonical index scans (IdxNL precondition).
+    let mut table: Vec<Vec<(CostVector, PlanProps, bool)>> = vec![Vec::new(); 1 << n];
+
+    // Phase 1: every applicable scan.
+    for rel in 0..n {
+        let t = model.catalog.table(graph.rels[rel].table);
+        let mut ops = vec![ScanOp::SeqScan];
+        for (ordinal, col) in t.columns.iter().enumerate() {
+            if col.indexed {
+                ops.push(ScanOp::IndexScan {
+                    column: ordinal as u16,
+                });
+            }
+        }
+        if model.params.enable_sampling {
+            for rate_pct in moqo_plan::SAMPLING_RATES_PCT {
+                ops.push(ScanOp::SamplingScan { rate_pct });
+            }
+        }
+        for op in ops {
+            if let Some((cost, props)) = model.scan_cost(rel, op) {
+                table[1 << rel].push((cost, props, matches!(op, ScanOp::IndexScan { .. })));
+            }
+        }
+    }
+
+    // Phase 2: every split, every operand pair, every join operator —
+    // honouring the same Cartesian-product heuristic as the real DP.
+    let mut masks: Vec<u32> = (1..(1u32 << n)).filter(|m| m.count_ones() >= 2).collect();
+    masks.sort_by_key(|m| m.count_ones());
+    for mask in masks {
+        let mut splits = Vec::new();
+        let mut connected = Vec::new();
+        let mut m1 = (mask - 1) & mask;
+        while m1 != 0 {
+            let m2 = mask ^ m1;
+            splits.push((m1, m2));
+            if graph.connects(m1, m2) {
+                connected.push((m1, m2));
+            }
+            m1 = (m1 - 1) & mask;
+        }
+        let splits = if connected.is_empty() {
+            splits
+        } else {
+            connected
+        };
+        let mut out = Vec::new();
+        for (m1, m2) in splits {
+            let key = graph.edges.iter().find(|e| e.crosses(m1, m2)).map(|e| {
+                let left_in_m1 = m1 & (1u32 << e.left_rel) != 0;
+                let (lr, lc, rr, rc) = if left_in_m1 {
+                    (e.left_rel, e.left_col, e.right_rel, e.right_col)
+                } else {
+                    (e.right_rel, e.right_col, e.left_rel, e.left_col)
+                };
+                JoinKey {
+                    left_rel: lr,
+                    left_col: lc,
+                    right_rel: rr,
+                    right_col: rc,
+                    inner_indexed: model.catalog.table(graph.rels[rr].table).column(rc).indexed,
+                }
+            });
+            for left in &table[m1 as usize] {
+                for right in &table[m2 as usize] {
+                    let right_canonical = right.2
+                        && key.as_ref().is_some_and(|k| {
+                            right.1.rels == 1u32 << k.right_rel
+                                && right.1.order == SortOrder::on(k.right_rel, k.right_col)
+                        });
+                    for op in JoinOp::all_configurations() {
+                        if let Some((cost, props)) = model.join_cost(
+                            op,
+                            (&left.0, &left.1),
+                            (&right.0, &right.1),
+                            key.as_ref(),
+                            right_canonical,
+                        ) {
+                            out.push((cost, props, false));
+                        }
+                    }
+                }
+            }
+        }
+        table[mask as usize] = out;
+    }
+
+    // Every complete plan was generated without any pruning decision; for
+    // complete plans the cost vector is all that matters, so extracting
+    // the frontier incrementally with exact cost-only pruning is sound —
+    // and far cheaper than a quadratic scan over the final candidates.
+    let mut frontier = PlanSet::new();
+    let strategy = PruneStrategy::exact();
+    for (i, (cost, props, _)) in table[full].iter().enumerate() {
+        frontier.prune_insert(
+            PlanEntry {
+                cost: *cost,
+                props: *props,
+                plan: PlanId(i as u32),
+            },
+            &strategy,
+            objectives,
+        );
+    }
+    frontier.iter().map(|e| e.cost).collect()
+}

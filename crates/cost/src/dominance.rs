@@ -11,9 +11,110 @@
 //! Note the direction of approximate dominance: `c1` may be *worse* than `c2`
 //! by up to factor `α` and still approximately dominate it — with `α = 1` the
 //! relation coincides with plain dominance.
+//!
+//! ## Props-aware dominance
+//!
+//! The plain relations compare *cost vectors* only. That is sound exactly
+//! when the selected cost components determine every downstream cost — the
+//! principle of near-optimality (§6.1) treats cardinality-derived
+//! quantities as constants per table set. Sampling scans break that
+//! assumption: plan cardinality then varies *within* a table set, feeds
+//! every parent operator's cost formula, and — when `TupleLoss` is not a
+//! selected objective — is invisible to the cost vector. A plan that is
+//! cost-dominated but produces fewer rows may still lead to the cheapest
+//! complete plan, so discarding it loses frontier points.
+//!
+//! [`dominates_with_props`] and [`approx_dominates_with_props`] close the
+//! leak: they additionally require the dominator's physical properties
+//! ([`PropsKey`]) to *cover* the dominated plan's, i.e. be at least as good
+//! for every possible parent operator.
 
 use crate::objective::ObjectiveSet;
 use crate::vector::CostVector;
+
+/// The physical plan properties that can influence downstream operator
+/// costs beyond the cost vector itself: output cardinality, plus an opaque
+/// *interest* tag for order-like properties a parent operator might
+/// exploit. Cost-layer code never interprets the tag; producers (the plan
+/// layer) encode their sort orders into it.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PropsKey {
+    /// Estimated output row count; fewer rows never cost a parent more.
+    pub rows: f64,
+    /// Opaque interest tag. [`PropsKey::NO_INTEREST`] marks a plan with no
+    /// exploitable property; any tag covers it. Distinct non-trivial tags
+    /// are mutually incomparable (neither covers the other).
+    pub interest: u64,
+}
+
+impl PropsKey {
+    /// The interest tag of a plan with no exploitable physical property
+    /// (e.g. an unsorted output). Every tag covers it.
+    pub const NO_INTEREST: u64 = 0;
+
+    /// Relative tolerance of the row comparison in [`PropsKey::covers`].
+    /// Cardinality estimates for the same table set agree only up to
+    /// floating-point association noise (different join orders multiply
+    /// the same selectivities in different orders, wobbling the last few
+    /// ulps), which is many orders of magnitude below any real cardinality
+    /// distinction; without the tolerance, props-aware pruning would
+    /// partition identical-cardinality plans into spurious classes and
+    /// diverge from cost-only pruning even where no sampling is involved.
+    pub const ROWS_RELATIVE_TOLERANCE: f64 = 1e-9;
+
+    /// A key with `rows` and no interesting property.
+    #[must_use]
+    pub fn rows_only(rows: f64) -> Self {
+        PropsKey {
+            rows,
+            interest: Self::NO_INTEREST,
+        }
+    }
+
+    /// Whether `self` is at least as good as `other` for every possible
+    /// parent operator: no more rows (up to
+    /// [`PropsKey::ROWS_RELATIVE_TOLERANCE`]), and an interest tag that is
+    /// equal or subsumes a trivial one. This is the side condition of
+    /// [`dominates_with_props`].
+    #[must_use]
+    pub fn covers(&self, other: &PropsKey) -> bool {
+        self.rows <= other.rows * (1.0 + Self::ROWS_RELATIVE_TOLERANCE)
+            && (self.interest == other.interest || other.interest == Self::NO_INTEREST)
+    }
+}
+
+/// `c1 ⪯ c2` *and* `k1` covers `k2`: the props-aware dominance relation
+/// behind the optimizer's `PruneMode::PropsAware`. Sound even when plan
+/// cardinality varies within a table set (sampling scans) and is not
+/// reflected in the selected objectives.
+#[inline]
+#[must_use]
+pub fn dominates_with_props(
+    c1: &CostVector,
+    k1: &PropsKey,
+    c2: &CostVector,
+    k2: &PropsKey,
+    objectives: ObjectiveSet,
+) -> bool {
+    k1.covers(k2) && dominates(c1, c2, objectives)
+}
+
+/// `c1 ⪯_α c2` *and* `k1` covers `k2` — the approximate counterpart of
+/// [`dominates_with_props`]. Note the props side condition is exact: α
+/// slack applies to costs only, never to cardinality, because parent costs
+/// can grow without bound in child rows.
+#[inline]
+#[must_use]
+pub fn approx_dominates_with_props(
+    c1: &CostVector,
+    k1: &PropsKey,
+    c2: &CostVector,
+    k2: &PropsKey,
+    alpha: f64,
+    objectives: ObjectiveSet,
+) -> bool {
+    k1.covers(k2) && approx_dominates(c1, c2, alpha, objectives)
+}
 
 /// `c1 ⪯ c2`: `c1` has lower or equivalent cost than `c2` in every selected
 /// objective.
@@ -131,5 +232,86 @@ mod tests {
         let none = ObjectiveSet::empty();
         assert!(dominates(&v(9.0, 9.0), &v(1.0, 1.0), none));
         assert!(!strictly_dominates(&v(9.0, 9.0), &v(1.0, 1.0), none));
+    }
+
+    #[test]
+    fn props_key_covers_is_a_partial_order() {
+        let small = PropsKey::rows_only(10.0);
+        let big = PropsKey::rows_only(100.0);
+        assert!(small.covers(&big));
+        assert!(!big.covers(&small));
+        assert!(small.covers(&small), "reflexive");
+        // A non-trivial interest tag covers the trivial one at equal rows…
+        let sorted = PropsKey {
+            rows: 10.0,
+            interest: 7,
+        };
+        assert!(sorted.covers(&small));
+        // …but not the reverse, and distinct tags are incomparable.
+        assert!(!small.covers(&sorted));
+        let other_sorted = PropsKey {
+            rows: 1.0,
+            interest: 8,
+        };
+        assert!(!other_sorted.covers(&sorted));
+        assert!(!sorted.covers(&other_sorted));
+    }
+
+    #[test]
+    fn props_aware_dominance_needs_both_sides() {
+        let better_cost = v(1.0, 1.0);
+        let worse_cost = v(2.0, 2.0);
+        let few = PropsKey::rows_only(5.0);
+        let many = PropsKey::rows_only(50.0);
+        // Cost dominance alone is not enough when the dominated plan has
+        // fewer rows — exactly the sampling leak.
+        assert!(dominates(&better_cost, &worse_cost, objs2()));
+        assert!(!dominates_with_props(
+            &better_cost,
+            &many,
+            &worse_cost,
+            &few,
+            objs2()
+        ));
+        assert!(dominates_with_props(
+            &better_cost,
+            &few,
+            &worse_cost,
+            &many,
+            objs2()
+        ));
+        // Props coverage alone is not enough either.
+        assert!(!dominates_with_props(
+            &worse_cost,
+            &few,
+            &better_cost,
+            &many,
+            objs2()
+        ));
+    }
+
+    #[test]
+    fn approx_props_dominance_relaxes_cost_not_rows() {
+        let a = v(1.4, 2.8);
+        let b = v(1.0, 2.0);
+        let few = PropsKey::rows_only(5.0);
+        let many = PropsKey::rows_only(50.0);
+        assert!(approx_dominates_with_props(
+            &a,
+            &few,
+            &b,
+            &many,
+            1.5,
+            objs2()
+        ));
+        // α never excuses a cardinality regression.
+        assert!(!approx_dominates_with_props(
+            &a,
+            &many,
+            &b,
+            &few,
+            1.5,
+            objs2()
+        ));
     }
 }

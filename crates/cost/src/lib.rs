@@ -66,8 +66,11 @@ pub mod pareto_front;
 pub mod running_example;
 
 // Convenience re-exports: `moqo_cost::dominance` is the canonical home of
-// the three relations; the flat paths below are aliases for it.
-pub use dominance::{approx_dominates, dominates, strictly_dominates};
+// the relations; the flat paths below are aliases for it.
+pub use dominance::{
+    approx_dominates, approx_dominates_with_props, dominates, dominates_with_props,
+    strictly_dominates, PropsKey,
+};
 pub use objective::{Objective, ObjectiveSet, NUM_OBJECTIVES};
 pub use preference::{Bounds, Preference, Weights};
 pub use signature::PreferenceSignature;

@@ -29,7 +29,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
 use moqo_catalog::{GraphSignature, JoinGraph};
-use moqo_core::PlanEntry;
+use moqo_core::{PlanEntry, PruneMode};
 use moqo_cost::PreferenceSignature;
 use moqo_plan::{JoinTree, PlanArena};
 
@@ -58,6 +58,9 @@ struct CacheEntry {
     graph: JoinGraph,
     /// Guarantee of the stored front (`1.0` exact, `+∞` none/RMQ).
     alpha: f64,
+    /// Pruning mode the front was certified under; `alpha` is meaningless
+    /// without it, so serving requires an exact mode match.
+    mode: PruneMode,
     /// Compact arena owning exactly the frontier trees.
     arena: PlanArena,
     /// The stored front; plan ids resolve in `arena`.
@@ -132,13 +135,15 @@ pub enum CacheLookup {
         alpha: f64,
     },
     /// An entry for the same block is resident but cannot serve this
-    /// α′/boundedness. Counted as a miss; callers that will run the
-    /// randomized search can fetch its trees via
+    /// α′/boundedness/pruning mode. Counted as a miss; callers that will
+    /// run the randomized search can fetch its trees via
     /// [`PlanCache::warm_trees`] — extraction is deferred so schemes that
     /// cannot use warm starts never pay for (or get billed as) one.
     NotServable {
         /// Guarantee of the resident front.
         alpha: f64,
+        /// Pruning mode of the resident front.
+        mode: PruneMode,
     },
     /// Nothing cached for this key (or a signature collision).
     Miss,
@@ -201,8 +206,9 @@ impl PlanCache {
         self.tick.fetch_add(1, Ordering::Relaxed)
     }
 
-    /// Probes the cache for `key`. `requested_alpha`/`bounded` decide
-    /// between a direct hit and [`CacheLookup::NotServable`] (see
+    /// Probes the cache for `key`. `requested_alpha`/`bounded`/
+    /// `required_mode` decide between a direct hit and
+    /// [`CacheLookup::NotServable`] (see
     /// [`AlphaCertificate`](crate::AlphaCertificate) for the rule); `graph`
     /// is compared against the stored graph (aliases aside) to rule out
     /// collisions. Everything that is not a direct serve counts as a miss.
@@ -213,6 +219,7 @@ impl PlanCache {
         graph: &JoinGraph,
         requested_alpha: f64,
         bounded: bool,
+        required_mode: PruneMode,
     ) -> CacheLookup {
         let tick = self.next_tick();
         let mut shard = self.shard_of(key).lock().expect("cache lock poisoned");
@@ -227,7 +234,11 @@ impl PlanCache {
             return CacheLookup::Miss;
         }
         entry.last_used = tick;
-        let servable = entry.alpha.is_finite()
+        // Mode mismatch is never servable: the stored α-coverage claim is
+        // relative to the mode that certified it, so a cost-only front must
+        // not answer a props-aware request or vice versa.
+        let servable = entry.mode == required_mode
+            && entry.alpha.is_finite()
             && entry.alpha <= requested_alpha
             && (!bounded || entry.alpha <= 1.0);
         if servable {
@@ -249,7 +260,10 @@ impl PlanCache {
             }
         } else {
             self.counters.misses.fetch_add(1, Ordering::Relaxed);
-            CacheLookup::NotServable { alpha: entry.alpha }
+            CacheLookup::NotServable {
+                alpha: entry.alpha,
+                mode: entry.mode,
+            }
         }
     }
 
@@ -279,11 +293,12 @@ impl PlanCache {
     }
 
     /// Inserts (or tightens) the front for `key`: the frontier's trees are
-    /// adopted out of `src_arena` into a compact cache-owned arena. An
-    /// existing entry is only replaced when the new front carries a
-    /// strictly tighter guarantee (serving power never regresses — also
-    /// across signature collisions); usage stats survive replacement only
-    /// when the entry describes the same block.
+    /// adopted out of `src_arena` into a compact cache-owned arena, stamped
+    /// with the [`PruneMode`] that certified it. An existing entry is only
+    /// replaced when the new front carries a strictly tighter guarantee
+    /// (serving power never regresses — also across signature collisions
+    /// and pruning modes); usage stats survive replacement only when the
+    /// entry describes the same block.
     pub fn insert(
         &self,
         key: CacheKey,
@@ -291,6 +306,7 @@ impl PlanCache {
         frontier: &[PlanEntry],
         src_arena: &PlanArena,
         alpha: f64,
+        mode: PruneMode,
     ) {
         if frontier.is_empty() {
             return;
@@ -337,6 +353,7 @@ impl PlanCache {
             CacheEntry {
                 graph: graph.clone(),
                 alpha,
+                mode,
                 arena,
                 frontier,
                 stats,
@@ -451,9 +468,9 @@ mod tests {
         let key = key_for(&g, &pref());
         let mut src = PlanArena::new();
         let front = front_in(&mut src);
-        cache.insert(key, &g, &front, &src, 1.5);
+        cache.insert(key, &g, &front, &src, 1.5, PruneMode::CostOnly);
 
-        match cache.lookup(&key, &g, 2.0, false) {
+        match cache.lookup(&key, &g, 2.0, false, PruneMode::CostOnly) {
             CacheLookup::Hit {
                 frontier, alpha, ..
             } => {
@@ -464,8 +481,11 @@ mod tests {
             _ => panic!("α′ = 2.0 ≥ 1.5 must serve directly"),
         }
         // Tighter request: not servable, but warm-start trees are there.
-        match cache.lookup(&key, &g, 1.2, false) {
-            CacheLookup::NotServable { alpha } => assert_eq!(alpha, 1.5),
+        match cache.lookup(&key, &g, 1.2, false, PruneMode::CostOnly) {
+            CacheLookup::NotServable { alpha, mode } => {
+                assert_eq!(alpha, 1.5);
+                assert_eq!(mode, PruneMode::CostOnly);
+            }
             _ => panic!("α′ = 1.2 < 1.5 must not serve directly"),
         }
         let (trees, alpha) = cache.warm_trees(&key, &g).unwrap();
@@ -473,7 +493,7 @@ mod tests {
         assert_eq!(trees.len(), 1);
         // Bounded requests need an exact front.
         assert!(matches!(
-            cache.lookup(&key, &g, 2.0, true),
+            cache.lookup(&key, &g, 2.0, true, PruneMode::CostOnly),
             CacheLookup::NotServable { .. }
         ));
         let stats = cache.entry_stats(&key).unwrap();
@@ -490,7 +510,7 @@ mod tests {
         let key = key_for(&g, &pref());
         let mut src = PlanArena::new();
         let front = front_in(&mut src);
-        cache.insert(key, &g, &front, &src, 1.0);
+        cache.insert(key, &g, &front, &src, 1.0, PruneMode::CostOnly);
         // Same block, different alias spellings: signature and serving
         // both ignore aliases.
         let mut renamed = g.clone();
@@ -499,14 +519,14 @@ mod tests {
         }
         assert_eq!(renamed.signature(), g.signature());
         assert!(matches!(
-            cache.lookup(&key, &renamed, 1.0, true),
+            cache.lookup(&key, &renamed, 1.0, true, PruneMode::CostOnly),
             CacheLookup::Hit { .. }
         ));
         // And a looser re-insert from the renamed variant does not evict
         // the tighter entry.
-        cache.insert(key, &renamed, &front, &src, 2.0);
+        cache.insert(key, &renamed, &front, &src, 2.0, PruneMode::CostOnly);
         assert!(matches!(
-            cache.lookup(&key, &g, 1.0, false),
+            cache.lookup(&key, &g, 1.0, false, PruneMode::CostOnly),
             CacheLookup::Hit { .. }
         ));
     }
@@ -518,16 +538,16 @@ mod tests {
         let key = key_for(&g, &pref());
         let mut src = PlanArena::new();
         let front = front_in(&mut src);
-        cache.insert(key, &g, &front, &src, 2.0);
+        cache.insert(key, &g, &front, &src, 2.0, PruneMode::CostOnly);
         // Looser insert is ignored.
-        cache.insert(key, &g, &front, &src, 3.0);
-        match cache.lookup(&key, &g, 2.5, false) {
+        cache.insert(key, &g, &front, &src, 3.0, PruneMode::CostOnly);
+        match cache.lookup(&key, &g, 2.5, false, PruneMode::CostOnly) {
             CacheLookup::Hit { alpha, .. } => assert_eq!(alpha, 2.0),
             _ => panic!("entry must still carry α = 2.0"),
         }
         // Tighter insert replaces, stats survive.
-        cache.insert(key, &g, &front, &src, 1.0);
-        match cache.lookup(&key, &g, 1.0, true) {
+        cache.insert(key, &g, &front, &src, 1.0, PruneMode::CostOnly);
+        match cache.lookup(&key, &g, 1.0, true, PruneMode::CostOnly) {
             CacheLookup::Hit { alpha, .. } => assert_eq!(alpha, 1.0),
             _ => panic!("exact entry serves even bounded requests"),
         }
@@ -541,24 +561,63 @@ mod tests {
         let key = key_for(&g, &pref());
         let mut src = PlanArena::new();
         let front = front_in(&mut src);
-        cache.insert(key, &g, &front, &src, 1.0);
+        cache.insert(key, &g, &front, &src, 1.0, PruneMode::CostOnly);
         let mut other = g.clone();
         other.rels[0].filter_selectivity = 0.5;
         // Same key forced on a different graph: must not serve, and must
         // not hand out warm trees either.
         assert!(matches!(
-            cache.lookup(&key, &other, 10.0, false),
+            cache.lookup(&key, &other, 10.0, false, PruneMode::CostOnly),
             CacheLookup::Miss
         ));
         assert!(cache.warm_trees(&key, &other).is_none());
         // Nor may a looser colliding insert displace the tighter entry.
         let mut src2 = PlanArena::new();
         let front2 = front_in(&mut src2);
-        cache.insert(key, &other, &front2, &src2, 3.0);
-        match cache.lookup(&key, &g, 1.0, false) {
+        cache.insert(key, &other, &front2, &src2, 3.0, PruneMode::CostOnly);
+        match cache.lookup(&key, &g, 1.0, false, PruneMode::CostOnly) {
             CacheLookup::Hit { alpha, .. } => assert_eq!(alpha, 1.0),
             _ => panic!("collision must not regress serving power"),
         }
+    }
+
+    #[test]
+    fn mode_mismatched_entries_are_never_served() {
+        let (_cat, g) = graph();
+        let cache = PlanCache::new(8, 1);
+        let key = key_for(&g, &pref());
+        let mut src = PlanArena::new();
+        let front = front_in(&mut src);
+        // An exact cost-only front: tighter than any request could ask,
+        // yet a props-aware consumer must not be served from it…
+        cache.insert(key, &g, &front, &src, 1.0, PruneMode::CostOnly);
+        match cache.lookup(&key, &g, 10.0, false, PruneMode::PropsAware) {
+            CacheLookup::NotServable { alpha, mode } => {
+                assert_eq!(alpha, 1.0);
+                assert_eq!(mode, PruneMode::CostOnly);
+            }
+            _ => panic!("cost-only front must not serve a props-aware request"),
+        }
+        // …while the matching mode still serves.
+        assert!(matches!(
+            cache.lookup(&key, &g, 1.0, false, PruneMode::CostOnly),
+            CacheLookup::Hit { .. }
+        ));
+        // The reverse direction: a props-aware entry never serves a
+        // cost-only request either.
+        let cache2 = PlanCache::new(8, 1);
+        cache2.insert(key, &g, &front, &src, 1.0, PruneMode::PropsAware);
+        assert!(matches!(
+            cache2.lookup(&key, &g, 10.0, false, PruneMode::CostOnly),
+            CacheLookup::NotServable { .. }
+        ));
+        assert!(matches!(
+            cache2.lookup(&key, &g, 1.0, false, PruneMode::PropsAware),
+            CacheLookup::Hit { .. }
+        ));
+        // Mismatched fronts still hand out warm-start trees — those are
+        // heuristic seeds, not certificates.
+        assert!(cache2.warm_trees(&key, &g).is_some());
     }
 
     #[test]
@@ -573,11 +632,11 @@ mod tests {
                 preference: pref().signature(),
             })
             .collect();
-        cache.insert(keys[0], &g, &front, &src, 1.0);
-        cache.insert(keys[1], &g, &front, &src, 1.0);
+        cache.insert(keys[0], &g, &front, &src, 1.0, PruneMode::CostOnly);
+        cache.insert(keys[1], &g, &front, &src, 1.0, PruneMode::CostOnly);
         // Touch key 0 so key 1 is the LRU when key 2 arrives.
-        let _ = cache.lookup(&keys[0], &g, 2.0, false);
-        cache.insert(keys[2], &g, &front, &src, 1.0);
+        let _ = cache.lookup(&keys[0], &g, 2.0, false, PruneMode::CostOnly);
+        cache.insert(keys[2], &g, &front, &src, 1.0, PruneMode::CostOnly);
         assert_eq!(cache.len(), 2);
         assert!(cache.entry_stats(&keys[0]).is_some());
         assert!(cache.entry_stats(&keys[1]).is_none(), "LRU entry evicted");
@@ -591,13 +650,13 @@ mod tests {
         let cache = PlanCache::new(4, 1);
         let key = key_for(&g, &pref());
         assert!(matches!(
-            cache.lookup(&key, &g, 2.0, false),
+            cache.lookup(&key, &g, 2.0, false, PruneMode::CostOnly),
             CacheLookup::Miss
         ));
         let mut src = PlanArena::new();
         let front = front_in(&mut src);
-        cache.insert(key, &g, &front, &src, 1.0);
-        let _ = cache.lookup(&key, &g, 2.0, false);
+        cache.insert(key, &g, &front, &src, 1.0, PruneMode::CostOnly);
+        let _ = cache.lookup(&key, &g, 2.0, false, PruneMode::CostOnly);
         let snap = cache.snapshot();
         assert_eq!((snap.hits, snap.misses), (1, 1));
         assert!((snap.hit_ratio() - 0.5).abs() < 1e-12);

@@ -47,6 +47,18 @@ pub enum Admission {
 pub trait AlgorithmPolicy: Send + Sync {
     /// Decides what to run for one block.
     fn admit(&self, ctx: &PolicyContext) -> Admission;
+
+    /// Relative cost estimate for optimizing one block of `block_size`
+    /// relations — the weight the service uses to split a request's
+    /// deadline across its blocks (proportional shares, so one expensive
+    /// early block cannot starve its successors). Only ratios matter. The
+    /// default mirrors [`DeadlineAwarePolicy`]'s exponential DP model.
+    fn block_estimate(&self, block_size: usize) -> Duration {
+        let factor = 3.5f64
+            .powi(i32::try_from(block_size).unwrap_or(i32::MAX))
+            .min(1e15);
+        Duration::from_micros(2).mul_f64(factor)
+    }
 }
 
 /// The default policy: size and deadline gates around the preference order
@@ -124,6 +136,10 @@ impl DeadlineAwarePolicy {
 }
 
 impl AlgorithmPolicy for DeadlineAwarePolicy {
+    fn block_estimate(&self, block_size: usize) -> Duration {
+        self.estimated_dp_time(block_size)
+    }
+
     fn admit(&self, ctx: &PolicyContext) -> Admission {
         if let Some(rem) = ctx.remaining {
             if rem < self.min_budget {

@@ -3,7 +3,7 @@
 use std::time::Duration;
 
 use moqo_catalog::Query;
-use moqo_core::{combine_block_costs, Algorithm, PlanEntry};
+use moqo_core::{combine_block_costs, Algorithm, PlanEntry, PruneMode};
 use moqo_cost::{CostVector, Preference};
 use moqo_plan::{PlanArena, PlanId};
 
@@ -71,6 +71,14 @@ impl OptimizationRequest {
 /// requires `cached_alpha == 1` — an exact front always contains the true
 /// bounded-weighted optimum. Approximate fronts still serve bounded
 /// requests indirectly, as RMQ warm starts.
+///
+/// The certificate additionally records the [`PruneMode`] the front was
+/// certified under and the mode the request requires: an α guarantee is
+/// only meaningful relative to its pruning mode (a cost-only front
+/// computed while sampling leaks cardinality past the cost vector covers
+/// less than its α claims, and a props-aware front is not the cost
+/// antichain a cost-only consumer expects), so mode-mismatched fronts are
+/// never served in either direction.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct AlphaCertificate {
     /// Guarantee the cached front was computed with (`1.0` = exact,
@@ -80,13 +88,20 @@ pub struct AlphaCertificate {
     pub requested_alpha: f64,
     /// Whether the request bounds any selected objective.
     pub bounded: bool,
+    /// Pruning mode the cached front was certified under.
+    pub cached_mode: PruneMode,
+    /// Pruning mode a fresh optimization of this request would run under
+    /// ([`PruneMode::auto`] over the service's cost-model parameters and
+    /// the request's objectives).
+    pub required_mode: PruneMode,
 }
 
 impl AlphaCertificate {
     /// Whether this certificate licenses a direct cache hit.
     #[must_use]
     pub fn is_valid(&self) -> bool {
-        self.cached_alpha.is_finite()
+        self.cached_mode == self.required_mode
+            && self.cached_alpha.is_finite()
             && self.cached_alpha <= self.requested_alpha
             && (!self.bounded || self.cached_alpha <= 1.0)
     }
@@ -228,33 +243,59 @@ mod tests {
             cached_alpha: 1.5,
             requested_alpha: 2.0,
             bounded: false,
+            cached_mode: PruneMode::CostOnly,
+            required_mode: PruneMode::CostOnly,
         };
         assert!(ok.is_valid());
         let too_loose = AlphaCertificate {
             cached_alpha: 2.5,
-            requested_alpha: 2.0,
-            bounded: false,
+            ..ok
         };
         assert!(!too_loose.is_valid());
         let rmq = AlphaCertificate {
             cached_alpha: f64::INFINITY,
             requested_alpha: 100.0,
-            bounded: false,
+            ..ok
         };
         assert!(!rmq.is_valid(), "no-guarantee fronts never serve directly");
         // Figure 8: approximate fronts cannot serve bounded requests…
         let bounded_approx = AlphaCertificate {
-            cached_alpha: 1.5,
-            requested_alpha: 2.0,
             bounded: true,
+            ..ok
         };
         assert!(!bounded_approx.is_valid());
         // …but exact fronts can.
         let bounded_exact = AlphaCertificate {
             cached_alpha: 1.0,
-            requested_alpha: 2.0,
             bounded: true,
+            ..ok
         };
         assert!(bounded_exact.is_valid());
+    }
+
+    #[test]
+    fn certificate_requires_matching_prune_mode() {
+        // A tighter-than-requested α is worthless across modes, in either
+        // direction — its coverage claim is relative to the mode.
+        let base = AlphaCertificate {
+            cached_alpha: 1.0,
+            requested_alpha: 2.0,
+            bounded: false,
+            cached_mode: PruneMode::CostOnly,
+            required_mode: PruneMode::PropsAware,
+        };
+        assert!(!base.is_valid());
+        let reverse = AlphaCertificate {
+            cached_mode: PruneMode::PropsAware,
+            required_mode: PruneMode::CostOnly,
+            ..base
+        };
+        assert!(!reverse.is_valid());
+        let matching = AlphaCertificate {
+            cached_mode: PruneMode::PropsAware,
+            required_mode: PruneMode::PropsAware,
+            ..base
+        };
+        assert!(matching.is_valid());
     }
 }

@@ -3,10 +3,10 @@
 use std::sync::mpsc;
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use moqo_catalog::Catalog;
-use moqo_core::{select_best, Algorithm, Optimizer};
+use moqo_core::{select_best, Algorithm, Optimizer, PruneMode};
 use moqo_costmodel::CostModelParams;
 
 use crate::cache::{CacheKey, CacheLookup, CacheSnapshot, EntryStats, PlanCache};
@@ -299,17 +299,43 @@ fn process(
     let queue_wait = submitted.elapsed();
     let processing_started = Instant::now();
     let bounded = request.is_bounded();
+    // The pruning mode any fresh optimization of this request runs under;
+    // cache entries certified under a different mode are never served.
+    let required_mode =
+        PruneMode::auto(inner.params.enable_sampling, request.preference.objectives);
     let mut blocks = Vec::with_capacity(request.query.blocks.len());
 
-    for graph in &request.query.blocks {
+    // Per-block deadline shares, proportional to the policy's cost
+    // estimate: granting every block the full remainder sequentially let an
+    // expensive early block starve all later ones (it would happily burn
+    // the whole budget although the policy knows more work is coming).
+    // Shares are re-derived from the *actual* remainder at each block, so
+    // budget a fast block leaves unspent flows to its successors. Only
+    // computed when a deadline exists — deadline-less requests (the common
+    // case) never touch the estimates.
+    let estimates: Vec<Duration> = if request.deadline.is_some() {
+        request
+            .query
+            .blocks
+            .iter()
+            .map(|g| inner.policy.block_estimate(g.n_rels()))
+            .collect()
+    } else {
+        Vec::new()
+    };
+
+    for (block_idx, graph) in request.query.blocks.iter().enumerate() {
         let remaining = request
             .deadline
-            .map(|d| d.saturating_sub(submitted.elapsed()));
+            .map(|d| d.saturating_sub(submitted.elapsed()))
+            .map(|total| block_share(total, &estimates[block_idx..]));
         let key = CacheKey {
             graph: graph.signature(),
             preference: request.preference.signature(),
         };
-        let lookup = inner.cache.lookup(&key, graph, request.alpha, bounded);
+        let lookup = inner
+            .cache
+            .lookup(&key, graph, request.alpha, bounded, required_mode);
         if let CacheLookup::Hit {
             arena,
             frontier,
@@ -329,6 +355,9 @@ fn process(
                         cached_alpha: alpha,
                         requested_alpha: request.alpha,
                         bounded,
+                        // The cache only serves on an exact mode match.
+                        cached_mode: required_mode,
+                        required_mode,
                     },
                 },
                 achieved_alpha: alpha,
@@ -377,9 +406,18 @@ fn process(
         } else {
             report.alpha_final
         };
-        inner
-            .cache
-            .insert(key, graph, &block.frontier, &block.arena, achieved_alpha);
+        debug_assert_eq!(
+            report.prune_mode, required_mode,
+            "optimizer and service must derive the same mode"
+        );
+        inner.cache.insert(
+            key,
+            graph,
+            &block.frontier,
+            &block.arena,
+            achieved_alpha,
+            report.prune_mode,
+        );
         inner
             .metrics
             .on_block(AlgorithmKind::of(algorithm), downgraded);
@@ -409,4 +447,69 @@ fn process(
         queue_wait,
         processing_started.elapsed(),
     ))
+}
+
+/// The deadline share of the first block in `estimates` out of `total`
+/// remaining budget: proportional to its cost estimate against the
+/// estimated cost of all blocks still to run, but never below the block's
+/// own estimate (capped at `total`). The floor matters when a cheap block
+/// precedes a very expensive one: a purely proportional share could fall
+/// under the policy's admission minimum and reject the whole request even
+/// though the cheap block needs only microseconds — proportionality should
+/// only distribute *surplus* budget, never take away what a block is
+/// estimated to need and the remainder can afford. The last (or only)
+/// block always receives the full remainder untouched, so single-block
+/// requests behave exactly as before the split existed.
+fn block_share(total: Duration, estimates: &[Duration]) -> Duration {
+    let [own, rest @ ..] = estimates else {
+        return total;
+    };
+    if rest.is_empty() {
+        return total;
+    }
+    let own_f = own.as_secs_f64();
+    let sum = own_f + rest.iter().map(Duration::as_secs_f64).sum::<f64>();
+    if sum <= 0.0 {
+        // Degenerate estimates: split evenly.
+        return total / u32::try_from(estimates.len()).unwrap_or(u32::MAX);
+    }
+    total.mul_f64(own_f / sum).max((*own).min(total))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn block_share_is_proportional_and_exhaustive_for_singletons() {
+        let ms = Duration::from_millis;
+        // Single block: bit-exact full remainder, no float round-trip.
+        assert_eq!(block_share(ms(123), &[ms(7)]), ms(123));
+        assert_eq!(block_share(ms(123), &[]), ms(123));
+        // Two equal blocks: half each.
+        let half = block_share(ms(100), &[ms(10), ms(10)]);
+        assert!((half.as_secs_f64() - 0.05).abs() < 1e-9, "{half:?}");
+        // A cheap block ahead of an expensive one keeps only its share.
+        let cheap = block_share(ms(100), &[ms(1), ms(99)]);
+        assert!(cheap <= ms(2), "{cheap:?}");
+        // …but never less than its own estimate while the remainder can
+        // afford it: a microsecond-scale block before a minutes-scale one
+        // must not be starved below the admission floor.
+        let floored = block_share(
+            Duration::from_secs(10),
+            &[Duration::from_micros(86), Duration::from_secs(82)],
+        );
+        assert!(
+            floored >= Duration::from_micros(86),
+            "{floored:?} fell below the block's own estimate"
+        );
+        assert!(floored <= Duration::from_millis(1), "{floored:?}");
+        // An estimate beyond the remainder is capped at the remainder.
+        assert_eq!(block_share(ms(5), &[ms(50), ms(50)]), ms(5));
+        // Degenerate zero estimates fall back to an even split.
+        assert_eq!(
+            block_share(ms(90), &[Duration::ZERO, Duration::ZERO, Duration::ZERO]),
+            ms(30)
+        );
+    }
 }

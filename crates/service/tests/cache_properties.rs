@@ -7,7 +7,7 @@
 //!   edge flips, and weight rescaling.
 
 use moqo_catalog::{BaseRel, JoinEdge, JoinGraph};
-use moqo_core::{exa, rta, Deadline, PlanEntry};
+use moqo_core::{exa, rta, Deadline, PlanEntry, PruneMode};
 use moqo_cost::{pareto_front, CostVector, Objective, ObjectiveSet, Preference};
 use moqo_costmodel::{CostModel, CostModelParams};
 use moqo_service::{CacheKey, CacheLookup, PlanCache};
@@ -69,10 +69,11 @@ proptest! {
             graph: graph.signature(),
             preference: pref.signature(),
         };
-        cache.insert(key, &graph, &approx.final_plans, &approx.arena, alpha);
+        let mode = PruneMode::auto(params.enable_sampling, pref.objectives);
+        cache.insert(key, &graph, &approx.final_plans, &approx.arena, alpha, mode);
 
         let requested = alpha + extra;
-        match cache.lookup(&key, &graph, requested, false) {
+        match cache.lookup(&key, &graph, requested, false, mode) {
             CacheLookup::Hit { frontier, alpha: cached, arena } => {
                 prop_assert!(cached <= requested);
                 // The adopted front must reproduce the cached cost vectors
@@ -121,9 +122,10 @@ proptest! {
             graph: graph.signature(),
             preference: pref.signature(),
         };
-        cache.insert(key, &graph, &approx.final_plans, &approx.arena, alpha);
-        match cache.lookup(&key, &graph, requested, false) {
-            CacheLookup::NotServable { alpha: cached } => {
+        let mode = PruneMode::auto(params.enable_sampling, pref.objectives);
+        cache.insert(key, &graph, &approx.final_plans, &approx.arena, alpha, mode);
+        match cache.lookup(&key, &graph, requested, false, mode) {
+            CacheLookup::NotServable { alpha: cached, .. } => {
                 prop_assert_eq!(cached, alpha);
                 let (trees, warm_alpha) =
                     cache.warm_trees(&key, &graph).expect("entry is resident");
@@ -157,17 +159,18 @@ proptest! {
             graph: graph.signature(),
             preference: pref.signature(),
         };
-        cache.insert(key, &graph, &approx.final_plans, &approx.arena, alpha);
+        let mode = PruneMode::auto(params.enable_sampling, pref.objectives);
+        cache.insert(key, &graph, &approx.final_plans, &approx.arena, alpha, mode);
         prop_assert!(matches!(
-            cache.lookup(&key, &graph, alpha + 1.0, true),
+            cache.lookup(&key, &graph, alpha + 1.0, true, mode),
             CacheLookup::NotServable { .. }
         ));
 
         // An exact entry serves bounded requests at any tolerance.
         let exact = exa(&model, &pref, &Deadline::unlimited());
-        cache.insert(key, &graph, &exact.final_plans, &exact.arena, 1.0);
+        cache.insert(key, &graph, &exact.final_plans, &exact.arena, 1.0, mode);
         prop_assert!(matches!(
-            cache.lookup(&key, &graph, 1.0 + extra, true),
+            cache.lookup(&key, &graph, 1.0 + extra, true, mode),
             CacheLookup::Hit { .. }
         ));
     }

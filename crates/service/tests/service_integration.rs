@@ -6,9 +6,12 @@
 use std::collections::HashMap;
 
 use moqo_catalog::Catalog;
-use moqo_core::{Algorithm, Optimizer, PlanEntry};
+use moqo_core::{Algorithm, Optimizer, PlanEntry, PruneMode};
 use moqo_cost::{CostVector, Objective, ObjectiveSet, Preference};
-use moqo_service::{BlockSource, OptimizationRequest, OptimizationService, ServiceError};
+use moqo_service::{
+    BlockSource, CacheKey, CacheLookup, OptimizationRequest, OptimizationService, PlanCache,
+    ServiceError,
+};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -361,6 +364,118 @@ fn tighter_alpha_request_recomputes_and_tightens_the_entry() {
         other_pref.blocks[0].source,
         BlockSource::Computed { .. }
     ));
+}
+
+/// Mode-mismatched cache entries are never served, end to end.
+///
+/// Within one service the required mode is a function of the request's
+/// objective set, and the preference signature keys the cache — so the only
+/// way a mismatch can reach `lookup` is a signature collision. The test
+/// forces exactly that with real optimizer fronts: a genuine props-aware
+/// EXA front (sampling on, `TupleLoss` unselected) inserted under one key
+/// must refuse a cost-only consumer of the same key in both directions,
+/// regardless of how tight its α is. At the service level, requests whose
+/// objectives flip the mode use distinct keys and therefore recompute
+/// rather than cross-serve.
+#[test]
+fn mode_mismatched_cache_entries_are_never_served() {
+    let catalog = moqo_tpch::catalog(0.01);
+    let query = moqo_tpch::query(&catalog, 3);
+    let graph = &query.blocks[0];
+    let optimizer = Optimizer::new(&catalog);
+
+    // A real props-aware exact front (default params keep sampling on).
+    let pref = weighted_pref();
+    let (block, report) = optimizer.optimize_block(graph, &pref, Algorithm::Exhaustive);
+    assert_eq!(report.prune_mode, PruneMode::PropsAware);
+    assert_eq!(report.alpha_final, 1.0);
+
+    let cache = PlanCache::new(8, 1);
+    let key = CacheKey {
+        graph: graph.signature(),
+        preference: pref.signature(),
+    };
+    cache.insert(
+        key,
+        graph,
+        &block.frontier,
+        &block.arena,
+        report.alpha_final,
+        report.prune_mode,
+    );
+
+    // A colliding cost-only consumer (what a TupleLoss-selecting request
+    // would require) is refused at any tolerance…
+    for alpha in [1.0, 2.0, 1000.0] {
+        assert!(
+            matches!(
+                cache.lookup(&key, graph, alpha, false, PruneMode::CostOnly),
+                CacheLookup::NotServable { .. }
+            ),
+            "α′ = {alpha}: a props-aware front must never serve a cost-only request"
+        );
+    }
+    // …while the matching mode serves directly.
+    assert!(matches!(
+        cache.lookup(&key, graph, 1.0, false, PruneMode::PropsAware),
+        CacheLookup::Hit { .. }
+    ));
+
+    // The reverse direction: a cost-only front (TupleLoss selected) never
+    // serves a props-aware consumer.
+    let loss_pref = weighted_pref().weight(Objective::TupleLoss, 1e3);
+    let (loss_block, loss_report) =
+        optimizer.optimize_block(graph, &loss_pref, Algorithm::Exhaustive);
+    assert_eq!(loss_report.prune_mode, PruneMode::CostOnly);
+    let cache2 = PlanCache::new(8, 1);
+    cache2.insert(
+        key,
+        graph,
+        &loss_block.frontier,
+        &loss_block.arena,
+        1.0,
+        loss_report.prune_mode,
+    );
+    assert!(matches!(
+        cache2.lookup(&key, graph, 10.0, false, PruneMode::PropsAware),
+        CacheLookup::NotServable { .. }
+    ));
+
+    // Service level: the two preference classes hash to different keys, so
+    // the second request recomputes instead of touching the first entry —
+    // and certificates always record matching modes.
+    let service = OptimizationService::builder(catalog.clone())
+        .workers(1)
+        .build();
+    let first = service
+        .submit_wait(OptimizationRequest::new(query.clone(), pref, 1.0))
+        .unwrap();
+    assert!(matches!(
+        first.blocks[0].source,
+        BlockSource::Computed { .. }
+    ));
+    let hit = service
+        .submit_wait(OptimizationRequest::new(
+            query.clone(),
+            weighted_pref(),
+            1.0,
+        ))
+        .unwrap();
+    match &hit.blocks[0].source {
+        BlockSource::CacheHit { certificate } => {
+            assert!(certificate.is_valid());
+            assert_eq!(certificate.cached_mode, certificate.required_mode);
+            assert_eq!(certificate.cached_mode, PruneMode::PropsAware);
+        }
+        other => panic!("expected a cache hit, got {other:?}"),
+    }
+    let crossed = service
+        .submit_wait(OptimizationRequest::new(query.clone(), loss_pref, 1.0))
+        .unwrap();
+    assert!(
+        matches!(crossed.blocks[0].source, BlockSource::Computed { .. }),
+        "a mode-flipping preference is a different key and must recompute"
+    );
 }
 
 #[test]

@@ -31,6 +31,7 @@ fn reference_dp(
     let strategy = PruneStrategy {
         alpha_internal,
         approx_deletion: false,
+        mode: moqo::core::PruneMode::CostOnly,
     };
     let graph = model.graph;
     let n = graph.n_rels();

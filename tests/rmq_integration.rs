@@ -54,19 +54,18 @@ fn same_seed_yields_identical_front() {
 /// The achieved approximation factor of the RMQ front against the exact
 /// frontier (the "α derived from the run") must conversely certify the RMQ
 /// front as an α-approximate Pareto set.
+///
+/// Sampling scans stay **enabled**: with `TupleLoss` unselected they used
+/// to make this oracle unsound (cost-vector pruning dropped plans whose
+/// lower row counts made descendants cheaper, so the test had to disable
+/// sampling as a workaround). `PruneMode::auto` now runs both EXA and RMQ
+/// props-aware in exactly that regime, which restores Lemma 2 and makes
+/// exact coverage a sound oracle over the *full* plan space, sampling
+/// included (`tests/props_pruning.rs` pins the regression itself).
 #[test]
 fn exa_front_covers_rmq_front_on_small_queries() {
     let catalog = moqo::tpch::catalog(0.01);
-    // Sampling scans couple plan *cardinalities* to pruning decisions
-    // beyond the cost vector (the fidelity caveat the fig9 guarantee audit
-    // documents): with them enabled, EXA's cost-vector pruning can drop
-    // plans whose lower row counts make descendants cheaper, so its front
-    // is not the true space frontier. Disable sampling so exact coverage
-    // is a sound oracle.
-    let params = CostModelParams {
-        enable_sampling: false,
-        ..CostModelParams::default()
-    };
+    let params = CostModelParams::default();
     let p = weighted_pref();
     let deadline = Deadline::unlimited();
 
