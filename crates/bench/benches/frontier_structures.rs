@@ -1,0 +1,113 @@
+//! Benchmarks for the layered frontier engine: the same 2000-vector
+//! insert stream through `PlanSet` with each [`FrontierStructure`] layout,
+//! at 2/6/9 objectives and under both prune modes. Every cell asserts the
+//! surviving front size matches the plain layout's — the engine contract
+//! is bit-identical fronts, so any divergence is a bug, not a trade-off.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use moqo_core::pareto::{FrontierStructure, PlanEntry, PlanSet, PruneMode, PruneStrategy};
+use moqo_cost::{CostVector, Objective, ObjectiveSet};
+use moqo_plan::{PlanId, PlanProps, SortOrder};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The `bench_snapshot` dp_insert_stream generator (seed 99), optionally
+/// scattering entries across a few sampled-cardinality props classes so
+/// props-aware mode exercises the two-level structure.
+fn random_entries(n: usize, objectives: usize, seed: u64, props_classes: u64) -> Vec<PlanEntry> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|i| {
+            let mut a = [0.0; moqo_cost::NUM_OBJECTIVES];
+            for v in a.iter_mut().take(objectives) {
+                *v = rng.gen_range(1.0..1000.0);
+            }
+            let rows = if props_classes > 1 {
+                1.0 + f64::from(u32::try_from(rng.gen_range(0..props_classes)).unwrap())
+            } else {
+                1.0
+            };
+            PlanEntry {
+                cost: CostVector::from_array(a),
+                props: PlanProps {
+                    rels: 1,
+                    rows,
+                    width: 1.0,
+                    order: SortOrder::None,
+                    sampling_factor: 1.0,
+                },
+                plan: PlanId(i as u32),
+            }
+        })
+        .collect()
+}
+
+fn objective_set(count: usize) -> ObjectiveSet {
+    Objective::ALL.into_iter().take(count).collect()
+}
+
+fn run_stream(
+    entries: &[PlanEntry],
+    structure: FrontierStructure,
+    strategy: &PruneStrategy,
+    objs: ObjectiveSet,
+) -> usize {
+    let mut set = PlanSet::with_structure(structure);
+    for e in entries {
+        set.prune_insert(*e, strategy, objs);
+    }
+    set.len()
+}
+
+fn bench_structures(c: &mut Criterion) {
+    let mut group = c.benchmark_group("frontier_structures");
+    group.sample_size(20);
+
+    let layouts = [
+        ("plain", FrontierStructure::Plain),
+        ("grid", FrontierStructure::Indexed),
+    ];
+
+    for &n_objs in &[2usize, 6, 9] {
+        let objs = objective_set(n_objs);
+
+        // Cost-only exact: the dp_insert_stream workload.
+        let entries = random_entries(2000, n_objs, 99, 1);
+        let strategy = PruneStrategy::exact();
+        let reference = run_stream(&entries, FrontierStructure::Plain, &strategy, objs);
+        for (label, structure) in layouts {
+            assert_eq!(
+                run_stream(&entries, structure, &strategy, objs),
+                reference,
+                "layouts must keep identical fronts"
+            );
+            group.bench_with_input(
+                BenchmarkId::new(format!("exact_insert_2000/{label}"), n_objs),
+                &entries,
+                |b, entries| b.iter(|| run_stream(entries, structure, &strategy, objs)),
+            );
+        }
+
+        // Props-aware exact over 8 cardinality classes: the two-level path.
+        let entries = random_entries(2000, n_objs, 99, 8);
+        let strategy = PruneStrategy::exact().with_mode(PruneMode::PropsAware);
+        let reference = run_stream(&entries, FrontierStructure::Plain, &strategy, objs);
+        for (label, structure) in layouts {
+            assert_eq!(
+                run_stream(&entries, structure, &strategy, objs),
+                reference,
+                "layouts must keep identical props-aware fronts"
+            );
+            group.bench_with_input(
+                BenchmarkId::new(format!("props_insert_2000/{label}"), n_objs),
+                &entries,
+                |b, entries| b.iter(|| run_stream(entries, structure, &strategy, objs)),
+            );
+        }
+    }
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_structures);
+criterion_main!(benches);

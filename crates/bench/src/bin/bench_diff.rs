@@ -3,6 +3,7 @@
 //!
 //! ```text
 //! bench_diff <baseline.json> <candidate.json> [--max-regression <pct>]
+//!            [--timing-cells <name-prefix>]...
 //! ```
 //!
 //! Two gates:
@@ -15,7 +16,12 @@
 //!   `median_ms` grew by more than `pct` percent fails. Timing gates only
 //!   make sense when both snapshots come from the same machine; CI uses
 //!   the checksum gate against the committed baseline and the timing gate
-//!   against a same-run snapshot.
+//!   against a same-run snapshot. `--timing-cells` (repeatable) restricts
+//!   the timing gate to cells whose name starts with one of the given
+//!   prefixes — that is how CI tracks a specific watched workload (the
+//!   props-aware EXA chains) against the committed baseline with a
+//!   cross-machine-tolerant threshold while leaving the noisier cells to
+//!   the checksum gate alone.
 //!
 //! Cells are matched by `name` plus all parameter fields; baseline cells
 //! missing from the candidate fail (a silently dropped benchmark is a
@@ -142,6 +148,7 @@ fn split_top_level(body: &str) -> Vec<String> {
 fn run(args: &[String]) -> Result<Vec<String>, String> {
     let mut paths = Vec::new();
     let mut max_regression: Option<f64> = None;
+    let mut timing_cells: Vec<String> = Vec::new();
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         if arg == "--max-regression" {
@@ -152,13 +159,18 @@ fn run(args: &[String]) -> Result<Vec<String>, String> {
                 pct.parse::<f64>()
                     .map_err(|e| format!("bad --max-regression value: {e}"))?,
             );
+        } else if arg == "--timing-cells" {
+            let prefix = it
+                .next()
+                .ok_or_else(|| "--timing-cells needs a cell-name prefix".to_owned())?;
+            timing_cells.push(prefix.clone());
         } else {
             paths.push(arg.clone());
         }
     }
     let [baseline_path, candidate_path] = paths.as_slice() else {
         return Err("usage: bench_diff <baseline.json> <candidate.json> \
-                    [--max-regression <pct>]"
+                    [--max-regression <pct>] [--timing-cells <name-prefix>]..."
             .to_owned());
     };
     let read = |p: &str| std::fs::read_to_string(p).map_err(|e| format!("{p}: {e}"));
@@ -184,8 +196,12 @@ fn run(args: &[String]) -> Result<Vec<String>, String> {
             }
         }
         if let Some(pct) = max_regression {
+            let gated = timing_cells.is_empty()
+                || timing_cells
+                    .iter()
+                    .any(|p| base.identity.starts_with(p.as_str()));
             let limit = base.median_ms * (1.0 + pct / 100.0);
-            if cand.median_ms > limit && cand.median_ms - base.median_ms > 0.01 {
+            if gated && cand.median_ms > limit && cand.median_ms - base.median_ms > 0.01 {
                 failures.push(format!(
                     "timing regression in {}: {:.3} ms → {:.3} ms (> +{pct}%)",
                     base.identity, base.median_ms, cand.median_ms
@@ -292,6 +308,38 @@ mod tests {
         .unwrap();
         assert_eq!(failures.len(), 2, "{failures:?}");
         assert!(failures.iter().any(|f| f.contains("timing regression")));
+    }
+
+    #[test]
+    fn timing_cells_restricts_the_timing_gate() {
+        // rmq_chain regresses 4 ms → 9 ms; with the gate scoped to
+        // exa_chain the regression is ignored, scoped to rmq_chain it fails.
+        let changed = SNAPSHOT.replace("\"median_ms\": 4.0", "\"median_ms\": 9.0");
+        let dir = std::env::temp_dir().join("moqo_bench_diff_scoped");
+        std::fs::create_dir_all(&dir).unwrap();
+        let base = dir.join("base.json");
+        let cand = dir.join("cand.json");
+        std::fs::write(&base, SNAPSHOT).unwrap();
+        std::fs::write(&cand, changed).unwrap();
+        let argv = |cells: &[&str]| {
+            let mut v = vec![
+                base.to_string_lossy().into_owned(),
+                cand.to_string_lossy().into_owned(),
+                "--max-regression".into(),
+                "30".into(),
+            ];
+            for c in cells {
+                v.push("--timing-cells".into());
+                v.push((*c).to_owned());
+            }
+            v
+        };
+        assert!(run(&argv(&["exa_chain"])).unwrap().is_empty());
+        let failures = run(&argv(&["rmq_chain"])).unwrap();
+        assert_eq!(failures.len(), 1, "{failures:?}");
+        assert!(failures[0].contains("timing regression"));
+        // No filter: gate applies everywhere (same single failure here).
+        assert_eq!(run(&argv(&[])).unwrap().len(), 1);
     }
 
     #[test]

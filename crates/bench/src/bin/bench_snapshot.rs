@@ -1,5 +1,5 @@
 //! Perf-trajectory snapshot: runs a fixed workload matrix and writes median
-//! wall-times to a JSON file (`BENCH_pr3.json` by default), so successive
+//! wall-times to a JSON file (`BENCH_pr6.json` by default), so successive
 //! PRs can track the optimizer hot paths with one committed artifact per
 //! snapshot instead of scattered criterion reports.
 //!
@@ -7,6 +7,13 @@
 //!
 //! * **DP insert stream** — 2000 random cost vectors through
 //!   `PlanSet::prune_insert` at 2/6/9 objectives,
+//! * **Frontier structures** — the same stream pinned to each frontier
+//!   layout (`plain` linear sets vs the `grid` sub-linear engine); the
+//!   checksums must agree per objective count, certifying that the indexed
+//!   engine produces byte-identical fronts,
+//! * **Frontier probe outcomes** — how the sub-linear engine resolved the
+//!   EXA chains' dominance probes (grid-cell hits vs cutoff scans), as
+//!   zero-time cells whose checksum is the counter value,
 //! * **EXA** — the exact DP on 6- and 8-table chain join graphs
 //!   (sampling off),
 //! * **EXA, props-aware** — the same chains with sampling scans enabled,
@@ -21,12 +28,12 @@
 //! | variable | default | meaning |
 //! |----------|---------|---------|
 //! | `MOQO_SMOKE` | unset | `1`: single rep, budgets ÷10 (CI smoke mode) |
-//! | `MOQO_BENCH_OUT` | `BENCH_pr3.json` | output path |
+//! | `MOQO_BENCH_OUT` | `BENCH_pr6.json` | output path |
 //! | `MOQO_BENCH_REPS` | 5 | repetitions per cell (median is reported) |
 
 use std::time::Instant;
 
-use moqo_core::pareto::{PlanEntry, PlanSet, PruneStrategy};
+use moqo_core::pareto::{FrontierStructure, PlanEntry, PlanSet, PruneStrategy};
 use moqo_core::{exa, rmq, Deadline, RmqConfig};
 use moqo_cost::{CostVector, Objective, ObjectiveSet, Preference};
 use moqo_costmodel::{CostModel, CostModelParams};
@@ -82,6 +89,26 @@ fn json_escape(s: &str) -> String {
     s.replace('\\', "\\\\").replace('"', "\\\"")
 }
 
+/// Emits the frontier engine's probe-outcome counters for one EXA cell as
+/// zero-time rows: the checksum IS the counter, so snapshot diffs surface
+/// how the structure resolved the run's dominance probes (grid-cell hits
+/// vs cutoff scans). The counters are deterministic per workload.
+fn push_probe_cells(cells: &mut Vec<Cell>, workload: &str, tables: usize, probes: (u64, u64)) {
+    let (grid_hits, scan_probes) = probes;
+    for (outcome, value) in [("grid_hit", grid_hits), ("scan", scan_probes)] {
+        cells.push(Cell {
+            name: format!("{workload}_probes"),
+            params: vec![
+                ("tables", tables.to_string()),
+                ("outcome", format!("\"{outcome}\"")),
+            ],
+            median_ms: 0.0,
+            checksum: usize::try_from(value).expect("probe counters fit usize"),
+        });
+    }
+    println!("{workload}_probes tables={tables}: grid_hit {grid_hits} / scan {scan_probes}");
+}
+
 fn main() {
     let smoke = std::env::var("MOQO_SMOKE").is_ok_and(|v| v != "0");
     let reps: usize = std::env::var("MOQO_BENCH_REPS")
@@ -89,7 +116,7 @@ fn main() {
         .and_then(|s| s.trim().parse().ok())
         .unwrap_or(if smoke { 1 } else { 5 });
     let budget_div: u64 = if smoke { 10 } else { 1 };
-    let out_path = std::env::var("MOQO_BENCH_OUT").unwrap_or_else(|_| "BENCH_pr3.json".to_owned());
+    let out_path = std::env::var("MOQO_BENCH_OUT").unwrap_or_else(|_| "BENCH_pr6.json".to_owned());
 
     let preference = Preference::over(ObjectiveSet::empty())
         .weight(Objective::TotalTime, 1.0)
@@ -125,14 +152,58 @@ fn main() {
         println!("dp_insert_stream objectives={n_objs}: {ms:.3} ms (set {front})");
     }
 
+    // Frontier structures head-to-head: the same insert stream pinned to
+    // each layout. `plain` is the seed's linear scan; `grid` forces the
+    // sub-linear engine (two-level props-class fronts + grid-bucket index)
+    // from the first insert. Equal checksums per objective count certify
+    // that the engine's fronts are byte-identical to the plain sets'.
+    for &n_objs in &[2usize, 6, 9] {
+        let objs: ObjectiveSet = Objective::ALL.into_iter().take(n_objs).collect();
+        let entries = random_entries(2000, n_objs, 99);
+        let mut fronts: Vec<usize> = Vec::new();
+        for (layout, structure) in [
+            ("plain", FrontierStructure::Plain),
+            ("grid", FrontierStructure::Indexed),
+        ] {
+            let (ms, front) = median_ms(reps, || {
+                let mut set = PlanSet::with_structure(structure);
+                let strategy = PruneStrategy::exact();
+                for e in &entries {
+                    set.prune_insert(*e, &strategy, objs);
+                }
+                set.len()
+            });
+            fronts.push(front);
+            cells.push(Cell {
+                name: "frontier_insert_stream".into(),
+                params: vec![
+                    ("objectives", n_objs.to_string()),
+                    ("layout", format!("\"{layout}\"")),
+                    ("vectors", "2000".into()),
+                ],
+                median_ms: ms,
+                checksum: front,
+            });
+            println!("frontier_insert_stream objectives={n_objs} layout={layout}: {ms:.3} ms (set {front})");
+        }
+        assert!(
+            fronts.windows(2).all(|w| w[0] == w[1]),
+            "frontier layouts disagree at {n_objs} objectives: {fronts:?}"
+        );
+    }
+
     // EXA on chain graphs: the full DP inner loop.
     for &n in &[6usize, 8] {
         let graph = moqo_tpch::large_join_graph(&catalog, n);
         let model = CostModel::new(&params, &catalog, &graph);
+        let mut probes = (0u64, 0u64);
         let (ms, front) = median_ms(reps, || {
-            exa(&model, &preference, &Deadline::unlimited())
-                .final_plans
-                .len()
+            let result = exa(&model, &preference, &Deadline::unlimited());
+            probes = (
+                result.stats.frontier_grid_hits,
+                result.stats.frontier_scan_probes,
+            );
+            result.final_plans.len()
         });
         cells.push(Cell {
             name: "exa_chain".into(),
@@ -141,6 +212,7 @@ fn main() {
             checksum: front,
         });
         println!("exa_chain tables={n}: {ms:.3} ms (front {front})");
+        push_probe_cells(&mut cells, "exa_chain", n, probes);
     }
 
     // EXA with sampling scans enabled: the leaking regime, where the
@@ -152,10 +224,14 @@ fn main() {
     for &n in &[6usize, 8] {
         let graph = moqo_tpch::large_join_graph(&catalog, n);
         let model = CostModel::new(&sampled_params, &catalog, &graph);
+        let mut probes = (0u64, 0u64);
         let (ms, front) = median_ms(reps, || {
-            exa(&model, &preference, &Deadline::unlimited())
-                .final_plans
-                .len()
+            let result = exa(&model, &preference, &Deadline::unlimited());
+            probes = (
+                result.stats.frontier_grid_hits,
+                result.stats.frontier_scan_probes,
+            );
+            result.final_plans.len()
         });
         cells.push(Cell {
             name: "exa_chain_props".into(),
@@ -164,6 +240,7 @@ fn main() {
             checksum: front,
         });
         println!("exa_chain_props tables={n}: {ms:.3} ms (front {front})");
+        push_probe_cells(&mut cells, "exa_chain_props", n, probes);
     }
 
     // RMQ: samples × tables × threads. Fronts are deterministic per seed,
@@ -202,7 +279,7 @@ fn main() {
     let mut json = String::new();
     json.push_str("{\n");
     json.push_str("  \"schema\": \"moqo-bench-snapshot/v1\",\n");
-    json.push_str("  \"pr\": 3,\n");
+    json.push_str("  \"pr\": 6,\n");
     json.push_str(&format!("  \"smoke\": {smoke},\n"));
     json.push_str(&format!("  \"reps\": {reps},\n"));
     json.push_str("  \"results\": [\n");

@@ -40,6 +40,10 @@ pub struct BlockReport {
     pub max_group_size: usize,
     /// Plans constructed and offered to `Prune`.
     pub considered_plans: u64,
+    /// Frontier probes resolved by the grid-bucket fast path.
+    pub frontier_grid_hits: u64,
+    /// Frontier probes that fell through to a cutoff scan.
+    pub frontier_scan_probes: u64,
     /// IRA iterations executed (1 for EXA/RTA, sampled candidates for RMQ).
     pub iterations: u32,
     /// Final per-iteration precision used (IRA), or the configured internal
@@ -71,6 +75,8 @@ impl BlockReport {
             pareto_last_complete: stats.pareto_last_complete,
             max_group_size: stats.max_group_size,
             considered_plans: stats.considered_plans,
+            frontier_grid_hits: stats.frontier_grid_hits,
+            frontier_scan_probes: stats.frontier_scan_probes,
             iterations,
             alpha_final: alpha,
             prune_mode,
@@ -142,6 +148,8 @@ mod tests {
             pareto_last_complete: pareto,
             max_group_size: pareto,
             considered_plans: 10,
+            frontier_grid_hits: 0,
+            frontier_scan_probes: 10,
             iterations: iters,
             alpha_final: 1.0,
             prune_mode: PruneMode::CostOnly,

@@ -339,17 +339,12 @@ pub fn rmq_warm(
             }
         }
         max_front = max_front.max(merged.len());
-        convergence.push(trace_point(
-            g,
-            merged.as_slice(),
-            preference,
-            config.record_fronts,
-        ));
+        convergence.push(trace_point(g, &merged, preference, config.record_fronts));
     }
     if convergence.last().is_none_or(|p| p.iteration != iterations) {
         convergence.push(trace_point(
             iterations,
-            front.as_slice(),
+            &front,
             preference,
             config.record_fronts,
         ));
@@ -360,6 +355,14 @@ pub fn rmq_warm(
         .map(|r| r.peak_front)
         .sum::<usize>()
         .max(front.len());
+    // Probe outcomes: each walker's local front plus the merged front.
+    let probe_sets = runs
+        .iter()
+        .map(|r| r.front.probes())
+        .chain([front.probes()]);
+    let (frontier_grid_hits, frontier_scan_probes) = probe_sets.fold((0u64, 0u64), |(h, s), p| {
+        (h + p.grid_hits, s + p.scan_probes)
+    });
     let stats = DpStats {
         considered_plans: runs.iter().map(|r| r.considered).sum(),
         stored_plans: front.len(),
@@ -367,6 +370,8 @@ pub fn rmq_warm(
         peak_memory_bytes: peak_stored * DpStats::bytes_per_stored_plan(),
         pareto_last_complete: front.len(),
         max_group_size: max_front,
+        frontier_grid_hits,
+        frontier_scan_probes,
         timed_out: runs.iter().any(|r| r.timed_out),
     };
 
@@ -691,18 +696,19 @@ fn effective_threads(requested: usize, n_walkers: usize) -> usize {
 
 fn trace_point(
     iteration: u64,
-    front: &[PlanEntry],
+    front: &PlanSet,
     preference: &Preference,
     record_front: bool,
 ) -> ConvergencePoint {
-    let best_weighted =
-        select_best(front, preference).map_or(f64::INFINITY, |e| preference.weighted_cost(&e.cost));
+    let entries: Vec<PlanEntry> = front.iter().copied().collect();
+    let best_weighted = select_best(&entries, preference)
+        .map_or(f64::INFINITY, |e| preference.weighted_cost(&e.cost));
     ConvergencePoint {
         iteration,
-        front_size: front.len(),
+        front_size: entries.len(),
         best_weighted,
         front: if record_front {
-            front.iter().map(|e| e.cost).collect()
+            entries.iter().map(|e| e.cost).collect()
         } else {
             Vec::new()
         },

@@ -417,6 +417,7 @@ fn process(
             &block.arena,
             achieved_alpha,
             report.prune_mode,
+            request.preference.objectives,
         );
         inner
             .metrics
