@@ -275,6 +275,51 @@ fn main() {
         }
     }
 
+    // Service metrics snapshot cost: the seed cloned and sorted the full
+    // latency history under a lock on every snapshot, so cost grew with
+    // uptime. The histogram rewrite makes it O(buckets); these cells pin
+    // that — the 100× column must not cost 100× (the binary asserts a
+    // generous 20× ceiling to stay robust on noisy CI machines).
+    {
+        use moqo_service::{PlanCache, ServiceMetrics};
+        use std::time::Duration;
+        let cache = PlanCache::new(8, 1);
+        let mut medians: Vec<f64> = Vec::new();
+        for &completions in &[10_000u64, 1_000_000] {
+            let metrics = ServiceMetrics::default();
+            for i in 0..completions {
+                metrics.on_submitted();
+                metrics.on_completed(
+                    Duration::from_micros(i % 3_000),
+                    Duration::from_micros(500 + i % 20_000),
+                );
+            }
+            // 64 snapshots per rep so the per-call cost is measurable.
+            let (ms, count) = median_ms(reps.max(3), || {
+                let mut completed = 0u64;
+                for _ in 0..64 {
+                    completed = metrics.snapshot(cache.snapshot()).completed;
+                }
+                usize::try_from(completed).expect("counts fit usize")
+            });
+            medians.push(ms);
+            cells.push(Cell {
+                name: "metrics_snapshot_cost".into(),
+                params: vec![("completions", completions.to_string())],
+                median_ms: ms,
+                checksum: count,
+            });
+            println!("metrics_snapshot_cost completions={completions}: {ms:.3} ms / 64 snapshots");
+        }
+        assert!(
+            medians[1] < medians[0] * 20.0 + 2.0,
+            "snapshot cost must be independent of completed-request count: \
+             {:.3} ms at 10k vs {:.3} ms at 1M",
+            medians[0],
+            medians[1]
+        );
+    }
+
     // Hand-rolled JSON: the workspace is dependency-free by design.
     let mut json = String::new();
     json.push_str("{\n");

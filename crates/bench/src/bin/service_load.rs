@@ -1,7 +1,7 @@
 //! Service load replay: hammers the optimization service with a skewed
 //! trace of mixed TPC-H and large-join-graph requests at configurable
 //! concurrency, then reports throughput, latency percentiles, cache hit
-//! ratio and the per-algorithm block mix — and writes the `BENCH_pr5.json`
+//! ratio and the per-algorithm block mix — and writes the `BENCH_pr7.json`
 //! snapshot the perf trajectory tracks.
 //!
 //! The trace is skewed on purpose: real frontends re-send the same hot
@@ -16,19 +16,31 @@
 //! | variable | default | meaning |
 //! |----------|---------|---------|
 //! | `MOQO_SMOKE` | unset | `1`: 128 requests, RMQ budgets ÷10 (CI smoke) |
-//! | `MOQO_BENCH_OUT` | `BENCH_pr5.json` | output path |
+//! | `MOQO_BENCH_OUT` | `BENCH_pr7.json` | output path |
 //! | `MOQO_SL_REQUESTS` | 512 | trace length |
 //! | `MOQO_SL_WORKERS` | 4 | service worker threads |
 //! | `MOQO_SL_SEED` | 2024 | trace RNG seed |
-//! | `MOQO_SL_REPLAY` | unset | `1`: deterministic replay — one worker, submit-after-wait |
+//! | `MOQO_SL_REPLAY` | unset | deterministic replay: `1` = one worker, submit-after-wait; `2` = two workers, warmed barrier pairs |
 //!
 //! Under concurrency the *completion* results are deterministic but the
 //! cache hit/miss counters race (whichever worker reaches a cold key first
-//! fills it; the rest hit). The replay mode removes the race entirely: a
-//! single worker processes one request at a time in trace order, so the
+//! fills it; the rest hit). The replay modes remove the race, so the
 //! hit/miss/warm-start cells become machine-independent integers that
 //! `bench_diff`'s checksum gate can diff across snapshots — they are only
-//! emitted in this mode.
+//! emitted in these modes:
+//!
+//! * **Replay 1**: a single worker processes one request at a time in
+//!   trace order — the strongest determinism, zero concurrency.
+//! * **Replay 2**: two workers, but a solo warm-up pass first touches
+//!   every pool entry, driving each cache key to its fixed point
+//!   (servable keys hit forever after; RMQ/bounded-approximate keys
+//!   deterministically warm-start or recompute and reinsert). The trace
+//!   then runs as barrier *pairs* (submit two, wait both): because every
+//!   key's servability is stable, the per-request counter increments are
+//!   order-independent within a pair and the cumulative counters are
+//!   machine-independent even though two workers genuinely race — this is
+//!   the cell that pins the *sharded* queue and lock-free metrics under
+//!   real concurrency.
 
 use std::time::Instant;
 
@@ -102,16 +114,20 @@ fn main() {
             .and_then(|s| s.trim().parse().ok())
             .unwrap_or(default)
     };
-    let replay = std::env::var("MOQO_SL_REPLAY").is_ok_and(|v| v != "0");
+    let replay: u32 = std::env::var("MOQO_SL_REPLAY")
+        .ok()
+        .and_then(|s| s.trim().parse().ok())
+        .unwrap_or(0);
+    assert!(replay <= 2, "MOQO_SL_REPLAY must be 0, 1 or 2");
     let requests = env_usize("MOQO_SL_REQUESTS", if smoke { 128 } else { 512 });
-    let workers = if replay {
-        1
-    } else {
-        env_usize("MOQO_SL_WORKERS", 4)
+    let workers = match replay {
+        1 => 1,
+        2 => 2,
+        _ => env_usize("MOQO_SL_WORKERS", 4),
     };
     let seed = env_usize("MOQO_SL_SEED", 2024) as u64;
     let rmq_samples: u64 = if smoke { 100 } else { 1000 };
-    let out_path = std::env::var("MOQO_BENCH_OUT").unwrap_or_else(|_| "BENCH_pr5.json".to_owned());
+    let out_path = std::env::var("MOQO_BENCH_OUT").unwrap_or_else(|_| "BENCH_pr7.json".to_owned());
 
     let catalog = moqo_tpch::catalog(0.01);
     let service = OptimizationService::builder(catalog.clone())
@@ -135,7 +151,7 @@ fn main() {
 
     let started = Instant::now();
     let mut completed = 0u64;
-    if replay {
+    if replay == 1 {
         // Submit-after-wait: exactly one request in flight, so every cache
         // probe sees the deterministic state the trace prefix produced.
         for &i in &trace {
@@ -144,6 +160,33 @@ fn main() {
                 .expect("no deadlines in the trace");
             assert!(response.weighted_cost.is_finite());
             completed += 1;
+        }
+    } else if replay == 2 {
+        // Warm-up: touch every pool entry once, solo, driving each cache
+        // key to its fixed point (see module docs).
+        for request in &pool {
+            service
+                .submit_wait(request.clone())
+                .expect("no deadlines in the pool");
+            completed += 1;
+        }
+        // Barrier pairs: two requests genuinely in flight across the two
+        // workers, yet the counter deltas stay order-independent because
+        // every key's servability is already stable.
+        for pair in trace.chunks(2) {
+            let tickets: Vec<_> = pair
+                .iter()
+                .map(|&i| {
+                    service
+                        .submit(pool[i].clone())
+                        .expect("queue sized to the trace")
+                })
+                .collect();
+            for t in tickets {
+                let response = t.wait().expect("no deadlines in the trace");
+                assert!(response.weighted_cost.is_finite());
+                completed += 1;
+            }
         }
     } else {
         let tickets: Vec<_> = trace
@@ -177,6 +220,11 @@ fn main() {
         metrics.p99.as_secs_f64() * 1e3,
     );
     println!(
+        "  queue wait p95 {:.2} ms | service time p95 {:.2} ms",
+        metrics.queue_p95.as_secs_f64() * 1e3,
+        metrics.service_p95.as_secs_f64() * 1e3,
+    );
+    println!(
         "  cache: {:.1}% hit ratio ({} hits / {} misses / {} warm starts, \
          {} entries, {} evictions)",
         hit_ratio * 100.0,
@@ -202,6 +250,20 @@ fn main() {
         hit_ratio > 0.5,
         "the skewed trace must produce a >50% cache hit ratio, got {:.1}%",
         hit_ratio * 100.0
+    );
+    // The per-variant error counters must partition the error space: what
+    // the seed folded into one overloaded "rejected" number is now
+    // rejected + timed_out + failed, and nothing can fall between the
+    // counters. A deadline-free trace errors exactly zero times.
+    assert_eq!(
+        metrics.rejected + metrics.timed_out + metrics.failed,
+        metrics.errors_total(),
+        "error taxonomy counters must sum to the error total"
+    );
+    assert_eq!(
+        metrics.errors_total(),
+        0,
+        "deadline-free traces never error"
     );
 
     let base_params = vec![
@@ -241,9 +303,9 @@ fn main() {
             checksum: completed,
         },
     ];
-    if replay {
-        // Cache counters are only deterministic in replay mode; the value
-        // doubles as the checksum so `bench_diff` gates it.
+    if replay > 0 {
+        // Cache counters are only deterministic in the replay modes; the
+        // value doubles as the checksum so `bench_diff` gates it.
         for (counter, value) in [
             ("hits", metrics.cache.hits),
             ("misses", metrics.cache.misses),
@@ -259,12 +321,30 @@ fn main() {
                 checksum: value,
             });
         }
+        // The per-variant error counters, gated the same way: a replay
+        // trace carries no deadlines, so every cell must stay pinned at
+        // zero — any drift means the serving path started misrouting or
+        // inventing errors.
+        for (variant, value) in [
+            ("rejected", metrics.rejected),
+            ("timed_out", metrics.timed_out),
+            ("failed", metrics.failed),
+        ] {
+            let mut params = base_params.clone();
+            params.push(("variant", variant.to_owned()));
+            cells.push(Cell {
+                name: "service_load_replay_errors",
+                params,
+                median_ms: value as f64,
+                checksum: value,
+            });
+        }
     }
 
     let mut json = String::new();
     json.push_str("{\n");
     json.push_str("  \"schema\": \"moqo-bench-snapshot/v1\",\n");
-    json.push_str("  \"pr\": 5,\n");
+    json.push_str("  \"pr\": 7,\n");
     json.push_str(&format!("  \"smoke\": {smoke},\n"));
     json.push_str("  \"results\": [\n");
     for (i, c) in cells.iter().enumerate() {

@@ -9,13 +9,18 @@
 //!   [`Preference`](moqo_cost::Preference), a tolerated approximation
 //!   factor `α′`, an optional wall-clock deadline, and an optional
 //!   algorithm hint.
-//! * **Scheduling**: submissions land in a bounded MPMC queue (back-pressure
-//!   surfaces as [`ServiceError::QueueFull`], never silent buffering) and
-//!   are executed by a pool of `std::thread` workers. A pluggable
+//! * **Scheduling**: submissions land in a bounded, sharded, *lock-free*
+//!   MPMC queue (back-pressure surfaces as [`ServiceError::QueueFull`],
+//!   never silent buffering) and are executed by a pool of `std::thread`
+//!   workers popping work-stealing style (own shard first). A pluggable
 //!   [`AlgorithmPolicy`] performs deadline-aware admission per block:
 //!   prefer the strongest scheme the request asks for, downgrade along
 //!   `EXA → IRA/RTA → RMQ` when block size or remaining budget rules it
-//!   out, reject when even the anytime search cannot start.
+//!   out, reject when even the anytime search cannot start. Hopeless
+//!   deadlines are rejected at *submission* (before occupying a queue
+//!   slot), and the deadline split across blocks is weighted by a
+//!   lock-free EWMA of measured per-block-size wall times
+//!   ([`LearnedBlockTimes`]) once samples exist.
 //! * **The α-aware plan cache** ([`PlanCache`]): blocks are keyed by
 //!   canonical signatures ([`moqo_catalog::JoinGraph::signature`] ×
 //!   [`moqo_cost::Preference::signature`]). A front computed at factor α
@@ -24,9 +29,13 @@
 //!   and warm-starts the randomized search otherwise. Entries own their
 //!   plans in compact arenas (re-rooted via `PlanArena::adopt`), eviction
 //!   is sharded LRU, and per-entry hit/warm-start statistics are kept.
-//! * **Metrics** ([`ServiceMetrics`]): throughput, p50/p95/p99 latency,
-//!   admission rejections, downgrade counts, per-algorithm block mix, and
-//!   cache counters, all snapshotted on demand.
+//! * **Metrics** ([`ServiceMetrics`]): windowed throughput, p50/p95/p99
+//!   for end-to-end latency, queue wait and processing time (lock-free
+//!   log-bucket histograms, O(buckets) memory — see [`LogHistogram`] for
+//!   the ≤12.5% quantile error bound), a per-[`ServiceError`]-variant
+//!   error taxonomy, downgrade counts, per-algorithm block mix, and cache
+//!   counters, all snapshotted on demand at O(buckets) cost. Nothing on
+//!   the submit or completion path acquires a `Mutex`.
 //!
 //! Everything is std-only — no async runtime — and deterministic under a
 //! test configuration (one worker, fixed RMQ seed, no deadlines).
@@ -67,6 +76,7 @@
 #![warn(missing_docs)]
 
 mod cache;
+mod histogram;
 mod metrics;
 mod policy;
 mod queue;
@@ -74,8 +84,11 @@ mod request;
 mod service;
 
 pub use cache::{CacheKey, CacheLookup, CacheSnapshot, EntryStats, PlanCache};
+pub use histogram::{HistogramSnapshot, LogHistogram, BUCKETS as HISTOGRAM_BUCKETS};
 pub use metrics::{AlgorithmKind, MetricsSnapshot, ServiceMetrics};
-pub use policy::{Admission, AlgorithmPolicy, DeadlineAwarePolicy, PolicyContext};
+pub use policy::{
+    Admission, AlgorithmPolicy, DeadlineAwarePolicy, LearnedBlockTimes, PolicyContext,
+};
 pub use queue::{BoundedQueue, PushError};
 pub use request::{
     AlphaCertificate, BlockOutcome, BlockSource, OptimizationRequest, OptimizationResponse,

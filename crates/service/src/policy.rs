@@ -8,6 +8,7 @@
 //! remaining deadline budget rules a scheme out, and rejects only when even
 //! the anytime randomized search cannot start before the deadline.
 
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 
 use moqo_core::Algorithm;
@@ -58,6 +59,82 @@ pub trait AlgorithmPolicy: Send + Sync {
             .powi(i32::try_from(block_size).unwrap_or(i32::MAX))
             .min(1e15);
         Duration::from_micros(2).mul_f64(factor)
+    }
+}
+
+/// Lock-free EWMA of measured per-block-size optimization wall times.
+///
+/// The static `base · growthⁿ` model in [`AlgorithmPolicy::block_estimate`]
+/// describes *some* machine; this table learns the one the service
+/// actually runs on. Workers feed every measured block optimization into
+/// [`LearnedBlockTimes::record`]; the deadline split
+/// (`block_share` in the service) then prefers the learned estimate over
+/// the static model wherever a sample exists. Everything is relaxed
+/// atomics — recording sits on the completion path and must not lock.
+///
+/// `smoothing` is the EWMA weight of a new sample (`0 < s ≤ 1`; the
+/// service default is 0.2). A `smoothing` of 0 disables learning: nothing
+/// records, every estimate falls back to the policy model.
+pub struct LearnedBlockTimes {
+    /// Estimated wall micros as `f64` bits per block size; 0 = no sample.
+    cells: [AtomicU64; Self::MAX_TRACKED + 1],
+    smoothing: f64,
+}
+
+impl LearnedBlockTimes {
+    /// Largest block size tracked individually; bigger blocks share the
+    /// last cell (the policy hands them to RMQ anyway, whose cost is the
+    /// sample budget, not the block size).
+    pub const MAX_TRACKED: usize = 32;
+
+    /// A table with the given EWMA smoothing factor.
+    #[must_use]
+    pub fn new(smoothing: f64) -> Self {
+        LearnedBlockTimes {
+            cells: std::array::from_fn(|_| AtomicU64::new(0)),
+            smoothing: smoothing.clamp(0.0, 1.0),
+        }
+    }
+
+    fn cell(&self, block_size: usize) -> &AtomicU64 {
+        &self.cells[block_size.min(Self::MAX_TRACKED)]
+    }
+
+    /// Folds one measured optimization wall time into the estimate for
+    /// `block_size`-relation blocks. Lock-free (a short CAS loop; a lost
+    /// race drops one sample of smoothing, never corrupts the estimate).
+    pub fn record(&self, block_size: usize, wall: Duration) {
+        if self.smoothing <= 0.0 {
+            return;
+        }
+        let sample_us = wall.as_secs_f64() * 1e6;
+        let cell = self.cell(block_size);
+        let mut current = cell.load(Ordering::Relaxed);
+        for _ in 0..4 {
+            let updated = if current == 0 {
+                sample_us
+            } else {
+                let previous = f64::from_bits(current);
+                self.smoothing * sample_us + (1.0 - self.smoothing) * previous
+            };
+            // An estimate of exactly 0.0 bits would read as "no sample";
+            // nudge to the smallest positive value instead.
+            let bits = updated.max(f64::MIN_POSITIVE).to_bits();
+            match cell.compare_exchange_weak(current, bits, Ordering::Relaxed, Ordering::Relaxed) {
+                Ok(_) => return,
+                Err(seen) => current = seen,
+            }
+        }
+    }
+
+    /// The learned estimate for one block size, if any sample landed yet.
+    #[must_use]
+    pub fn estimate(&self, block_size: usize) -> Option<Duration> {
+        let bits = self.cell(block_size).load(Ordering::Relaxed);
+        if bits == 0 {
+            return None;
+        }
+        Some(Duration::from_secs_f64(f64::from_bits(bits) / 1e6))
     }
 }
 
@@ -288,6 +365,30 @@ mod tests {
             p.admit(&ctx(2, 1.5, false, Some(Duration::from_micros(50)))),
             Admission::Reject
         );
+    }
+
+    #[test]
+    fn learned_times_converge_and_fall_back() {
+        let learned = LearnedBlockTimes::new(0.5);
+        assert_eq!(learned.estimate(4), None, "no sample yet");
+        learned.record(4, Duration::from_micros(100));
+        let first = learned.estimate(4).unwrap();
+        assert!((first.as_secs_f64() * 1e6 - 100.0).abs() < 1e-6);
+        // EWMA: 0.5 · 300 + 0.5 · 100 = 200.
+        learned.record(4, Duration::from_micros(300));
+        let second = learned.estimate(4).unwrap();
+        assert!((second.as_secs_f64() * 1e6 - 200.0).abs() < 1e-6);
+        // Other sizes stay empty; oversized blocks share the last cell.
+        assert_eq!(learned.estimate(5), None);
+        learned.record(
+            LearnedBlockTimes::MAX_TRACKED + 10,
+            Duration::from_micros(7),
+        );
+        assert!(learned.estimate(LearnedBlockTimes::MAX_TRACKED).is_some());
+        // Smoothing 0 disables learning entirely.
+        let off = LearnedBlockTimes::new(0.0);
+        off.record(4, Duration::from_micros(100));
+        assert_eq!(off.estimate(4), None);
     }
 
     #[test]

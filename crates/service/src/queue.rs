@@ -1,21 +1,170 @@
-//! A bounded multi-producer/multi-consumer work queue on std primitives.
+//! A bounded multi-producer/multi-consumer work queue, sharded and
+//! lock-free on the submit path.
 //!
-//! Producers never block: a full queue rejects the push immediately, which
-//! is the admission-control contract of the service (back-pressure must be
-//! visible to the caller, not absorbed silently). Consumers block on a
-//! condvar until an item arrives or the queue is closed and drained.
+//! Producers never block and never take a `Mutex`: a push is a lock-free
+//! reservation against the global capacity followed by a lock-free ring
+//! insert into one shard (Vyukov's bounded MPMC algorithm — each slot
+//! carries a sequence number that hands it back and forth between
+//! producers and consumers). A full queue rejects the push immediately,
+//! which is the admission-control contract of the service (back-pressure
+//! must be visible to the caller, not absorbed silently).
+//!
+//! Consumers pop work-stealing style: each worker drains its own shard
+//! first and scans the others only when it runs dry, so under load
+//! producers and consumers spread across shards instead of serializing on
+//! one lock — the seed's single `Mutex + Condvar` queue made every
+//! submission and every pop a critical section.
+//!
+//! Idle consumers park on a condvar with a short timeout. The *producer*
+//! side never touches that mutex: after a push it issues a bare
+//! `Condvar::notify_one` only when the sleeper counter is nonzero. The
+//! unsynchronized notify admits a narrow lost-wakeup race (a consumer
+//! re-checks empty, the producer pushes and notifies before the consumer
+//! parks); the bounded `wait_timeout` turns that race into at most one
+//! timeout tick of extra latency on an otherwise idle queue instead of a
+//! hang — and under load nobody sleeps at all.
 
-use std::collections::VecDeque;
+use std::cell::UnsafeCell;
+use std::mem::MaybeUninit;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
 
-struct State<T> {
-    items: VecDeque<T>,
-    closed: bool,
+/// How long an idle consumer parks before re-scanning the shards; bounds
+/// the cost of the producer-side lock-free wakeup protocol.
+const PARK_TIMEOUT: Duration = Duration::from_millis(5);
+
+/// One slot of a Vyukov ring. `seq` is the hand-off protocol: it equals
+/// the slot index when the slot is free for the producer of lap `L`, and
+/// index + 1 once a value is ready for the consumer of the same lap.
+struct Slot<T> {
+    seq: AtomicUsize,
+    value: UnsafeCell<MaybeUninit<T>>,
+}
+
+/// A bounded lock-free MPMC ring (Vyukov). `size` is a power of two; the
+/// ring never rejects a push while its occupancy is below `size`, which
+/// the sharded queue guarantees by global capacity reservation.
+struct Ring<T> {
+    slots: Box<[Slot<T>]>,
+    mask: usize,
+    enqueue_pos: AtomicUsize,
+    dequeue_pos: AtomicUsize,
+}
+
+// SAFETY: slots are handed between threads through the `seq` protocol —
+// a value written under an enqueue reservation is only read by the single
+// consumer that wins the matching dequeue CAS, with release/acquire
+// ordering on `seq` publishing the write. `T: Send` is all that moving
+// values across threads requires.
+unsafe impl<T: Send> Send for Ring<T> {}
+unsafe impl<T: Send> Sync for Ring<T> {}
+
+impl<T> Ring<T> {
+    fn new(size: usize) -> Self {
+        debug_assert!(size.is_power_of_two());
+        Ring {
+            slots: (0..size)
+                .map(|i| Slot {
+                    seq: AtomicUsize::new(i),
+                    value: UnsafeCell::new(MaybeUninit::uninit()),
+                })
+                .collect(),
+            mask: size - 1,
+            enqueue_pos: AtomicUsize::new(0),
+            dequeue_pos: AtomicUsize::new(0),
+        }
+    }
+
+    /// Lock-free push; `Err(item)` only when the ring itself is full
+    /// (which capacity reservation makes unreachable in this crate).
+    fn push(&self, item: T) -> Result<(), T> {
+        let mut pos = self.enqueue_pos.load(Ordering::Relaxed);
+        loop {
+            let slot = &self.slots[pos & self.mask];
+            let seq = slot.seq.load(Ordering::Acquire);
+            let diff = seq as isize - pos as isize;
+            if diff == 0 {
+                // Slot free for this lap: claim it.
+                match self.enqueue_pos.compare_exchange_weak(
+                    pos,
+                    pos.wrapping_add(1),
+                    Ordering::Relaxed,
+                    Ordering::Relaxed,
+                ) {
+                    Ok(_) => {
+                        // SAFETY: the CAS gave this thread exclusive write
+                        // access to the slot until `seq` is bumped.
+                        unsafe { (*slot.value.get()).write(item) };
+                        slot.seq.store(pos.wrapping_add(1), Ordering::Release);
+                        return Ok(());
+                    }
+                    Err(current) => pos = current,
+                }
+            } else if diff < 0 {
+                return Err(item);
+            } else {
+                pos = self.enqueue_pos.load(Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Lock-free pop; `None` when the ring is empty.
+    fn pop(&self) -> Option<T> {
+        let mut pos = self.dequeue_pos.load(Ordering::Relaxed);
+        loop {
+            let slot = &self.slots[pos & self.mask];
+            let seq = slot.seq.load(Ordering::Acquire);
+            let diff = seq as isize - pos.wrapping_add(1) as isize;
+            if diff == 0 {
+                match self.dequeue_pos.compare_exchange_weak(
+                    pos,
+                    pos.wrapping_add(1),
+                    Ordering::Relaxed,
+                    Ordering::Relaxed,
+                ) {
+                    Ok(_) => {
+                        // SAFETY: the CAS gave this thread exclusive read
+                        // access to a slot whose value the producer
+                        // published with the Release store seen above.
+                        let item = unsafe { (*slot.value.get()).assume_init_read() };
+                        slot.seq
+                            .store(pos.wrapping_add(self.mask + 1), Ordering::Release);
+                        return Some(item);
+                    }
+                    Err(current) => pos = current,
+                }
+            } else if diff < 0 {
+                return None;
+            } else {
+                pos = self.dequeue_pos.load(Ordering::Relaxed);
+            }
+        }
+    }
+}
+
+impl<T> Drop for Ring<T> {
+    fn drop(&mut self) {
+        // Run destructors of anything still queued.
+        while self.pop().is_some() {}
+    }
 }
 
 struct Shared<T> {
-    state: Mutex<State<T>>,
-    not_empty: Condvar,
+    shards: Box<[Ring<T>]>,
+    /// Items currently queued (plus in-flight push reservations); the
+    /// capacity gate.
+    len: AtomicUsize,
+    capacity: usize,
+    closed: AtomicBool,
+    /// Producer round-robin cursor for shard selection.
+    next_shard: AtomicUsize,
+    /// Consumers currently parked (or about to park); producers only
+    /// notify when this is nonzero, so the empty-queue machinery costs
+    /// the hot path a single relaxed load.
+    sleepers: AtomicUsize,
+    park_lock: Mutex<()>,
+    wake: Condvar,
 }
 
 /// The error returned by [`BoundedQueue::try_push`].
@@ -27,99 +176,169 @@ pub enum PushError {
     Closed,
 }
 
-/// A bounded MPMC queue; cloning shares the underlying channel.
+/// A bounded MPMC queue, sharded for parallel producers and consumers;
+/// cloning shares the underlying channel. The submit path
+/// ([`BoundedQueue::try_push`]) is lock-free.
 pub struct BoundedQueue<T> {
     shared: Arc<Shared<T>>,
-    capacity: usize,
 }
 
 impl<T> Clone for BoundedQueue<T> {
     fn clone(&self) -> Self {
         BoundedQueue {
             shared: Arc::clone(&self.shared),
-            capacity: self.capacity,
         }
     }
 }
 
 impl<T> BoundedQueue<T> {
-    /// A queue admitting at most `capacity` pending items.
+    /// A single-shard queue admitting at most `capacity` pending items.
     ///
     /// # Panics
     ///
     /// Panics if `capacity` is zero.
     #[must_use]
     pub fn new(capacity: usize) -> Self {
+        Self::with_shards(capacity, 1)
+    }
+
+    /// A queue of `shards` independent rings sharing one `capacity`.
+    /// Shard the queue per worker: producers scatter round-robin, and
+    /// each consumer drains its own shard before stealing from the rest.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero (`shards` is clamped to at least 1).
+    #[must_use]
+    pub fn with_shards(capacity: usize, shards: usize) -> Self {
         assert!(capacity > 0, "a zero-capacity queue admits nothing");
-        BoundedQueue {
+        let shards = shards.max(1);
+        // Each ring is sized to the whole capacity: occupancy of any one
+        // shard can never exceed the global reservation count, so a push
+        // that holds a reservation always finds ring space — `Full` is
+        // decided by the capacity gate alone, exactly like the seed.
+        let ring_size = capacity.next_power_of_two();
+        Self {
             shared: Arc::new(Shared {
-                state: Mutex::new(State {
-                    items: VecDeque::with_capacity(capacity),
-                    closed: false,
-                }),
-                not_empty: Condvar::new(),
+                shards: (0..shards).map(|_| Ring::new(ring_size)).collect(),
+                len: AtomicUsize::new(0),
+                capacity,
+                closed: AtomicBool::new(false),
+                next_shard: AtomicUsize::new(0),
+                sleepers: AtomicUsize::new(0),
+                park_lock: Mutex::new(()),
+                wake: Condvar::new(),
             }),
-            capacity,
         }
     }
 
-    /// Non-blocking push; fails on a full or closed queue.
+    /// Number of shards (fixed at construction).
+    #[must_use]
+    pub fn shards(&self) -> usize {
+        self.shared.shards.len()
+    }
+
+    /// Non-blocking, lock-free push; fails on a full or closed queue.
     ///
     /// # Errors
     ///
     /// [`PushError::Full`] at capacity, [`PushError::Closed`] after
     /// [`BoundedQueue::close`].
     pub fn try_push(&self, item: T) -> Result<(), PushError> {
-        let mut state = self.shared.state.lock().expect("queue lock poisoned");
-        if state.closed {
+        let shared = &*self.shared;
+        if shared.closed.load(Ordering::Acquire) {
             return Err(PushError::Closed);
         }
-        if state.items.len() >= self.capacity {
+        // Reserve capacity before touching a ring; back out on overflow.
+        if shared.len.fetch_add(1, Ordering::AcqRel) >= shared.capacity {
+            shared.len.fetch_sub(1, Ordering::AcqRel);
             return Err(PushError::Full);
         }
-        state.items.push_back(item);
-        drop(state);
-        self.shared.not_empty.notify_one();
+        let shard = shared.next_shard.fetch_add(1, Ordering::Relaxed) % shared.shards.len();
+        shared.shards[shard]
+            .push(item)
+            .unwrap_or_else(|_| unreachable!("reserved capacity guarantees ring space"));
+        if shared.sleepers.load(Ordering::SeqCst) > 0 {
+            // Bare notify — see the module docs for why this needs no
+            // mutex and how the park timeout bounds the race.
+            shared.wake.notify_one();
+        }
         Ok(())
     }
 
-    /// Blocks until an item is available; returns `None` once the queue is
-    /// closed *and* drained (the worker-shutdown signal).
-    pub fn pop_blocking(&self) -> Option<T> {
-        let mut state = self.shared.state.lock().expect("queue lock poisoned");
-        loop {
-            if let Some(item) = state.items.pop_front() {
+    /// Scans every shard once, `hint` first.
+    fn scan(&self, hint: usize) -> Option<T> {
+        let shared = &*self.shared;
+        let n = shared.shards.len();
+        for k in 0..n {
+            if let Some(item) = shared.shards[(hint + k) % n].pop() {
+                shared.len.fetch_sub(1, Ordering::AcqRel);
                 return Some(item);
             }
-            if state.closed {
-                return None;
+        }
+        None
+    }
+
+    /// Blocks until an item is available; returns `None` once the queue is
+    /// closed *and* drained (the worker-shutdown signal). Equivalent to
+    /// [`BoundedQueue::pop_blocking_from`] with shard hint 0.
+    pub fn pop_blocking(&self) -> Option<T> {
+        self.pop_blocking_from(0)
+    }
+
+    /// Blocking pop with shard affinity: drains shard `hint` (modulo the
+    /// shard count) first and steals from the others only when it is
+    /// empty. Workers pass their own index so disjoint workers touch
+    /// disjoint cache lines under load.
+    pub fn pop_blocking_from(&self, hint: usize) -> Option<T> {
+        let shared = &*self.shared;
+        loop {
+            if let Some(item) = self.scan(hint) {
+                return Some(item);
             }
-            state = self
-                .shared
-                .not_empty
-                .wait(state)
-                .expect("queue lock poisoned");
+            if shared.closed.load(Ordering::Acquire) {
+                // Closed: drain reservations still in flight, then stop.
+                if shared.len.load(Ordering::Acquire) == 0 {
+                    return None;
+                }
+                std::hint::spin_loop();
+                continue;
+            }
+            // Park. The sleeper count is raised *before* the final
+            // re-scan so a producer that pushes in between sees it and
+            // notifies; the timeout covers the bare-notify race.
+            shared.sleepers.fetch_add(1, Ordering::SeqCst);
+            if let Some(item) = self.scan(hint) {
+                shared.sleepers.fetch_sub(1, Ordering::SeqCst);
+                return Some(item);
+            }
+            if !shared.closed.load(Ordering::Acquire) {
+                let guard = shared.park_lock.lock().expect("park lock poisoned");
+                let _ = shared
+                    .wake
+                    .wait_timeout(guard, PARK_TIMEOUT)
+                    .expect("park lock poisoned");
+            }
+            shared.sleepers.fetch_sub(1, Ordering::SeqCst);
         }
     }
 
     /// Closes the queue: pending items still drain, new pushes fail, and
     /// blocked consumers wake up.
     pub fn close(&self) {
-        let mut state = self.shared.state.lock().expect("queue lock poisoned");
-        state.closed = true;
-        drop(state);
-        self.shared.not_empty.notify_all();
+        let shared = &*self.shared;
+        shared.closed.store(true, Ordering::Release);
+        // Taking the park lock orders this notify after any in-progress
+        // park decision; close is cold, so the lock is fine here.
+        drop(shared.park_lock.lock().expect("park lock poisoned"));
+        shared.wake.notify_all();
     }
 
-    /// Number of items currently pending.
+    /// Number of items currently pending (transiently includes push
+    /// reservations still being written).
     #[must_use]
     pub fn len(&self) -> usize {
-        self.shared
-            .state
-            .lock()
-            .expect("queue lock poisoned")
-            .items
-            .len()
+        self.shared.len.load(Ordering::Acquire)
     }
 
     /// Whether no items are pending.
@@ -155,15 +374,40 @@ mod tests {
     }
 
     #[test]
+    fn sharded_roundtrip_preserves_everything() {
+        let q = BoundedQueue::with_shards(64, 4);
+        assert_eq!(q.shards(), 4);
+        for v in 0..48 {
+            q.try_push(v).unwrap();
+        }
+        assert_eq!(q.len(), 48);
+        q.close();
+        let mut seen: Vec<i32> = std::iter::from_fn(|| q.pop_blocking_from(2)).collect();
+        seen.sort_unstable();
+        assert_eq!(seen, (0..48).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn single_shard_is_fifo() {
+        // One shard keeps the seed's strict FIFO order.
+        let q = BoundedQueue::new(16);
+        for v in 0..10 {
+            q.try_push(v).unwrap();
+        }
+        let popped: Vec<i32> = (0..10).map(|_| q.pop_blocking().unwrap()).collect();
+        assert_eq!(popped, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
     fn consumers_across_threads() {
-        let q = BoundedQueue::new(64);
+        let q = BoundedQueue::with_shards(64, 4);
         let total: usize = std::thread::scope(|s| {
             let handles: Vec<_> = (0..4)
-                .map(|_| {
+                .map(|i| {
                     let q = q.clone();
                     s.spawn(move || {
                         let mut sum = 0usize;
-                        while let Some(v) = q.pop_blocking() {
+                        while let Some(v) = q.pop_blocking_from(i) {
                             sum += v;
                         }
                         sum

@@ -205,16 +205,26 @@ impl OptimizationResponse {
     }
 }
 
-/// Why a request produced no plan.
+/// Why a request produced no plan. Each variant lands in its own metrics
+/// counter (see [`crate::MetricsSnapshot`]): `Rejected` →
+/// `rejected`, `DeadlineExceeded` → `timed_out`, everything else →
+/// `failed` — the seed folded all of these into one overloaded
+/// "rejected" number.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ServiceError {
     /// The bounded work queue was at capacity (back-pressure).
     QueueFull,
     /// The service is shutting down.
     ShuttingDown,
-    /// Admission control rejected the request (deadline unmeetable, block
-    /// too large for every admitted algorithm, …).
+    /// Admission control rejected the request (budget too small for every
+    /// admitted algorithm, block too large, …) — either at submission
+    /// (the fast path, before the request occupies a queue slot) or when
+    /// a worker re-checked the per-block budget.
     Rejected(String),
+    /// The request's deadline expired before a block could start — all
+    /// budget was consumed by queue wait and/or earlier blocks. Distinct
+    /// from `Rejected`: admission never got a say, the clock did.
+    DeadlineExceeded,
     /// The worker processing the request disappeared (service dropped
     /// while the ticket was outstanding).
     WorkerLost,
@@ -226,6 +236,9 @@ impl std::fmt::Display for ServiceError {
             ServiceError::QueueFull => write!(f, "work queue is full"),
             ServiceError::ShuttingDown => write!(f, "service is shutting down"),
             ServiceError::Rejected(reason) => write!(f, "request rejected: {reason}"),
+            ServiceError::DeadlineExceeded => {
+                write!(f, "deadline expired before optimization could start")
+            }
             ServiceError::WorkerLost => write!(f, "worker terminated before responding"),
         }
     }

@@ -11,7 +11,9 @@ use moqo_costmodel::CostModelParams;
 
 use crate::cache::{CacheKey, CacheLookup, CacheSnapshot, EntryStats, PlanCache};
 use crate::metrics::{AlgorithmKind, MetricsSnapshot, ServiceMetrics};
-use crate::policy::{Admission, AlgorithmPolicy, DeadlineAwarePolicy, PolicyContext};
+use crate::policy::{
+    Admission, AlgorithmPolicy, DeadlineAwarePolicy, LearnedBlockTimes, PolicyContext,
+};
 use crate::queue::{BoundedQueue, PushError};
 use crate::request::{
     AlphaCertificate, BlockOutcome, BlockSource, OptimizationRequest, OptimizationResponse,
@@ -31,6 +33,10 @@ pub struct ServiceConfig {
     pub cache_capacity: usize,
     /// Plan-cache shard count (default 8).
     pub cache_shards: usize,
+    /// EWMA smoothing factor for the learned per-block-size wall times
+    /// that refine the deadline split (default 0.2; `0.0` disables
+    /// learning and the split trusts the policy's static model).
+    pub ewma_smoothing: f64,
     /// Cost-model parameters shared by every optimization.
     pub params: CostModelParams,
 }
@@ -42,6 +48,7 @@ impl Default for ServiceConfig {
             queue_capacity: 256,
             cache_capacity: 1024,
             cache_shards: 8,
+            ewma_smoothing: 0.2,
             params: CostModelParams::default(),
         }
     }
@@ -62,6 +69,55 @@ struct ServiceInner {
     cache: PlanCache,
     metrics: ServiceMetrics,
     policy: Box<dyn AlgorithmPolicy>,
+    /// Measured per-block-size wall times; refines the deadline split.
+    learned: LearnedBlockTimes,
+}
+
+impl ServiceInner {
+    /// The weight of one block in the deadline split: the learned EWMA of
+    /// measured wall times when a sample exists, the policy's static
+    /// model otherwise — so the split starts from the `3.5ⁿ` prior and
+    /// converges to the machine it actually runs on.
+    fn block_time_estimate(&self, block_size: usize) -> Duration {
+        self.learned
+            .estimate(block_size)
+            .unwrap_or_else(|| self.policy.block_estimate(block_size))
+    }
+
+    /// Admission across all blocks of a request against deadline `total`,
+    /// with per-block proportional shares. `Ok` means every block admits
+    /// *some* algorithm under the optimistic assumption that no budget
+    /// has been spent yet — used as the submit-time fast path, and
+    /// re-checked per block with real elapsed time at processing time.
+    fn admit_all_blocks(
+        &self,
+        request: &OptimizationRequest,
+        total: Duration,
+    ) -> Result<(), ServiceError> {
+        let estimates: Vec<Duration> = request
+            .query
+            .blocks
+            .iter()
+            .map(|g| self.block_time_estimate(g.n_rels()))
+            .collect();
+        for (idx, graph) in request.query.blocks.iter().enumerate() {
+            let share = block_share(total, &estimates[idx..]);
+            let decision = self.policy.admit(&PolicyContext {
+                block_size: graph.n_rels(),
+                alpha: request.alpha,
+                bounded: request.is_bounded(),
+                remaining: Some(share),
+                hint: request.hint,
+            });
+            if decision == Admission::Reject {
+                return Err(ServiceError::Rejected(format!(
+                    "deadline budget {share:?} admits no algorithm for a {}-relation block",
+                    graph.n_rels()
+                )));
+            }
+        }
+        Ok(())
+    }
 }
 
 /// A handle to one outstanding request; blocks on [`Ticket::wait`].
@@ -136,6 +192,14 @@ impl ServiceBuilder {
         self
     }
 
+    /// Sets the EWMA smoothing factor for learned block times (`0.0`
+    /// disables learning).
+    #[must_use]
+    pub fn ewma_smoothing(mut self, smoothing: f64) -> Self {
+        self.config.ewma_smoothing = smoothing;
+        self
+    }
+
     /// Replaces the cost-model parameters.
     #[must_use]
     pub fn params(mut self, params: CostModelParams) -> Self {
@@ -150,17 +214,20 @@ impl ServiceBuilder {
         let inner = Arc::new(ServiceInner {
             catalog: self.catalog,
             params: self.config.params.clone(),
-            queue: BoundedQueue::new(self.config.queue_capacity),
+            // One queue shard per worker: producers scatter lock-free,
+            // each worker drains its own shard and steals from the rest.
+            queue: BoundedQueue::with_shards(self.config.queue_capacity, workers),
             cache: PlanCache::new(self.config.cache_capacity, self.config.cache_shards),
             metrics: ServiceMetrics::default(),
             policy: self.policy,
+            learned: LearnedBlockTimes::new(self.config.ewma_smoothing),
         });
         let handles = (0..workers)
             .map(|i| {
                 let inner = Arc::clone(&inner);
                 std::thread::Builder::new()
                     .name(format!("moqo-worker-{i}"))
-                    .spawn(move || worker_loop(&inner))
+                    .spawn(move || worker_loop(&inner, i))
                     .expect("worker thread spawns")
             })
             .collect();
@@ -194,11 +261,27 @@ impl OptimizationService {
 
     /// Submits a request; returns immediately with a [`Ticket`].
     ///
+    /// Deadline-carrying requests pass admission *here*, against the
+    /// whole-request deadline with optimistic per-block shares: a request
+    /// no algorithm could ever serve is rejected before it occupies a
+    /// queue slot (and before its hopeless wait displaces feasible work).
+    /// The per-block admission re-check at processing time still guards
+    /// against budget consumed by queue wait and earlier blocks. The
+    /// whole submit path is lock-free — the capacity check, the shard
+    /// insert and every metrics update are atomics.
+    ///
     /// # Errors
     ///
     /// [`ServiceError::QueueFull`] under back-pressure,
+    /// [`ServiceError::Rejected`] from the admission fast path,
     /// [`ServiceError::ShuttingDown`] after shutdown began.
     pub fn submit(&self, request: OptimizationRequest) -> Result<Ticket, ServiceError> {
+        if let Some(deadline) = request.deadline {
+            if let Err(error) = self.inner.admit_all_blocks(&request, deadline) {
+                self.inner.metrics.on_error(&error);
+                return Err(error);
+            }
+        }
         let (tx, rx) = mpsc::channel();
         let job = Job {
             request,
@@ -254,6 +337,14 @@ impl OptimizationService {
         self.inner.queue.len()
     }
 
+    /// The learned (EWMA) wall-time estimate for `block_size`-relation
+    /// blocks, if any optimization of that size completed yet. `None`
+    /// means the deadline split still trusts the policy's static model.
+    #[must_use]
+    pub fn learned_block_estimate(&self, block_size: usize) -> Option<Duration> {
+        self.inner.learned.estimate(block_size)
+    }
+
     /// Stops accepting work, drains the queue, and joins the workers.
     pub fn shutdown(mut self) -> MetricsSnapshot {
         self.shutdown_in_place();
@@ -274,16 +365,19 @@ impl Drop for OptimizationService {
     }
 }
 
-fn worker_loop(inner: &ServiceInner) {
-    while let Some(job) = inner.queue.pop_blocking() {
+fn worker_loop(inner: &ServiceInner, worker: usize) {
+    while let Some(job) = inner.queue.pop_blocking_from(worker) {
         let result = process(inner, &job.request, job.submitted);
-        if result.is_err() {
-            inner.metrics.on_rejected();
-        }
-        if let Ok(response) = &result {
-            inner
+        match &result {
+            // Queue wait and processing time are recorded as separate
+            // histogram series, both derived from the one submission
+            // `Instant` — there are no dueling clocks to reconcile.
+            Ok(response) => inner
                 .metrics
-                .on_completed(job.submitted.elapsed().max(response.latency()));
+                .on_completed(response.queue_wait, response.service_time),
+            // Each error variant lands in its own counter; `rejected`
+            // stays a pure admission-control number.
+            Err(error) => inner.metrics.on_error(error),
         }
         // A dropped ticket is fine; the work (and the cache fill) still
         // happened.
@@ -305,30 +399,38 @@ fn process(
         PruneMode::auto(inner.params.enable_sampling, request.preference.objectives);
     let mut blocks = Vec::with_capacity(request.query.blocks.len());
 
-    // Per-block deadline shares, proportional to the policy's cost
-    // estimate: granting every block the full remainder sequentially let an
+    // Per-block deadline shares, proportional to the block cost estimate:
+    // granting every block the full remainder sequentially let an
     // expensive early block starve all later ones (it would happily burn
     // the whole budget although the policy knows more work is coming).
     // Shares are re-derived from the *actual* remainder at each block, so
-    // budget a fast block leaves unspent flows to its successors. Only
-    // computed when a deadline exists — deadline-less requests (the common
-    // case) never touch the estimates.
+    // budget a fast block leaves unspent flows to its successors. The
+    // estimates are the learned EWMA of measured wall times where samples
+    // exist (the split adapts to the machine), the policy's static model
+    // elsewhere. Only computed when a deadline exists — deadline-less
+    // requests (the common case) never touch the estimates.
     let estimates: Vec<Duration> = if request.deadline.is_some() {
         request
             .query
             .blocks
             .iter()
-            .map(|g| inner.policy.block_estimate(g.n_rels()))
+            .map(|g| inner.block_time_estimate(g.n_rels()))
             .collect()
     } else {
         Vec::new()
     };
 
     for (block_idx, graph) in request.query.blocks.iter().enumerate() {
-        let remaining = request
+        let budget_left = request
             .deadline
-            .map(|d| d.saturating_sub(submitted.elapsed()))
-            .map(|total| block_share(total, &estimates[block_idx..]));
+            .map(|d| d.saturating_sub(submitted.elapsed()));
+        if budget_left == Some(Duration::ZERO) {
+            // The clock ran out before this block could start (queue wait
+            // or earlier blocks consumed everything): a timeout, not an
+            // admission decision.
+            return Err(ServiceError::DeadlineExceeded);
+        }
+        let remaining = budget_left.map(|total| block_share(total, &estimates[block_idx..]));
         let key = CacheKey {
             graph: graph.signature(),
             preference: request.preference.signature(),
@@ -399,8 +501,15 @@ fn process(
             }
             _ => (Vec::new(), None),
         };
+        let optimize_started = Instant::now();
         let (block, report) =
             optimizer.optimize_block_warm(graph, &request.preference, algorithm, &warm_trees);
+        // Feed the measured wall time back into the deadline split's
+        // estimate table (lock-free EWMA) — admission learns the machine
+        // it runs on instead of trusting the static 3.5ⁿ model forever.
+        inner
+            .learned
+            .record(graph.n_rels(), optimize_started.elapsed());
         let achieved_alpha = if report.alpha_final.is_nan() {
             f64::INFINITY
         } else {

@@ -1,0 +1,84 @@
+//! Property coverage for the log-bucket histogram's quantile error bound.
+//!
+//! The histogram's contract (see `moqo_service::LogHistogram`) is that any
+//! reported quantile is the lower bound of the bucket holding the exact
+//! order statistic — never above the exact answer, and below it by at most
+//! one log-bucket (≤ 12.5% of the value; exact below 8 µs). These tests pin
+//! that bound against the ground truth a sorted vector gives, on random
+//! latency streams spanning the microsecond-to-minute range the service
+//! actually sees.
+
+use proptest::prelude::*;
+
+use moqo_service::LogHistogram;
+
+/// The exact quantile under the histogram's rank convention:
+/// `sorted[round(p · (n − 1))]`.
+fn exact_quantile(sorted: &[u64], p: f64) -> u64 {
+    assert!(!sorted.is_empty());
+    #[allow(clippy::cast_precision_loss, clippy::cast_possible_truncation)]
+    #[allow(clippy::cast_sign_loss)]
+    let rank = (p.clamp(0.0, 1.0) * (sorted.len() - 1) as f64).round() as usize;
+    sorted[rank]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn quantiles_stay_within_one_bucket_of_exact(
+        values in prop::collection::vec(0u64..120_000_000, 1..400),
+        p_millis in 0u64..=1000,
+    ) {
+        let h = LogHistogram::new();
+        for &v in &values {
+            h.record_us(v);
+        }
+        let mut sorted = values.clone();
+        sorted.sort_unstable();
+
+        #[allow(clippy::cast_precision_loss)]
+        let p = p_millis as f64 / 1000.0;
+        let exact = exact_quantile(&sorted, p);
+        let got = h.snapshot().quantile_us(p);
+        let (lo, hi) = LogHistogram::bucket_bounds(exact);
+
+        // The reported quantile is the lower bound of the exact answer's
+        // bucket: never above the truth, within one bucket below it.
+        prop_assert_eq!(got, lo, "p={} exact={} bucket=[{},{}]", p, exact, lo, hi);
+        prop_assert!(got <= exact);
+        // One log-bucket ≡ ≤ 12.5% relative undershoot (exact below 8 µs).
+        if exact >= 8 {
+            prop_assert!(exact - got <= exact.div_ceil(8));
+        } else {
+            prop_assert_eq!(got, exact);
+        }
+    }
+
+    #[test]
+    fn canonical_percentiles_hold_the_bound(
+        values in prop::collection::vec(1u64..600_000_000, 2..200),
+    ) {
+        let h = LogHistogram::new();
+        for &v in &values {
+            h.record_us(v);
+        }
+        let mut sorted = values.clone();
+        sorted.sort_unstable();
+        let snap = h.snapshot();
+        prop_assert_eq!(snap.count(), values.len() as u64);
+
+        for p in [0.5, 0.95, 0.99] {
+            let exact = exact_quantile(&sorted, p);
+            let got = snap.quantile_us(p);
+            prop_assert!(got <= exact, "p{} reported {} above exact {}", p, got, exact);
+            prop_assert!(
+                exact - got <= exact.div_ceil(8),
+                "p{}: {} undershoots exact {} by more than one bucket",
+                p,
+                got,
+                exact
+            );
+        }
+    }
+}

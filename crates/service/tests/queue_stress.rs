@@ -1,0 +1,115 @@
+//! Multi-thread stress coverage for the sharded lock-free queue.
+//!
+//! The contract under contention: every successfully pushed item is popped
+//! exactly once (no loss, no duplication), `QueueFull` is the only way a
+//! push fails before `close()`, and closing drains the backlog before
+//! consumers observe `None`.
+
+use std::collections::HashSet;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::thread;
+
+use moqo_service::{BoundedQueue, PushError};
+
+/// Hammers a queue with `producers` push threads and `consumers` pop
+/// threads, then checks exactly-once delivery of everything accepted.
+fn run_stress(shards: usize, producers: u64, consumers: usize, per_producer: u64) {
+    let queue = BoundedQueue::with_shards(256, shards);
+    let accepted = AtomicU64::new(0);
+    let delivered: Mutex<Vec<u64>> = Mutex::new(Vec::new());
+
+    thread::scope(|s| {
+        for p in 0..producers {
+            let queue = &queue;
+            let accepted = &accepted;
+            s.spawn(move || {
+                for i in 0..per_producer {
+                    let item = p * per_producer + i;
+                    loop {
+                        match queue.try_push(item) {
+                            Ok(()) => {
+                                accepted.fetch_add(1, Ordering::Relaxed);
+                                break;
+                            }
+                            Err(PushError::Full) => thread::yield_now(),
+                            Err(PushError::Closed) => {
+                                panic!("queue closed while producers were live")
+                            }
+                        }
+                    }
+                }
+            });
+        }
+        for c in 0..consumers {
+            let queue = &queue;
+            let delivered = &delivered;
+            s.spawn(move || {
+                let mut local = Vec::new();
+                while let Some(item) = queue.pop_blocking_from(c) {
+                    local.push(item);
+                }
+                delivered.lock().unwrap().append(&mut local);
+            });
+        }
+        // Producers retry on Full, so they all finish; close once their
+        // handles are joined by the scope... which requires closing from
+        // here after pushes complete. Spawn a closer that waits for the
+        // full count.
+        let queue = &queue;
+        let accepted = &accepted;
+        s.spawn(move || {
+            let total = producers * per_producer;
+            while accepted.load(Ordering::Relaxed) < total {
+                thread::yield_now();
+            }
+            queue.close();
+        });
+    });
+
+    let delivered = delivered.into_inner().unwrap();
+    let total = producers * per_producer;
+    assert_eq!(
+        delivered.len() as u64,
+        total,
+        "lost or duplicated items: delivered {} of {total}",
+        delivered.len()
+    );
+    let unique: HashSet<u64> = delivered.iter().copied().collect();
+    assert_eq!(unique.len() as u64, total, "duplicate deliveries");
+    assert!(queue.is_empty());
+}
+
+#[test]
+fn single_shard_exactly_once_under_contention() {
+    run_stress(1, 4, 2, 5_000);
+}
+
+#[test]
+fn sharded_exactly_once_under_contention() {
+    run_stress(4, 4, 4, 5_000);
+}
+
+#[test]
+fn more_consumers_than_shards() {
+    run_stress(2, 3, 6, 3_000);
+}
+
+#[test]
+fn full_is_the_only_preclose_failure_and_reports_backpressure() {
+    let queue: BoundedQueue<u64> = BoundedQueue::with_shards(4, 2);
+    for i in 0..4 {
+        queue.try_push(i).unwrap();
+    }
+    assert!(matches!(queue.try_push(99), Err(PushError::Full)));
+    assert_eq!(queue.len(), 4);
+    queue.close();
+    assert!(matches!(queue.try_push(5), Err(PushError::Closed)));
+    // The backlog survives close and drains in full.
+    let mut drained = Vec::new();
+    while let Some(v) = queue.pop_blocking() {
+        drained.push(v);
+    }
+    drained.sort_unstable();
+    assert_eq!(drained, vec![0, 1, 2, 3]);
+}

@@ -532,6 +532,66 @@ fn deadline_admission_rejects_unmeetable_requests() {
     assert_eq!(service.metrics().rejected, 1);
 }
 
+/// Hopeless deadlines never occupy a queue slot: the submit-time fast path
+/// rejects them before enqueue, and only the `rejected` counter moves.
+#[test]
+fn hopeless_deadlines_are_rejected_before_the_queue() {
+    let catalog = moqo_tpch::catalog(0.01);
+    let service = OptimizationService::builder(catalog.clone())
+        .workers(1)
+        .build();
+    let request = OptimizationRequest::new(moqo_tpch::query(&catalog, 3), weighted_pref(), 1.0)
+        .with_deadline(std::time::Duration::ZERO);
+    match service.submit(request).map(|_| ()) {
+        Err(ServiceError::Rejected(_)) => {}
+        other => panic!("expected a submit-time rejection, got {other:?}"),
+    }
+    let metrics = service.metrics();
+    assert_eq!(metrics.submitted, 0, "rejected requests never enqueue");
+    assert_eq!(metrics.rejected, 1);
+    assert_eq!(metrics.timed_out, 0);
+    assert_eq!(metrics.failed, 0);
+    assert_eq!(metrics.errors_total(), 1);
+}
+
+/// A request that passes submit-time admission but whose whole budget is
+/// eaten by queue wait times out — landing in `timed_out`, not `rejected`.
+#[test]
+fn queue_wait_past_the_deadline_counts_as_timed_out() {
+    let catalog = moqo_tpch::catalog(0.01);
+    let service = OptimizationService::builder(catalog.clone())
+        .workers(1)
+        .queue_capacity(8)
+        .build();
+    // Occupy the only worker for a while.
+    let blocker = OptimizationRequest::new(
+        moqo_tpch::large_query_with(&catalog, 12, moqo_tpch::Topology::Clique),
+        weighted_pref(),
+        2.0,
+    )
+    .with_hint(Algorithm::Rmq {
+        samples: 20_000,
+        seed: 1,
+        threads: 1,
+    });
+    let busy = service.submit(blocker).unwrap();
+    // Admissible at submit (RMQ starts under 30 ms for a 3-relation
+    // block), but the blocker holds the worker far longer than that.
+    let doomed = OptimizationRequest::new(moqo_tpch::query(&catalog, 3), weighted_pref(), 2.0)
+        .with_deadline(std::time::Duration::from_millis(30));
+    let ticket = service.submit(doomed).expect("passes submit admission");
+    match ticket.wait() {
+        Err(ServiceError::DeadlineExceeded) => {}
+        other => panic!("expected a queue-wait timeout, got {other:?}"),
+    }
+    busy.wait().unwrap();
+    let metrics = service.metrics();
+    assert_eq!(metrics.timed_out, 1);
+    assert_eq!(metrics.rejected, 0);
+    assert_eq!(metrics.completed, 1);
+    assert_eq!(metrics.errors_total(), 1);
+}
+
 #[test]
 fn deadline_pressure_downgrades_to_the_anytime_search() {
     let catalog = moqo_tpch::catalog(0.01);
