@@ -21,6 +21,7 @@
 //! | `MOQO_SL_WORKERS` | 4 | service worker threads |
 //! | `MOQO_SL_SEED` | 2024 | trace RNG seed |
 //! | `MOQO_SL_REPLAY` | unset | deterministic replay: `1` = one worker, submit-after-wait; `2` = two workers, warmed barrier pairs |
+//! | `MOQO_SL_FAULTS` | unset | deterministic fault plan (see [`FaultPlan::parse`] grammar) |
 //!
 //! Under concurrency the *completion* results are deterministic but the
 //! cache hit/miss counters race (whichever worker reaches a cold key first
@@ -41,13 +42,27 @@
 //!   machine-independent even though two workers genuinely race — this is
 //!   the cell that pins the *sharded* queue and lock-free metrics under
 //!   real concurrency.
+//!
+//! With `MOQO_SL_FAULTS` set, the replay becomes a deterministic *chaos*
+//! run: faults are keyed on submission ordinals, so the same trace plus
+//! the same plan produces the same caught panics (`Internal` responses),
+//! the same worker deaths (and supervisor respawns) and the same injected
+//! queue-full rejections on every machine. The binary computes the
+//! expected counts straight from the plan and asserts the service's
+//! robustness counters match; in the replay modes those counters are also
+//! emitted as checksum cells for `bench_diff`'s gate. Cache counter cells
+//! are *not* emitted under faults — a panicked warm-up request leaves its
+//! key cold, and two workers racing on a cold key fill it in
+//! machine-dependent order.
 
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use moqo_catalog::Catalog;
 use moqo_core::Algorithm;
 use moqo_cost::{Objective, ObjectiveSet, Preference};
-use moqo_service::{OptimizationRequest, OptimizationService};
+use moqo_service::{
+    FaultAction, FaultPlan, OptimizationRequest, OptimizationService, ServiceError, Ticket,
+};
 use moqo_tpch::{large_query_with, query, Topology};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -106,6 +121,22 @@ struct Cell {
     checksum: u64,
 }
 
+/// Robustness counters a fault plan predicts for the submitted ordinals.
+#[derive(Debug, Default)]
+struct FaultExpectations {
+    panics: u64,
+    kills: u64,
+    fulls: u64,
+}
+
+/// What the trace actually observed on its tickets.
+#[derive(Debug, Default)]
+struct Outcomes {
+    completed: u64,
+    internal: u64,
+    injected_full: u64,
+}
+
 fn main() {
     let smoke = std::env::var("MOQO_SMOKE").is_ok_and(|v| v != "0");
     let env_usize = |key: &str, default: usize| -> usize {
@@ -128,13 +159,17 @@ fn main() {
     let seed = env_usize("MOQO_SL_SEED", 2024) as u64;
     let rmq_samples: u64 = if smoke { 100 } else { 1000 };
     let out_path = std::env::var("MOQO_BENCH_OUT").unwrap_or_else(|_| "BENCH_pr7.json".to_owned());
+    let faults = FaultPlan::from_env();
 
     let catalog = moqo_tpch::catalog(0.01);
-    let service = OptimizationService::builder(catalog.clone())
+    let mut builder = OptimizationService::builder(catalog.clone())
         .workers(workers)
         .queue_capacity(requests.max(16))
-        .cache_capacity(256)
-        .build();
+        .cache_capacity(256);
+    if let Some(plan) = faults.clone() {
+        builder = builder.faults(plan);
+    }
+    let service = builder.build();
     let pool = pool(&catalog, rmq_samples);
     let hot = 3usize.min(pool.len());
 
@@ -149,26 +184,66 @@ fn main() {
         })
         .collect();
 
+    // Every submission outcome is a function of its ordinal and the plan,
+    // so the expected robustness counters are computable up front. A
+    // `KillWorker` fault answers its request normally (then takes the
+    // worker down), an injected `QueueFull` bounces at submission, and a
+    // `Panic` comes back as `ServiceError::Internal`.
+    let total_submissions = (requests + if replay == 2 { pool.len() } else { 0 }) as u64;
+    let mut expected = FaultExpectations::default();
+    if let Some(plan) = &faults {
+        for ordinal in 0..total_submissions {
+            match plan.at(ordinal) {
+                Some(FaultAction::Panic) => expected.panics += 1,
+                Some(FaultAction::KillWorker) => expected.kills += 1,
+                Some(FaultAction::QueueFull) => expected.fulls += 1,
+                Some(FaultAction::Delay(_)) | None => {}
+            }
+        }
+    }
+    let mut outcomes = Outcomes::default();
+    let settle =
+        |outcomes: &mut Outcomes,
+         result: Result<moqo_service::OptimizationResponse, ServiceError>| {
+            match result {
+                Ok(response) => {
+                    assert!(response.weighted_cost.is_finite());
+                    outcomes.completed += 1;
+                }
+                Err(ServiceError::Internal { .. }) if faults.is_some() => outcomes.internal += 1,
+                Err(error) => panic!("unexpected error in the trace: {error}"),
+            }
+        };
+    // Submission wrapper tolerating injected queue-full rejections (the
+    // only submit-time fault; the trace carries no deadlines and brownout
+    // is off).
+    let submit = |outcomes: &mut Outcomes, request: &OptimizationRequest| -> Option<Ticket> {
+        match service.submit(request.clone()) {
+            Ok(ticket) => Some(ticket),
+            Err(ServiceError::QueueFull) if faults.is_some() => {
+                outcomes.injected_full += 1;
+                None
+            }
+            Err(error) => panic!("unexpected submit failure: {error}"),
+        }
+    };
+
     let started = Instant::now();
-    let mut completed = 0u64;
     if replay == 1 {
         // Submit-after-wait: exactly one request in flight, so every cache
         // probe sees the deterministic state the trace prefix produced.
         for &i in &trace {
-            let response = service
-                .submit_wait(pool[i].clone())
-                .expect("no deadlines in the trace");
-            assert!(response.weighted_cost.is_finite());
-            completed += 1;
+            if let Some(ticket) = submit(&mut outcomes, &pool[i]) {
+                settle(&mut outcomes, ticket.wait());
+            }
         }
     } else if replay == 2 {
         // Warm-up: touch every pool entry once, solo, driving each cache
         // key to its fixed point (see module docs).
         for request in &pool {
-            service
-                .submit_wait(request.clone())
-                .expect("no deadlines in the pool");
-            completed += 1;
+            if let Some(ticket) = submit(&mut outcomes, request) {
+                settle(&mut outcomes, ticket.wait());
+            }
         }
         // Barrier pairs: two requests genuinely in flight across the two
         // workers, yet the counter deltas stay order-independent because
@@ -176,34 +251,35 @@ fn main() {
         for pair in trace.chunks(2) {
             let tickets: Vec<_> = pair
                 .iter()
-                .map(|&i| {
-                    service
-                        .submit(pool[i].clone())
-                        .expect("queue sized to the trace")
-                })
+                .filter_map(|&i| submit(&mut outcomes, &pool[i]))
                 .collect();
             for t in tickets {
-                let response = t.wait().expect("no deadlines in the trace");
-                assert!(response.weighted_cost.is_finite());
-                completed += 1;
+                settle(&mut outcomes, t.wait());
             }
         }
     } else {
         let tickets: Vec<_> = trace
             .iter()
-            .map(|&i| {
-                service
-                    .submit(pool[i].clone())
-                    .expect("queue sized to the trace")
-            })
+            .filter_map(|&i| submit(&mut outcomes, &pool[i]))
             .collect();
         for t in tickets {
-            let response = t.wait().expect("no deadlines in the trace");
-            assert!(response.weighted_cost.is_finite());
-            completed += 1;
+            settle(&mut outcomes, t.wait());
         }
     }
     let wall = started.elapsed();
+    let completed = outcomes.completed;
+
+    // Chaos runs: wait for the supervisor to finish replacing every
+    // injected worker death before snapshotting, so the respawn counter is
+    // settled (and therefore checksum-stable) when it is recorded.
+    if expected.kills > 0 {
+        let deadline = Instant::now() + Duration::from_secs(30);
+        while (service.metrics().respawns < expected.kills || service.alive_workers() < workers)
+            && Instant::now() < deadline
+        {
+            std::thread::sleep(Duration::from_millis(2));
+        }
+    }
     let metrics = service.shutdown();
     let hit_ratio = metrics.cache.hit_ratio();
 
@@ -246,25 +322,57 @@ fn main() {
     );
 
     assert_eq!(metrics.completed, completed);
-    assert!(
-        hit_ratio > 0.5,
-        "the skewed trace must produce a >50% cache hit ratio, got {:.1}%",
-        hit_ratio * 100.0
-    );
     // The per-variant error counters must partition the error space: what
     // the seed folded into one overloaded "rejected" number is now
-    // rejected + timed_out + failed, and nothing can fall between the
-    // counters. A deadline-free trace errors exactly zero times.
+    // rejected + timed_out + failed + shed, and nothing can fall between
+    // the counters.
     assert_eq!(
-        metrics.rejected + metrics.timed_out + metrics.failed,
+        metrics.rejected + metrics.timed_out + metrics.failed + metrics.shed,
         metrics.errors_total(),
         "error taxonomy counters must sum to the error total"
     );
-    assert_eq!(
-        metrics.errors_total(),
-        0,
-        "deadline-free traces never error"
-    );
+    if faults.is_none() {
+        assert!(
+            hit_ratio > 0.5,
+            "the skewed trace must produce a >50% cache hit ratio, got {:.1}%",
+            hit_ratio * 100.0
+        );
+        // A deadline-free, fault-free trace errors exactly zero times.
+        assert_eq!(metrics.errors_total(), 0, "fault-free traces never error");
+        assert_eq!(metrics.panics_total, 0);
+        assert_eq!(metrics.respawns, 0);
+    } else {
+        // Chaos runs: the observed outcomes and the service's robustness
+        // counters must both match what the plan predicts, exactly.
+        println!(
+            "  chaos: {} panics caught | {} workers killed+respawned | \
+             {} injected queue-full | {} shed",
+            metrics.panics_total, metrics.respawns, outcomes.injected_full, metrics.shed,
+        );
+        assert_eq!(outcomes.internal, expected.panics, "caught-panic responses");
+        assert_eq!(
+            outcomes.injected_full, expected.fulls,
+            "injected rejections"
+        );
+        assert_eq!(
+            metrics.panics_total, expected.panics,
+            "panics_total counter"
+        );
+        assert_eq!(
+            metrics.failed, expected.panics,
+            "every Internal counts as failed"
+        );
+        assert_eq!(
+            metrics.respawns, expected.kills,
+            "supervisor respawn counter"
+        );
+        assert_eq!(
+            completed,
+            total_submissions - expected.panics - expected.fulls,
+            "every non-faulted submission completes"
+        );
+        assert_eq!(metrics.shed, 0, "brownout is off in this trace");
+    }
 
     let base_params = vec![
         ("workers", workers.to_string()),
@@ -304,36 +412,60 @@ fn main() {
         },
     ];
     if replay > 0 {
-        // Cache counters are only deterministic in the replay modes; the
-        // value doubles as the checksum so `bench_diff` gates it.
-        for (counter, value) in [
-            ("hits", metrics.cache.hits),
-            ("misses", metrics.cache.misses),
-            ("warm_starts", metrics.cache.warm_starts),
-            ("insertions", metrics.cache.insertions),
-        ] {
-            let mut params = base_params.clone();
-            params.push(("counter", counter.to_owned()));
-            cells.push(Cell {
-                name: "service_load_replay_cache",
-                params,
-                median_ms: value as f64,
-                checksum: value,
-            });
+        if faults.is_none() {
+            // Cache counters are only deterministic in the fault-free
+            // replay modes (an injected warm-up panic leaves its key cold
+            // and later pair submissions race on it); the value doubles as
+            // the checksum so `bench_diff` gates it.
+            for (counter, value) in [
+                ("hits", metrics.cache.hits),
+                ("misses", metrics.cache.misses),
+                ("warm_starts", metrics.cache.warm_starts),
+                ("insertions", metrics.cache.insertions),
+            ] {
+                let mut params = base_params.clone();
+                params.push(("counter", counter.to_owned()));
+                cells.push(Cell {
+                    name: "service_load_replay_cache",
+                    params,
+                    median_ms: value as f64,
+                    checksum: value,
+                });
+            }
         }
         // The per-variant error counters, gated the same way: a replay
-        // trace carries no deadlines, so every cell must stay pinned at
-        // zero — any drift means the serving path started misrouting or
-        // inventing errors.
+        // trace carries no deadlines, so every cell stays pinned at zero
+        // in a fault-free run — and at the plan-predicted counts in a
+        // chaos run. Any drift means the serving path started misrouting
+        // or inventing errors.
         for (variant, value) in [
             ("rejected", metrics.rejected),
             ("timed_out", metrics.timed_out),
             ("failed", metrics.failed),
+            ("shed", metrics.shed),
         ] {
             let mut params = base_params.clone();
             params.push(("variant", variant.to_owned()));
             cells.push(Cell {
                 name: "service_load_replay_errors",
+                params,
+                median_ms: value as f64,
+                checksum: value,
+            });
+        }
+        // The robustness counters: caught panics, supervisor respawns and
+        // injected rejections replay byte-stable because faults are keyed
+        // on submission ordinals — this is the chaos gate's payload (and
+        // it pins all three at zero for fault-free replays).
+        for (counter, value) in [
+            ("panics_total", metrics.panics_total),
+            ("respawns", metrics.respawns),
+            ("injected_queue_full", outcomes.injected_full),
+        ] {
+            let mut params = base_params.clone();
+            params.push(("counter", counter.to_owned()));
+            cells.push(Cell {
+                name: "service_load_fault_replay",
                 params,
                 median_ms: value as f64,
                 checksum: value,

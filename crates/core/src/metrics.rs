@@ -56,6 +56,13 @@ pub struct BlockReport {
     /// while sampling leaks cardinality past the cost vector covers less
     /// than its α claims.
     pub prune_mode: PruneMode,
+    /// Whether a serving layer degraded this block under load pressure
+    /// (brownout: the admission controller forced the anytime search
+    /// and/or shrank its sample budget instead of running the scheme the
+    /// request preferred). The optimizer itself never sets this; the
+    /// service stamps it so α-accounting downstream of the report stays
+    /// honest about *why* the guarantee is weaker than requested.
+    pub degraded_by_pressure: bool,
 }
 
 impl BlockReport {
@@ -80,6 +87,7 @@ impl BlockReport {
             iterations,
             alpha_final: alpha,
             prune_mode,
+            degraded_by_pressure: false,
         }
     }
 }
@@ -153,6 +161,7 @@ mod tests {
             iterations: iters,
             alpha_final: 1.0,
             prune_mode: PruneMode::CostOnly,
+            degraded_by_pressure: false,
         }
     }
 

@@ -37,6 +37,26 @@
 //!   counters, all snapshotted on demand at O(buckets) cost. Nothing on
 //!   the submit or completion path acquires a `Mutex`.
 //!
+//! * **Self-healing** — a panic inside a job is caught at the worker's
+//!   guard and delivered as [`ServiceError::Internal`] (payload included)
+//!   while the worker keeps serving; a worker that dies anyway (or wedges
+//!   past [`ServiceConfig::stall_after`]) is detected by the supervisor
+//!   thread via per-worker heartbeat epochs and respawned onto its queue
+//!   shard ([`MetricsSnapshot::respawns`], `stalls_detected`).
+//! * **Brownout load shedding** ([`BrownoutConfig`]) — an EWMA
+//!   [`PressureGauge`] over measured queue waits drives graceful
+//!   degradation: above the watermark, blocks run the anytime search at a
+//!   pressure-scaled sample budget (stamped `degraded_by_pressure` in the
+//!   block report, so α-accounting stays honest); past the shed threshold,
+//!   submissions are turned away with [`ServiceError::Shed`] before taking
+//!   a queue slot. Both transient errors are retryable through
+//!   [`OptimizationService::submit_with_retry`] (decorrelated-jitter
+//!   backoff, [`RetryPolicy`]).
+//! * **Deterministic chaos** ([`FaultPlan`]) — panics, delays, queue-full
+//!   rejections and worker kills keyed on exact submission ordinals (or
+//!   the `MOQO_SL_FAULTS` env grammar), so fault runs replay byte-stable
+//!   and CI can gate the robustness counters.
+//!
 //! Everything is std-only — no async runtime — and deterministic under a
 //! test configuration (one worker, fixed RMQ seed, no deadlines).
 //!
@@ -76,22 +96,28 @@
 #![warn(missing_docs)]
 
 mod cache;
+mod fault;
 mod histogram;
 mod metrics;
 mod policy;
 mod queue;
 mod request;
+mod retry;
 mod service;
+mod supervisor;
 
 pub use cache::{CacheKey, CacheLookup, CacheSnapshot, EntryStats, PlanCache};
+pub use fault::{FaultAction, FaultPlan, FaultPlanBuilder};
 pub use histogram::{HistogramSnapshot, LogHistogram, BUCKETS as HISTOGRAM_BUCKETS};
-pub use metrics::{AlgorithmKind, MetricsSnapshot, ServiceMetrics};
+pub use metrics::{AlgorithmKind, MetricsSnapshot, PressureGauge, ServiceMetrics};
 pub use policy::{
-    Admission, AlgorithmPolicy, DeadlineAwarePolicy, LearnedBlockTimes, PolicyContext,
+    Admission, AlgorithmPolicy, BrownoutConfig, BrownoutLevel, DeadlineAwarePolicy,
+    LearnedBlockTimes, PolicyContext,
 };
 pub use queue::{BoundedQueue, PushError};
 pub use request::{
     AlphaCertificate, BlockOutcome, BlockSource, OptimizationRequest, OptimizationResponse,
     ServiceError,
 };
+pub use retry::{is_retryable, retry_with, RetryClock, RetryPolicy, SystemClock};
 pub use service::{OptimizationService, ServiceBuilder, ServiceConfig, Ticket};

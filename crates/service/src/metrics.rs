@@ -67,7 +67,15 @@ pub struct ServiceMetrics {
     timed_out: AtomicU64,
     failed: AtomicU64,
     queue_full: AtomicU64,
+    shed: AtomicU64,
+    panics_total: AtomicU64,
+    respawns: AtomicU64,
+    stalls_detected: AtomicU64,
+    degraded_blocks: AtomicU64,
     downgraded_blocks: AtomicU64,
+    /// EWMA of recent queue waits: the brownout controller's pressure
+    /// signal (reads are one relaxed load on the submit fast path).
+    pressure: PressureGauge,
     algo_blocks: [AtomicU64; AlgorithmKind::COUNT],
     /// Submission → response, the sum of the two series below (recorded on
     /// one clock, the job's submission `Instant`, so the series agree by
@@ -93,7 +101,13 @@ impl Default for ServiceMetrics {
             timed_out: AtomicU64::new(0),
             failed: AtomicU64::new(0),
             queue_full: AtomicU64::new(0),
+            shed: AtomicU64::new(0),
+            panics_total: AtomicU64::new(0),
+            respawns: AtomicU64::new(0),
+            stalls_detected: AtomicU64::new(0),
+            degraded_blocks: AtomicU64::new(0),
             downgraded_blocks: AtomicU64::new(0),
+            pressure: PressureGauge::default(),
             algo_blocks: std::array::from_fn(|_| AtomicU64::new(0)),
             latency: LogHistogram::new(),
             queue_wait: LogHistogram::new(),
@@ -116,17 +130,49 @@ impl ServiceMetrics {
     }
 
     /// Counts one failed request under the error taxonomy: admission
-    /// rejections, deadline expiries and internal losses land in separate
-    /// counters, so `rejected` means what its docs say.
+    /// rejections, deadline expiries, shed submissions and internal losses
+    /// land in separate counters, so `rejected` means what its docs say.
+    /// An `Internal` error additionally bumps `panics_total` — every
+    /// internal error today is a caught worker panic.
     pub fn on_error(&self, error: &ServiceError) {
         let counter = match error {
             ServiceError::Rejected(_) => &self.rejected,
             ServiceError::DeadlineExceeded => &self.timed_out,
+            ServiceError::Shed => &self.shed,
+            ServiceError::Internal { .. } => {
+                self.panics_total.fetch_add(1, Ordering::Relaxed);
+                &self.failed
+            }
             ServiceError::QueueFull | ServiceError::ShuttingDown | ServiceError::WorkerLost => {
                 &self.failed
             }
         };
         counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one worker respawned by the supervisor (dead worker reaped,
+    /// replacement spawned onto its shard).
+    pub fn on_respawn(&self) {
+        self.respawns.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one wedged worker detected (heartbeat epoch stagnant past
+    /// the stall threshold); a substitute was fielded.
+    pub fn on_stall(&self) {
+        self.stalls_detected.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one block browned out under load pressure (forced onto the
+    /// anytime search and/or its sample budget shrunk).
+    pub fn on_degraded_block(&self) {
+        self.degraded_blocks.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// The queue-wait pressure gauge (shared with the brownout admission
+    /// controller).
+    #[must_use]
+    pub fn pressure_gauge(&self) -> &PressureGauge {
+        &self.pressure
     }
 
     /// Counts one optimized (or cache-served) block.
@@ -146,6 +192,7 @@ impl ServiceMetrics {
         self.queue_wait.record(queue_wait);
         self.service_time.record(service_time);
         self.latency.record(queue_wait + service_time);
+        self.pressure.record(queue_wait);
     }
 
     /// A consistent-enough point-in-time view. Counters are relaxed loads;
@@ -165,17 +212,30 @@ impl ServiceMetrics {
         let completed = self.completed.load(Ordering::Relaxed);
         let elapsed = self.started.elapsed();
         let now_us = u64::try_from(elapsed.as_micros()).unwrap_or(u64::MAX);
-        let window_start = self.window_started_us.swap(now_us, Ordering::Relaxed);
-        let window_completed = self.window_completed.swap(completed, Ordering::Relaxed);
+        // Guard against back-to-back snapshots: a window of a few
+        // microseconds holding one completion used to report a
+        // million-rps "spike" (or divide by ~0). Windows shorter than
+        // `MIN_WINDOW_US` are *not closed* — the rate is computed over the
+        // still-open window with the denominator clamped to the minimum,
+        // and the next snapshot sees the full window. The close itself is
+        // a CAS so two racing snapshots cannot both claim the same window.
+        const MIN_WINDOW_US: u64 = 1_000;
         #[allow(clippy::cast_precision_loss)]
         let throughput_rps = {
+            let window_start = self.window_started_us.load(Ordering::Relaxed);
             let window_us = now_us.saturating_sub(window_start);
-            let window_done = completed.saturating_sub(window_completed);
-            if window_us > 0 {
-                window_done as f64 / (window_us as f64 / 1e6)
+            let closing = window_us >= MIN_WINDOW_US
+                && self
+                    .window_started_us
+                    .compare_exchange(window_start, now_us, Ordering::Relaxed, Ordering::Relaxed)
+                    .is_ok();
+            let window_completed = if closing {
+                self.window_completed.swap(completed, Ordering::Relaxed)
             } else {
-                0.0
-            }
+                self.window_completed.load(Ordering::Relaxed)
+            };
+            let window_done = completed.saturating_sub(window_completed);
+            window_done as f64 / (window_us.max(MIN_WINDOW_US) as f64 / 1e6)
         };
         MetricsSnapshot {
             uptime: elapsed,
@@ -185,6 +245,11 @@ impl ServiceMetrics {
             timed_out: self.timed_out.load(Ordering::Relaxed),
             failed: self.failed.load(Ordering::Relaxed),
             queue_full: self.queue_full.load(Ordering::Relaxed),
+            shed: self.shed.load(Ordering::Relaxed),
+            panics_total: self.panics_total.load(Ordering::Relaxed),
+            respawns: self.respawns.load(Ordering::Relaxed),
+            stalls_detected: self.stalls_detected.load(Ordering::Relaxed),
+            degraded_blocks: self.degraded_blocks.load(Ordering::Relaxed),
             downgraded_blocks: self.downgraded_blocks.load(Ordering::Relaxed),
             throughput_rps,
             p50: latency.quantile(0.50),
@@ -229,6 +294,23 @@ pub struct MetricsSnapshot {
     pub failed: u64,
     /// Submissions bounced off a full queue.
     pub queue_full: u64,
+    /// Submissions shed by the brownout admission controller (queue-wait
+    /// pressure above the watermark) — separate from `rejected`, which is
+    /// a per-request deadline verdict.
+    pub shed: u64,
+    /// Worker panics caught at the job boundary and delivered as
+    /// [`ServiceError::Internal`](crate::ServiceError::Internal); every
+    /// one of these also counts in `failed`.
+    pub panics_total: u64,
+    /// Workers respawned by the supervisor after a worker thread died.
+    pub respawns: u64,
+    /// Wedged workers detected (heartbeat stagnant past the stall
+    /// threshold); each was abandoned and a substitute fielded.
+    pub stalls_detected: u64,
+    /// Blocks browned out under load pressure: forced onto the anytime
+    /// search (and/or a shrunken sample budget) by the admission
+    /// controller rather than by deadline or size gates.
+    pub degraded_blocks: u64,
     /// Blocks that ran a weaker algorithm than the request preferred.
     pub downgraded_blocks: u64,
     /// Completed requests per second over the current throughput window
@@ -271,7 +353,79 @@ impl MetricsSnapshot {
     /// overloaded `rejected` counter used to absorb.
     #[must_use]
     pub fn errors_total(&self) -> u64 {
-        self.rejected + self.timed_out + self.failed
+        self.rejected + self.timed_out + self.failed + self.shed
+    }
+}
+
+/// A lock-free EWMA of recent queue waits: the load signal the brownout
+/// admission controller reads on every submit (one relaxed load).
+///
+/// Workers fold each completed request's queue wait in with smoothing
+/// 0.2; [`PressureGauge::pressure`] normalizes the current estimate
+/// against a watermark, so `1.0` means "queue waits sit exactly at the
+/// watermark" and values above it measure how far into brownout the
+/// service is.
+#[derive(Debug)]
+pub struct PressureGauge {
+    /// EWMA of queue-wait micros as `f64` bits; 0 = no sample yet.
+    ewma_us: AtomicU64,
+}
+
+impl Default for PressureGauge {
+    fn default() -> Self {
+        PressureGauge {
+            ewma_us: AtomicU64::new(0),
+        }
+    }
+}
+
+impl PressureGauge {
+    const SMOOTHING: f64 = 0.2;
+
+    /// Folds one measured queue wait in (short CAS loop; a lost race
+    /// drops one sample of smoothing, never corrupts the estimate).
+    pub fn record(&self, queue_wait: Duration) {
+        let sample_us = queue_wait.as_secs_f64() * 1e6;
+        let mut current = self.ewma_us.load(Ordering::Relaxed);
+        for _ in 0..4 {
+            let updated = if current == 0 {
+                sample_us
+            } else {
+                Self::SMOOTHING * sample_us + (1.0 - Self::SMOOTHING) * f64::from_bits(current)
+            };
+            // Exactly-0.0 bits would read as "no sample"; nudge instead.
+            let bits = updated.max(f64::MIN_POSITIVE).to_bits();
+            match self.ewma_us.compare_exchange_weak(
+                current,
+                bits,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return,
+                Err(seen) => current = seen,
+            }
+        }
+    }
+
+    /// The current queue-wait estimate, `None` before the first sample.
+    #[must_use]
+    pub fn current(&self) -> Option<Duration> {
+        let bits = self.ewma_us.load(Ordering::Relaxed);
+        (bits != 0).then(|| Duration::from_secs_f64(f64::from_bits(bits) / 1e6))
+    }
+
+    /// Current estimate over `watermark` (`0.0` before any sample; a
+    /// zero watermark saturates rather than divides by zero).
+    #[must_use]
+    pub fn pressure(&self, watermark: Duration) -> f64 {
+        let Some(current) = self.current() else {
+            return 0.0;
+        };
+        let watermark_s = watermark.as_secs_f64();
+        if watermark_s <= 0.0 {
+            return f64::INFINITY;
+        }
+        current.as_secs_f64() / watermark_s
     }
 }
 
@@ -334,11 +488,71 @@ mod tests {
         m.on_error(&ServiceError::DeadlineExceeded);
         m.on_error(&ServiceError::DeadlineExceeded);
         m.on_error(&ServiceError::WorkerLost);
+        m.on_error(&ServiceError::Shed);
+        m.on_error(&ServiceError::Internal {
+            payload: "boom".into(),
+        });
         let snap = m.snapshot(CacheSnapshot::default());
         assert_eq!(snap.rejected, 1);
         assert_eq!(snap.timed_out, 2);
-        assert_eq!(snap.failed, 1);
-        assert_eq!(snap.errors_total(), 4);
+        assert_eq!(snap.failed, 2, "WorkerLost and Internal both fail");
+        assert_eq!(snap.shed, 1);
+        assert_eq!(snap.panics_total, 1, "Internal implies a caught panic");
+        assert_eq!(snap.errors_total(), 6);
+    }
+
+    #[test]
+    fn robustness_counters_accumulate() {
+        let m = ServiceMetrics::default();
+        m.on_respawn();
+        m.on_respawn();
+        m.on_stall();
+        m.on_degraded_block();
+        let snap = m.snapshot(CacheSnapshot::default());
+        assert_eq!(snap.respawns, 2);
+        assert_eq!(snap.stalls_detected, 1);
+        assert_eq!(snap.degraded_blocks, 1);
+    }
+
+    #[test]
+    fn back_to_back_snapshots_never_report_absurd_throughput() {
+        let m = ServiceMetrics::default();
+        std::thread::sleep(Duration::from_millis(2));
+        let _ = m.snapshot(CacheSnapshot::default());
+        // One completion, then an immediate snapshot: the old swap-based
+        // window could divide 1 completion by a microsecond-scale window
+        // and report ~1M rps. The clamped denominator bounds the rate to
+        // completions-per-minimum-window.
+        m.on_completed(Duration::ZERO, Duration::from_micros(5));
+        let spike = m.snapshot(CacheSnapshot::default());
+        assert!(
+            spike.throughput_rps <= 1_000.0,
+            "1 completion in a sub-ms window must cap at 1/1ms = 1000 rps, \
+             got {}",
+            spike.throughput_rps
+        );
+        // The short window stayed open: once it is long enough, the same
+        // completion still closes a window (not lost to the guard).
+        std::thread::sleep(Duration::from_millis(2));
+        let settled = m.snapshot(CacheSnapshot::default());
+        assert!(settled.throughput_rps > 0.0);
+    }
+
+    #[test]
+    fn pressure_gauge_tracks_queue_waits() {
+        let gauge = PressureGauge::default();
+        assert_eq!(gauge.current(), None);
+        assert_eq!(gauge.pressure(Duration::from_millis(10)), 0.0);
+        gauge.record(Duration::from_millis(10));
+        let first = gauge.current().unwrap();
+        assert!((first.as_secs_f64() - 0.010).abs() < 1e-9);
+        // EWMA: 0.2 · 20ms + 0.8 · 10ms = 12ms.
+        gauge.record(Duration::from_millis(20));
+        let second = gauge.current().unwrap();
+        assert!((second.as_secs_f64() - 0.012).abs() < 1e-9);
+        let pressure = gauge.pressure(Duration::from_millis(6));
+        assert!((pressure - 2.0).abs() < 1e-9, "12ms over a 6ms watermark");
+        assert!(gauge.pressure(Duration::ZERO).is_infinite());
     }
 
     #[test]

@@ -138,6 +138,105 @@ impl LearnedBlockTimes {
     }
 }
 
+/// Brownout admission control: how the service trades α for latency under
+/// measured overload instead of failing requests outright.
+///
+/// The anytime view of RMQ (arXiv:1603.00400) makes graceful degradation
+/// principled: the randomized search produces *some* front under any
+/// budget, and shrinking its sample count is a continuous quality/latency
+/// dial. This config turns the queue-wait pressure gauge into the two
+/// brownout actions:
+///
+/// * `1 < pressure < shed_threshold` — **degrade**: blocks that would run
+///   a DP scheme are forced onto RMQ with `base_samples / pressure`
+///   samples (floored at `min_samples`), so service time shrinks as
+///   pressure grows. The degradation is stamped in the block's
+///   [`BlockReport`](moqo_core::BlockReport) (`degraded_by_pressure`) and
+///   the response's `achieved_alpha` honestly reports `∞` — α-accounting
+///   never pretends a browned-out block kept its guarantee.
+/// * `pressure ≥ shed_threshold` — **shed**: new submissions are turned
+///   away with [`ServiceError::Shed`](crate::ServiceError::Shed) before
+///   occupying a queue slot they would only time out in.
+///
+/// `watermark: None` (the default) disables the controller entirely —
+/// existing deterministic replay gates see byte-identical behaviour.
+#[derive(Debug, Clone)]
+pub struct BrownoutConfig {
+    /// Queue-wait EWMA at which brownout begins; `None` disables.
+    pub watermark: Option<Duration>,
+    /// Pressure multiple (EWMA / watermark) at which shedding starts
+    /// (default 2.0; degradation covers the band in between).
+    pub shed_threshold: f64,
+    /// RMQ sample budget at pressure 1.0 (default 2000, matching
+    /// [`DeadlineAwarePolicy::rmq_samples`]).
+    pub base_samples: u64,
+    /// Sample-budget floor under extreme pressure (default 50).
+    pub min_samples: u64,
+    /// Seed for degraded RMQ runs (fixed per service: reproducibility).
+    pub rmq_seed: u64,
+}
+
+impl Default for BrownoutConfig {
+    fn default() -> Self {
+        BrownoutConfig {
+            watermark: None,
+            shed_threshold: 2.0,
+            base_samples: 2000,
+            min_samples: 50,
+            rmq_seed: 0x5EED,
+        }
+    }
+}
+
+/// What the brownout controller decided for one admission.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BrownoutLevel {
+    /// No overload: run whatever the policy admits.
+    Normal,
+    /// Degrade: force the anytime search at this sample budget.
+    Degrade {
+        /// Pressure-scaled RMQ sample budget.
+        samples: u64,
+    },
+    /// Shed the submission outright.
+    Shed,
+}
+
+impl BrownoutConfig {
+    /// Classifies a measured pressure reading (EWMA / watermark).
+    #[must_use]
+    pub fn assess(&self, pressure: f64) -> BrownoutLevel {
+        if self.watermark.is_none() {
+            return BrownoutLevel::Normal;
+        }
+        if pressure >= self.shed_threshold {
+            return BrownoutLevel::Shed;
+        }
+        if pressure > 1.0 {
+            #[allow(
+                clippy::cast_precision_loss,
+                clippy::cast_possible_truncation,
+                clippy::cast_sign_loss
+            )]
+            let scaled = (self.base_samples as f64 / pressure) as u64;
+            return BrownoutLevel::Degrade {
+                samples: scaled.max(self.min_samples),
+            };
+        }
+        BrownoutLevel::Normal
+    }
+
+    /// The degraded algorithm for one block at `samples` budget.
+    #[must_use]
+    pub fn degraded_algorithm(&self, samples: u64) -> Algorithm {
+        Algorithm::Rmq {
+            samples,
+            seed: self.rmq_seed,
+            threads: 1,
+        }
+    }
+}
+
 /// The default policy: size and deadline gates around the preference order
 /// `EXA → IRA/RTA → RMQ`, with a crude-but-tunable exponential model of
 /// dynamic-programming cost.
@@ -389,6 +488,49 @@ mod tests {
         let off = LearnedBlockTimes::new(0.0);
         off.record(4, Duration::from_micros(100));
         assert_eq!(off.estimate(4), None);
+    }
+
+    #[test]
+    fn brownout_bands_and_sample_scaling() {
+        let disabled = BrownoutConfig::default();
+        assert_eq!(disabled.assess(10.0), BrownoutLevel::Normal);
+
+        let active = BrownoutConfig {
+            watermark: Some(Duration::from_millis(10)),
+            ..BrownoutConfig::default()
+        };
+        assert_eq!(active.assess(0.0), BrownoutLevel::Normal);
+        assert_eq!(active.assess(1.0), BrownoutLevel::Normal);
+        // Degradation band: budget shrinks with pressure.
+        assert_eq!(
+            active.assess(1.25),
+            BrownoutLevel::Degrade { samples: 1600 }
+        );
+        match active.assess(1.9) {
+            BrownoutLevel::Degrade { samples } => {
+                assert!(samples < 1600 && samples >= active.min_samples);
+            }
+            other => panic!("expected degradation, got {other:?}"),
+        }
+        // At and past the threshold: shed (including infinite pressure).
+        assert_eq!(active.assess(2.0), BrownoutLevel::Shed);
+        assert_eq!(active.assess(f64::INFINITY), BrownoutLevel::Shed);
+        // The floor holds under a tiny base budget.
+        let floored = BrownoutConfig {
+            base_samples: 60,
+            shed_threshold: 100.0,
+            ..active.clone()
+        };
+        assert_eq!(floored.assess(50.0), BrownoutLevel::Degrade { samples: 50 });
+        // The degraded algorithm is the anytime search at the scaled budget.
+        assert_eq!(
+            active.degraded_algorithm(1600),
+            Algorithm::Rmq {
+                samples: 1600,
+                seed: active.rmq_seed,
+                threads: 1
+            }
+        );
     }
 
     #[test]

@@ -291,8 +291,18 @@ impl<T> BoundedQueue<T> {
     /// empty. Workers pass their own index so disjoint workers touch
     /// disjoint cache lines under load.
     pub fn pop_blocking_from(&self, hint: usize) -> Option<T> {
+        self.pop_blocking_from_with(hint, || {})
+    }
+
+    /// [`BoundedQueue::pop_blocking_from`] with a liveness callback:
+    /// `tick` runs on every wait iteration (at least once per park
+    /// timeout), so a consumer parked on an idle queue can keep stamping
+    /// its supervision heartbeat — without it, an idle-but-healthy worker
+    /// is indistinguishable from one wedged inside a job.
+    pub fn pop_blocking_from_with(&self, hint: usize, mut tick: impl FnMut()) -> Option<T> {
         let shared = &*self.shared;
         loop {
+            tick();
             if let Some(item) = self.scan(hint) {
                 return Some(item);
             }

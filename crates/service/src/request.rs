@@ -3,7 +3,7 @@
 use std::time::Duration;
 
 use moqo_catalog::Query;
-use moqo_core::{combine_block_costs, Algorithm, PlanEntry, PruneMode};
+use moqo_core::{combine_block_costs, Algorithm, BlockReport, PlanEntry, PruneMode};
 use moqo_cost::{CostVector, Preference};
 use moqo_plan::{PlanArena, PlanId};
 
@@ -150,6 +150,13 @@ pub struct BlockOutcome {
     pub source: BlockSource,
     /// Precision guarantee attached to the frontier (`∞` when none).
     pub achieved_alpha: f64,
+    /// The optimizer's per-block report (timings, pruning counters, final
+    /// α, prune mode). Cache hits carry a synthetic report describing the
+    /// cached entry. When the service browned the block out under load
+    /// pressure, `report.degraded_by_pressure` is stamped `true` — the
+    /// α-accounting stays honest about why the guarantee is weaker than
+    /// the request preferred.
+    pub report: BlockReport,
 }
 
 /// A completed optimization, with latency accounting.
@@ -207,9 +214,9 @@ impl OptimizationResponse {
 
 /// Why a request produced no plan. Each variant lands in its own metrics
 /// counter (see [`crate::MetricsSnapshot`]): `Rejected` →
-/// `rejected`, `DeadlineExceeded` → `timed_out`, everything else →
-/// `failed` — the seed folded all of these into one overloaded
-/// "rejected" number.
+/// `rejected`, `DeadlineExceeded` → `timed_out`, `Shed` → `shed`,
+/// everything else → `failed` — the seed folded all of these into one
+/// overloaded "rejected" number.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ServiceError {
     /// The bounded work queue was at capacity (back-pressure).
@@ -225,6 +232,21 @@ pub enum ServiceError {
     /// budget was consumed by queue wait and/or earlier blocks. Distinct
     /// from `Rejected`: admission never got a say, the clock did.
     DeadlineExceeded,
+    /// The brownout admission controller shed this submission: measured
+    /// queue-wait pressure stood above the shedding watermark, so the
+    /// request was turned away *before* occupying a queue slot it would
+    /// only have timed out in. Distinct from both `Rejected` (a per-request
+    /// deadline verdict) and `QueueFull` (hard capacity): shedding is the
+    /// service's own overload valve, and it is retryable — see
+    /// `submit_with_retry`.
+    Shed,
+    /// The worker processing the request panicked; the panic was caught at
+    /// the job boundary, the worker survived, and the payload is delivered
+    /// here instead of killing the thread (and, transitively, the pool).
+    Internal {
+        /// The panic payload, rendered to a string.
+        payload: String,
+    },
     /// The worker processing the request disappeared (service dropped
     /// while the ticket was outstanding).
     WorkerLost,
@@ -238,6 +260,15 @@ impl std::fmt::Display for ServiceError {
             ServiceError::Rejected(reason) => write!(f, "request rejected: {reason}"),
             ServiceError::DeadlineExceeded => {
                 write!(f, "deadline expired before optimization could start")
+            }
+            ServiceError::Shed => {
+                write!(
+                    f,
+                    "request shed: queue-wait pressure above the brownout watermark"
+                )
+            }
+            ServiceError::Internal { payload } => {
+                write!(f, "internal error: worker panicked: {payload}")
             }
             ServiceError::WorkerLost => write!(f, "worker terminated before responding"),
         }

@@ -1,0 +1,263 @@
+//! Client-side retry with decorrelated-jitter backoff.
+//!
+//! [`ServiceError::QueueFull`] and [`ServiceError::Shed`] are *transient*:
+//! they mean "the service is protecting itself right now", not "this
+//! request can never be served". [`retry_with`] (and the service's
+//! `submit_with_retry` convenience) retries exactly those two variants
+//! under a hard total-time budget, sleeping the decorrelated-jitter
+//! schedule from the AWS architecture blog: each delay is drawn uniformly
+//! from `[base, 3 · previous]` and capped — successive clients
+//! de-synchronize instead of stampeding the queue in lockstep the way
+//! fixed exponential backoff does.
+//!
+//! Determinism seam: the sleep/elapsed side effects live behind
+//! [`RetryClock`] and the jitter draws come from a seeded SplitMix64, so
+//! unit tests replay the exact schedule with a fake clock — no wall-clock
+//! flakiness, no thread sleeps.
+
+use std::time::{Duration, Instant};
+
+use crate::request::ServiceError;
+
+/// Tuning for one retry loop.
+#[derive(Debug, Clone)]
+pub struct RetryPolicy {
+    /// Smallest (and first) backoff delay.
+    pub base: Duration,
+    /// Upper bound on any single delay.
+    pub cap: Duration,
+    /// Hard budget over the whole loop — attempts plus sleeps; once an
+    /// upcoming sleep would cross it, the last error is returned instead.
+    pub budget: Duration,
+    /// Jitter RNG seed: the same seed replays the same schedule.
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            base: Duration::from_micros(500),
+            cap: Duration::from_millis(50),
+            budget: Duration::from_millis(500),
+            seed: 0x9E37_79B9_7F4A_7C15,
+        }
+    }
+}
+
+/// The clock a retry loop runs against; production uses [`SystemClock`],
+/// tests substitute a fake that records sleeps and advances virtually.
+pub trait RetryClock {
+    /// Time elapsed since the loop started.
+    fn elapsed(&self) -> Duration;
+    /// Blocks (or pretends to) for `delay`.
+    fn sleep(&mut self, delay: Duration);
+}
+
+/// Wall-clock [`RetryClock`] backed by `Instant` and `thread::sleep`.
+#[derive(Debug)]
+pub struct SystemClock {
+    started: Instant,
+}
+
+impl SystemClock {
+    /// A clock starting now.
+    #[must_use]
+    pub fn new() -> Self {
+        SystemClock {
+            started: Instant::now(),
+        }
+    }
+}
+
+impl Default for SystemClock {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl RetryClock for SystemClock {
+    fn elapsed(&self) -> Duration {
+        self.started.elapsed()
+    }
+
+    fn sleep(&mut self, delay: Duration) {
+        std::thread::sleep(delay);
+    }
+}
+
+/// SplitMix64: tiny, seedable, and plenty for jitter.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Uniform draw from `[lo, hi]` in whole microseconds (`lo` when the range
+/// collapses).
+fn uniform_micros(rng: &mut u64, lo: Duration, hi: Duration) -> Duration {
+    let lo_us = lo.as_micros().min(u128::from(u64::MAX)) as u64;
+    let hi_us = hi.as_micros().min(u128::from(u64::MAX)) as u64;
+    if hi_us <= lo_us {
+        return Duration::from_micros(lo_us);
+    }
+    let span = hi_us - lo_us + 1;
+    Duration::from_micros(lo_us + splitmix64(rng) % span)
+}
+
+/// Whether a retry loop should try `error` again.
+#[must_use]
+pub fn is_retryable(error: &ServiceError) -> bool {
+    matches!(error, ServiceError::QueueFull | ServiceError::Shed)
+}
+
+/// Runs `attempt` until it succeeds, fails non-retryably, or the policy's
+/// budget is exhausted; sleeps the decorrelated-jitter schedule between
+/// attempts on `clock`.
+///
+/// # Errors
+///
+/// The first non-retryable [`ServiceError`], or the last retryable one
+/// once the next sleep would cross the budget.
+pub fn retry_with<T>(
+    policy: &RetryPolicy,
+    clock: &mut impl RetryClock,
+    mut attempt: impl FnMut() -> Result<T, ServiceError>,
+) -> Result<T, ServiceError> {
+    let mut rng = policy.seed;
+    let mut previous = policy.base;
+    loop {
+        let error = match attempt() {
+            Ok(value) => return Ok(value),
+            Err(error) if is_retryable(&error) => error,
+            Err(error) => return Err(error),
+        };
+        // Decorrelated jitter: uniform over [base, 3 · previous], capped.
+        let delay = uniform_micros(&mut rng, policy.base, previous * 3).min(policy.cap);
+        if clock.elapsed() + delay > policy.budget {
+            return Err(error);
+        }
+        clock.sleep(delay);
+        previous = delay;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Virtual clock: sleeps advance it instantly and are recorded.
+    struct FakeClock {
+        now: Duration,
+        sleeps: Vec<Duration>,
+    }
+
+    impl FakeClock {
+        fn new() -> Self {
+            FakeClock {
+                now: Duration::ZERO,
+                sleeps: Vec::new(),
+            }
+        }
+    }
+
+    impl RetryClock for FakeClock {
+        fn elapsed(&self) -> Duration {
+            self.now
+        }
+
+        fn sleep(&mut self, delay: Duration) {
+            self.now += delay;
+            self.sleeps.push(delay);
+        }
+    }
+
+    fn policy() -> RetryPolicy {
+        RetryPolicy {
+            base: Duration::from_millis(1),
+            cap: Duration::from_millis(20),
+            budget: Duration::from_millis(100),
+            seed: 42,
+        }
+    }
+
+    #[test]
+    fn succeeds_after_transient_errors_with_jittered_sleeps() {
+        let mut clock = FakeClock::new();
+        let mut attempts = 0;
+        let result = retry_with(&policy(), &mut clock, || {
+            attempts += 1;
+            if attempts <= 3 {
+                Err(if attempts == 2 {
+                    ServiceError::Shed
+                } else {
+                    ServiceError::QueueFull
+                })
+            } else {
+                Ok(attempts)
+            }
+        });
+        assert_eq!(result, Ok(4));
+        assert_eq!(clock.sleeps.len(), 3);
+        for (i, sleep) in clock.sleeps.iter().enumerate() {
+            assert!(*sleep >= Duration::from_millis(1), "sleep {i} below base");
+            assert!(*sleep <= Duration::from_millis(20), "sleep {i} above cap");
+        }
+    }
+
+    #[test]
+    fn schedule_is_deterministic_per_seed() {
+        let run = |seed: u64| {
+            let mut clock = FakeClock::new();
+            let p = RetryPolicy { seed, ..policy() };
+            let _ = retry_with(&p, &mut clock, || -> Result<(), ServiceError> {
+                Err(ServiceError::QueueFull)
+            });
+            clock.sleeps
+        };
+        assert_eq!(run(7), run(7), "same seed, same schedule");
+        assert_ne!(run(7), run(8), "different seed, different jitter");
+    }
+
+    #[test]
+    fn budget_caps_the_loop_and_returns_the_last_error() {
+        let mut clock = FakeClock::new();
+        let mut attempts = 0u32;
+        let result = retry_with(&policy(), &mut clock, || -> Result<(), ServiceError> {
+            attempts += 1;
+            Err(ServiceError::Shed)
+        });
+        assert_eq!(result, Err(ServiceError::Shed));
+        assert!(attempts > 1, "must have retried");
+        assert!(
+            clock.now <= Duration::from_millis(100),
+            "sleeps never cross the budget"
+        );
+    }
+
+    #[test]
+    fn non_retryable_errors_fail_fast() {
+        let mut clock = FakeClock::new();
+        let mut attempts = 0u32;
+        let result = retry_with(&policy(), &mut clock, || -> Result<(), ServiceError> {
+            attempts += 1;
+            Err(ServiceError::Rejected("nope".into()))
+        });
+        assert_eq!(result, Err(ServiceError::Rejected("nope".into())));
+        assert_eq!(attempts, 1);
+        assert!(clock.sleeps.is_empty());
+    }
+
+    #[test]
+    fn retryability_matches_the_taxonomy() {
+        assert!(is_retryable(&ServiceError::QueueFull));
+        assert!(is_retryable(&ServiceError::Shed));
+        assert!(!is_retryable(&ServiceError::ShuttingDown));
+        assert!(!is_retryable(&ServiceError::DeadlineExceeded));
+        assert!(!is_retryable(&ServiceError::WorkerLost));
+        assert!(!is_retryable(&ServiceError::Internal {
+            payload: "boom".into()
+        }));
+    }
+}

@@ -1,24 +1,29 @@
 //! The optimization service: submission, scheduling, and the worker pool.
 
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc;
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use moqo_catalog::Catalog;
-use moqo_core::{select_best, Algorithm, Optimizer, PruneMode};
+use moqo_core::{select_best, Algorithm, BlockReport, Optimizer, PruneMode};
 use moqo_costmodel::CostModelParams;
 
 use crate::cache::{CacheKey, CacheLookup, CacheSnapshot, EntryStats, PlanCache};
+use crate::fault::{guarded_catch, FaultAction, FaultPlan};
 use crate::metrics::{AlgorithmKind, MetricsSnapshot, ServiceMetrics};
 use crate::policy::{
-    Admission, AlgorithmPolicy, DeadlineAwarePolicy, LearnedBlockTimes, PolicyContext,
+    Admission, AlgorithmPolicy, BrownoutConfig, BrownoutLevel, DeadlineAwarePolicy,
+    LearnedBlockTimes, PolicyContext,
 };
 use crate::queue::{BoundedQueue, PushError};
 use crate::request::{
     AlphaCertificate, BlockOutcome, BlockSource, OptimizationRequest, OptimizationResponse,
     ServiceError,
 };
+use crate::retry::{retry_with, RetryPolicy, SystemClock};
+use crate::supervisor::{Finding, Supervision, WorkerSlot};
 
 /// Tuning knobs of one [`OptimizationService`].
 #[derive(Debug, Clone)]
@@ -37,6 +42,15 @@ pub struct ServiceConfig {
     /// that refine the deadline split (default 0.2; `0.0` disables
     /// learning and the split trusts the policy's static model).
     pub ewma_smoothing: f64,
+    /// How often the supervisor scans worker heartbeats (default 5 ms).
+    pub supervisor_tick: Duration,
+    /// Heartbeat silence after which a running worker counts as wedged and
+    /// is replaced (default 5 s; `ZERO` disables stall detection — dead
+    /// workers are still respawned).
+    pub stall_after: Duration,
+    /// Brownout admission controller (disabled by default — see
+    /// [`BrownoutConfig`]).
+    pub brownout: BrownoutConfig,
     /// Cost-model parameters shared by every optimization.
     pub params: CostModelParams,
 }
@@ -49,6 +63,9 @@ impl Default for ServiceConfig {
             cache_capacity: 1024,
             cache_shards: 8,
             ewma_smoothing: 0.2,
+            supervisor_tick: Duration::from_millis(5),
+            stall_after: Duration::from_secs(5),
+            brownout: BrownoutConfig::default(),
             params: CostModelParams::default(),
         }
     }
@@ -59,6 +76,10 @@ type Responder = mpsc::Sender<Result<OptimizationResponse, ServiceError>>;
 struct Job {
     request: OptimizationRequest,
     submitted: Instant,
+    /// 0-based submission index; the key into the fault plan.
+    ordinal: u64,
+    /// Worker-side fault scheduled for this ordinal, if any.
+    fault: Option<FaultAction>,
     responder: Responder,
 }
 
@@ -71,6 +92,18 @@ struct ServiceInner {
     policy: Box<dyn AlgorithmPolicy>,
     /// Measured per-block-size wall times; refines the deadline split.
     learned: LearnedBlockTimes,
+    /// Worker registry + supervisor signalling.
+    supervision: Supervision,
+    /// Brownout admission controller config.
+    brownout: BrownoutConfig,
+    supervisor_tick: Duration,
+    stall_after: Duration,
+    /// Deterministic fault schedule, if chaos is enabled.
+    faults: Option<FaultPlan>,
+    /// Submission-order counter; assigns fault-plan ordinals.
+    ordinals: AtomicU64,
+    /// Pool size the supervisor restores towards (== shard count).
+    workers_target: usize,
 }
 
 impl ServiceInner {
@@ -118,6 +151,17 @@ impl ServiceInner {
         }
         Ok(())
     }
+
+    /// The brownout controller's verdict against the current queue-wait
+    /// pressure (`Normal` whenever the controller is disabled).
+    fn brownout_level(&self) -> BrownoutLevel {
+        match self.brownout.watermark {
+            Some(watermark) => self
+                .brownout
+                .assess(self.metrics.pressure_gauge().pressure(watermark)),
+            None => BrownoutLevel::Normal,
+        }
+    }
 }
 
 /// A handle to one outstanding request; blocks on [`Ticket::wait`].
@@ -131,7 +175,10 @@ impl Ticket {
     /// # Errors
     ///
     /// Propagates the worker's [`ServiceError`]; [`ServiceError::WorkerLost`]
-    /// if the service terminated with the request in flight.
+    /// if the service terminated with the request in flight. A worker
+    /// *panic* does not surface here as `WorkerLost`: the panic is caught
+    /// at the job boundary and delivered as [`ServiceError::Internal`]
+    /// with the payload.
     pub fn wait(self) -> Result<OptimizationResponse, ServiceError> {
         self.receiver
             .recv()
@@ -144,6 +191,7 @@ pub struct ServiceBuilder {
     catalog: Catalog,
     config: ServiceConfig,
     policy: Box<dyn AlgorithmPolicy>,
+    faults: Option<FaultPlan>,
 }
 
 impl ServiceBuilder {
@@ -154,6 +202,7 @@ impl ServiceBuilder {
             catalog,
             config: ServiceConfig::default(),
             policy: Box::new(DeadlineAwarePolicy::default()),
+            faults: None,
         }
     }
 
@@ -200,14 +249,38 @@ impl ServiceBuilder {
         self
     }
 
-    /// Replaces the cost-model parameters.
+    /// Sets the supervisor scan interval.
     #[must_use]
-    pub fn params(mut self, params: CostModelParams) -> Self {
-        self.config.params = params;
+    pub fn supervisor_tick(mut self, tick: Duration) -> Self {
+        self.config.supervisor_tick = tick;
         self
     }
 
-    /// Spawns the workers and returns the running service.
+    /// Sets the heartbeat-silence threshold for stall detection (`ZERO`
+    /// disables it).
+    #[must_use]
+    pub fn stall_after(mut self, stall_after: Duration) -> Self {
+        self.config.stall_after = stall_after;
+        self
+    }
+
+    /// Enables the brownout admission controller.
+    #[must_use]
+    pub fn brownout(mut self, brownout: BrownoutConfig) -> Self {
+        self.config.brownout = brownout;
+        self
+    }
+
+    /// Installs a deterministic fault plan (chaos testing; see
+    /// [`FaultPlan`]).
+    #[must_use]
+    pub fn faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = (!plan.is_empty()).then_some(plan);
+        self
+    }
+
+    /// Spawns the workers and the supervisor, and returns the running
+    /// service.
     #[must_use]
     pub fn build(self) -> OptimizationService {
         let workers = self.config.workers.max(1);
@@ -221,29 +294,38 @@ impl ServiceBuilder {
             metrics: ServiceMetrics::default(),
             policy: self.policy,
             learned: LearnedBlockTimes::new(self.config.ewma_smoothing),
+            supervision: Supervision::new(),
+            brownout: self.config.brownout,
+            supervisor_tick: self.config.supervisor_tick.max(Duration::from_micros(100)),
+            stall_after: self.config.stall_after,
+            faults: self.faults,
+            ordinals: AtomicU64::new(0),
+            workers_target: workers,
         });
-        let handles = (0..workers)
-            .map(|i| {
-                let inner = Arc::clone(&inner);
-                std::thread::Builder::new()
-                    .name(format!("moqo-worker-{i}"))
-                    .spawn(move || worker_loop(&inner, i))
-                    .expect("worker thread spawns")
-            })
-            .collect();
+        for shard in 0..workers {
+            spawn_worker(&inner, shard);
+        }
+        let supervisor = {
+            let inner = Arc::clone(&inner);
+            std::thread::Builder::new()
+                .name("moqo-supervisor".to_owned())
+                .spawn(move || supervisor_loop(&inner))
+                .expect("supervisor thread spawns")
+        };
         OptimizationService {
             inner,
-            workers: handles,
+            supervisor: Some(supervisor),
         }
     }
 }
 
 /// A concurrent optimization service over one catalog: bounded submission
-/// queue, std-thread worker pool, deadline-aware admission, and the α-aware
-/// plan cache. See the crate docs for the serving semantics.
+/// queue, std-thread worker pool under heartbeat supervision, deadline-aware
+/// admission with brownout load shedding, and the α-aware plan cache. See
+/// the crate docs for the serving semantics.
 pub struct OptimizationService {
     inner: Arc<ServiceInner>,
-    workers: Vec<JoinHandle<()>>,
+    supervisor: Option<JoinHandle<()>>,
 }
 
 impl OptimizationService {
@@ -266,7 +348,10 @@ impl OptimizationService {
     /// no algorithm could ever serve is rejected before it occupies a
     /// queue slot (and before its hopeless wait displaces feasible work).
     /// The per-block admission re-check at processing time still guards
-    /// against budget consumed by queue wait and earlier blocks. The
+    /// against budget consumed by queue wait and earlier blocks. When the
+    /// brownout controller is enabled and measured queue-wait pressure
+    /// stands at or above the shed threshold *while a backlog actually
+    /// exists*, the submission is shed before taking a queue slot. The
     /// whole submit path is lock-free — the capacity check, the shard
     /// insert and every metrics update are atomics.
     ///
@@ -274,18 +359,41 @@ impl OptimizationService {
     ///
     /// [`ServiceError::QueueFull`] under back-pressure,
     /// [`ServiceError::Rejected`] from the admission fast path,
+    /// [`ServiceError::Shed`] from the brownout valve,
     /// [`ServiceError::ShuttingDown`] after shutdown began.
     pub fn submit(&self, request: OptimizationRequest) -> Result<Ticket, ServiceError> {
+        // Ordinals are assigned to every submission — including ones that
+        // are then rejected or shed — so a fault plan keyed on submission
+        // order replays exactly.
+        let ordinal = self.inner.ordinals.fetch_add(1, Ordering::Relaxed);
         if let Some(deadline) = request.deadline {
             if let Err(error) = self.inner.admit_all_blocks(&request, deadline) {
                 self.inner.metrics.on_error(&error);
                 return Err(error);
             }
         }
+        // Shedding needs both signals: pressure says waits are long, the
+        // queue length says the backlog is real *now*. The length guard
+        // keeps a stale EWMA from shedding forever after load has drained.
+        if self.inner.brownout.watermark.is_some()
+            && self.inner.queue.len() >= self.inner.workers_target
+            && self.inner.brownout_level() == BrownoutLevel::Shed
+        {
+            let error = ServiceError::Shed;
+            self.inner.metrics.on_error(&error);
+            return Err(error);
+        }
+        let fault = self.inner.faults.as_ref().and_then(|plan| plan.at(ordinal));
+        if fault == Some(FaultAction::QueueFull) {
+            self.inner.metrics.on_queue_full();
+            return Err(ServiceError::QueueFull);
+        }
         let (tx, rx) = mpsc::channel();
         let job = Job {
             request,
             submitted: Instant::now(),
+            ordinal,
+            fault,
             responder: tx,
         };
         match self.inner.queue.try_push(job) {
@@ -313,6 +421,25 @@ impl OptimizationService {
         self.submit(request)?.wait()
     }
 
+    /// Submits with decorrelated-jitter retries on the transient errors
+    /// ([`ServiceError::QueueFull`], [`ServiceError::Shed`]) under the
+    /// policy's total sleep budget. Non-retryable errors return
+    /// immediately; the request is cloned per attempt.
+    ///
+    /// # Errors
+    ///
+    /// The first non-retryable [`ServiceError`], or the last retryable one
+    /// once the backoff budget is exhausted.
+    pub fn submit_with_retry(
+        &self,
+        request: &OptimizationRequest,
+        policy: &RetryPolicy,
+    ) -> Result<Ticket, ServiceError> {
+        retry_with(policy, &mut SystemClock::new(), || {
+            self.submit(request.clone())
+        })
+    }
+
     /// Metrics snapshot including cache counters.
     #[must_use]
     pub fn metrics(&self) -> MetricsSnapshot {
@@ -337,6 +464,14 @@ impl OptimizationService {
         self.inner.queue.len()
     }
 
+    /// Workers currently registered as live. Transiently below the
+    /// configured count while the supervisor replaces a dead or wedged
+    /// worker; it restores the pool within a few ticks.
+    #[must_use]
+    pub fn alive_workers(&self) -> usize {
+        self.inner.supervision.alive()
+    }
+
     /// The learned (EWMA) wall-time estimate for `block_size`-relation
     /// blocks, if any optimization of that size completed yet. `None`
     /// means the deadline split still trusts the policy's static model.
@@ -352,9 +487,26 @@ impl OptimizationService {
     }
 
     fn shutdown_in_place(&mut self) {
-        self.inner.queue.close();
-        for handle in self.workers.drain(..) {
+        // Stop the supervisor first so a worker exiting on queue close is
+        // not "helpfully" respawned mid-shutdown.
+        self.inner.supervision.begin_shutdown();
+        if let Some(handle) = self.supervisor.take() {
             let _ = handle.join();
+        }
+        self.inner.queue.close();
+        for handle in self.inner.supervision.take_handles() {
+            // A worker that died panicking delivers its payload through
+            // `join()`; it must be swallowed here — `Drop` propagating a
+            // worker's panic would abort an already-unwinding caller.
+            drop(handle.join());
+        }
+        // Backstop: if workers died without draining (e.g. every worker
+        // was killed by a fault plan), no ticket may hang forever — answer
+        // whatever is left. The queue is closed, so this terminates.
+        while let Some(job) = self.inner.queue.pop_blocking() {
+            let error = ServiceError::ShuttingDown;
+            self.inner.metrics.on_error(&error);
+            let _ = job.responder.send(Err(error));
         }
     }
 }
@@ -365,9 +517,69 @@ impl Drop for OptimizationService {
     }
 }
 
-fn worker_loop(inner: &ServiceInner, worker: usize) {
-    while let Some(job) = inner.queue.pop_blocking_from(worker) {
-        let result = process(inner, &job.request, job.submitted);
+/// Spawns one worker onto `shard` and registers it with the supervisor.
+/// Respawns reuse the shard (the dead worker's backlog keeps its consumer
+/// affinity) under a fresh generation number in the thread name.
+fn spawn_worker(inner: &Arc<ServiceInner>, shard: usize) {
+    let slot = Arc::new(WorkerSlot::default());
+    let generation = inner.supervision.next_generation();
+    let thread_inner = Arc::clone(inner);
+    let thread_slot = Arc::clone(&slot);
+    let handle = std::thread::Builder::new()
+        .name(format!("moqo-worker-{shard}-g{generation}"))
+        .spawn(move || worker_loop(&thread_inner, shard, &thread_slot))
+        .expect("worker thread spawns");
+    inner.supervision.register(shard, slot, handle);
+}
+
+/// The supervisor: parks on its tick, scans worker heartbeats, reaps the
+/// dead, abandons the wedged, and respawns replacements onto the same
+/// queue shard. Exits when shutdown begins.
+fn supervisor_loop(inner: &Arc<ServiceInner>) {
+    let mut last = Instant::now();
+    while !inner.supervision.is_shutting_down() {
+        inner.supervision.park(inner.supervisor_tick);
+        if inner.supervision.is_shutting_down() {
+            return;
+        }
+        let elapsed = last.elapsed();
+        last = Instant::now();
+        for finding in inner.supervision.scan(elapsed, inner.stall_after) {
+            let shard = match finding {
+                Finding::Dead { shard } => shard,
+                Finding::Stalled { shard } => {
+                    inner.metrics.on_stall();
+                    shard
+                }
+            };
+            inner.metrics.on_respawn();
+            spawn_worker(inner, shard);
+        }
+    }
+}
+
+fn worker_loop(inner: &ServiceInner, shard: usize, slot: &WorkerSlot) {
+    // The heartbeat fires inside the queue's wait loop too (at least once
+    // per park timeout), so an idle worker never looks wedged.
+    while let Some(job) = inner.queue.pop_blocking_from_with(shard, || slot.beat()) {
+        let mut die_after = false;
+        match job.fault {
+            Some(FaultAction::Delay(delay)) => std::thread::sleep(delay),
+            Some(FaultAction::KillWorker) => die_after = true,
+            _ => {}
+        }
+        let inject_panic = job.fault == Some(FaultAction::Panic);
+        let ordinal = job.ordinal;
+        // Panic isolation: anything the job does — injected faults and
+        // genuine optimizer bugs alike — is caught here, converted to
+        // `Internal` on the responder, and the worker keeps serving.
+        let result = guarded_catch(|| {
+            if inject_panic {
+                panic!("injected fault: panic at ordinal {ordinal}");
+            }
+            process(inner, &job.request, job.submitted)
+        })
+        .unwrap_or_else(|payload| Err(ServiceError::Internal { payload }));
         match &result {
             // Queue wait and processing time are recorded as separate
             // histogram series, both derived from the one submission
@@ -382,7 +594,15 @@ fn worker_loop(inner: &ServiceInner, worker: usize) {
         // A dropped ticket is fine; the work (and the cache fill) still
         // happened.
         let _ = job.responder.send(result);
+        if die_after {
+            // The injected death answers its request first (deterministic
+            // responses), then takes the thread down; the supervisor's
+            // next tick notices the exit flag and respawns onto the shard.
+            slot.mark_exited();
+            return;
+        }
     }
+    slot.mark_exited();
 }
 
 fn process(
@@ -397,6 +617,16 @@ fn process(
     // cache entries certified under a different mode are never served.
     let required_mode =
         PruneMode::auto(inner.params.enable_sampling, request.preference.objectives);
+    // Brownout verdict, sampled once per request: under pressure, computed
+    // blocks degrade onto the anytime search with a pressure-scaled sample
+    // budget. A request already past the shed gate degrades at the floor
+    // rather than failing. Explicit algorithm hints are honored as-is.
+    let brownout = match inner.brownout_level() {
+        BrownoutLevel::Shed => BrownoutLevel::Degrade {
+            samples: inner.brownout.min_samples,
+        },
+        level => level,
+    };
     let mut blocks = Vec::with_capacity(request.query.blocks.len());
 
     // Per-block deadline shares, proportional to the block cost estimate:
@@ -463,6 +693,13 @@ fn process(
                     },
                 },
                 achieved_alpha: alpha,
+                // Cache hits ran no optimizer; a synthetic report records
+                // what was served.
+                report: BlockReport {
+                    alpha_final: alpha,
+                    prune_mode: required_mode,
+                    ..BlockReport::default()
+                },
             });
             continue;
         }
@@ -484,6 +721,19 @@ fn process(
                 graph.n_rels()
             )));
         };
+        // Graceful degradation: under brownout the admitted algorithm is
+        // replaced by the anytime search at the pressure-scaled sample
+        // budget — shorter service time instead of failed requests. An
+        // explicit hint is a caller contract and is never overridden.
+        let (algorithm, downgraded, degraded) = match brownout {
+            BrownoutLevel::Degrade { samples } if request.hint.is_none() => {
+                (inner.brownout.degraded_algorithm(samples), true, true)
+            }
+            _ => (algorithm, downgraded, false),
+        };
+        if degraded {
+            inner.metrics.on_degraded_block();
+        }
 
         let mut optimizer = Optimizer::new(&inner.catalog).with_params(inner.params.clone());
         if let Some(rem) = remaining {
@@ -502,7 +752,7 @@ fn process(
             _ => (Vec::new(), None),
         };
         let optimize_started = Instant::now();
-        let (block, report) =
+        let (block, mut report) =
             optimizer.optimize_block_warm(graph, &request.preference, algorithm, &warm_trees);
         // Feed the measured wall time back into the deadline split's
         // estimate table (lock-free EWMA) — admission learns the machine
@@ -510,6 +760,10 @@ fn process(
         inner
             .learned
             .record(graph.n_rels(), optimize_started.elapsed());
+        // α-accounting stays honest about brownout: the report carries the
+        // degradation stamp, and `achieved_alpha` reflects the anytime
+        // search's lack of guarantee instead of the request's preference.
+        report.degraded_by_pressure = degraded;
         let achieved_alpha = if report.alpha_final.is_nan() {
             f64::INFINITY
         } else {
@@ -548,6 +802,7 @@ fn process(
             cost: block.cost,
             frontier: block.frontier,
             achieved_alpha,
+            report,
         });
     }
 

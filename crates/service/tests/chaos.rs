@@ -1,0 +1,277 @@
+//! Chaos acceptance tests: deterministic fault injection against the
+//! self-healing service spine. The headline trace panics 25% of 512
+//! requests and kills 2 of 4 workers mid-stream; every request must still
+//! be answered exactly once (success or `Internal` — never a hung
+//! `wait()`), the supervisor must restore the pool to 4, and the
+//! robustness counters must replay byte-stable.
+
+use std::time::{Duration, Instant};
+
+use moqo_catalog::Catalog;
+use moqo_cost::{Objective, ObjectiveSet, Preference};
+use moqo_service::{
+    BrownoutConfig, FaultPlan, OptimizationRequest, OptimizationService, RetryPolicy, ServiceError,
+};
+
+fn weighted_pref() -> Preference {
+    Preference::over(ObjectiveSet::empty())
+        .weight(Objective::TotalTime, 1.0)
+        .weight(Objective::BufferFootprint, 1e-6)
+}
+
+fn small_request(catalog: &Catalog) -> OptimizationRequest {
+    OptimizationRequest::new(moqo_tpch::query(catalog, 3), weighted_pref(), 2.0)
+}
+
+/// Polls `probe` until it returns true or `deadline` elapses.
+fn eventually(deadline: Duration, mut probe: impl FnMut() -> bool) -> bool {
+    let start = Instant::now();
+    while start.elapsed() < deadline {
+        if probe() {
+            return true;
+        }
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    probe()
+}
+
+/// The counters one chaos run must reproduce exactly.
+#[derive(Debug, PartialEq, Eq)]
+struct ChaosOutcome {
+    ok: u64,
+    internal: u64,
+    other: u64,
+    submitted: u64,
+    completed: u64,
+    failed: u64,
+    panics_total: u64,
+    shed: u64,
+    respawns: u64,
+}
+
+fn run_chaos_trace(catalog: &Catalog) -> ChaosOutcome {
+    const REQUESTS: u64 = 512;
+    const WORKERS: usize = 4;
+    // Panic on every 4th ordinal; kill the serving worker after ordinals
+    // 100 and 300 (both ≡ 0 mod 4 — the exact kill overrides the periodic
+    // panic, so the panic count is 128 - 2 = 126).
+    let plan = FaultPlan::builder()
+        .panic_every(4, 0)
+        .kill_worker_at(100)
+        .kill_worker_at(300)
+        .build();
+    let service = OptimizationService::builder(catalog.clone())
+        .workers(WORKERS)
+        .queue_capacity(REQUESTS as usize + WORKERS)
+        .supervisor_tick(Duration::from_millis(1))
+        .faults(plan)
+        .build();
+
+    let mut tickets = Vec::with_capacity(REQUESTS as usize);
+    for _ in 0..REQUESTS {
+        tickets.push(
+            service
+                .submit(small_request(catalog))
+                .expect("no deadline, spare capacity, brownout off: every submission is accepted"),
+        );
+    }
+    // Every ticket resolves: panics come back as `Internal`, worker deaths
+    // never strand a request (the supervisor refills the pool and the
+    // MPMC queue lets survivors steal the dead worker's backlog).
+    let (mut ok, mut internal, mut other) = (0u64, 0u64, 0u64);
+    for ticket in tickets {
+        match ticket.wait() {
+            Ok(_) => ok += 1,
+            Err(ServiceError::Internal { payload }) => {
+                assert!(
+                    payload.contains("injected fault"),
+                    "unexpected panic payload: {payload}"
+                );
+                internal += 1;
+            }
+            Err(error) => {
+                other += 1;
+                eprintln!("unexpected error: {error}");
+            }
+        }
+    }
+
+    // The supervisor restores the pool to its configured size.
+    assert!(
+        eventually(Duration::from_secs(10), || service.alive_workers()
+            == WORKERS
+            && service.metrics().respawns == 2),
+        "supervisor never restored the pool: alive={}, respawns={}",
+        service.alive_workers(),
+        service.metrics().respawns
+    );
+
+    let metrics = service.shutdown();
+    ChaosOutcome {
+        ok,
+        internal,
+        other,
+        submitted: metrics.submitted,
+        completed: metrics.completed,
+        failed: metrics.failed,
+        panics_total: metrics.panics_total,
+        shed: metrics.shed,
+        respawns: metrics.respawns,
+    }
+}
+
+#[test]
+fn chaos_trace_answers_every_request_and_heals_the_pool() {
+    let catalog = moqo_catalog::tpch::catalog(0.01);
+    let outcome = run_chaos_trace(&catalog);
+    // 128 ordinals ≡ 0 mod 4, minus the two exact kills that override the
+    // periodic panic rule.
+    assert_eq!(
+        outcome,
+        ChaosOutcome {
+            ok: 512 - 126,
+            internal: 126,
+            other: 0,
+            submitted: 512,
+            completed: 512 - 126,
+            failed: 126,
+            panics_total: 126,
+            shed: 0,
+            respawns: 2,
+        }
+    );
+}
+
+#[test]
+fn chaos_counters_replay_stable_across_runs() {
+    let catalog = moqo_catalog::tpch::catalog(0.01);
+    let first = run_chaos_trace(&catalog);
+    for run in 1..5 {
+        let again = run_chaos_trace(&catalog);
+        assert_eq!(again, first, "chaos run {run} diverged");
+    }
+}
+
+#[test]
+fn panic_isolation_keeps_a_single_worker_serving() {
+    let catalog = moqo_catalog::tpch::catalog(0.01);
+    let plan = FaultPlan::builder().panic_at(0).build();
+    let service = OptimizationService::builder(catalog.clone())
+        .workers(1)
+        .faults(plan)
+        .build();
+    let poisoned = service.submit_wait(small_request(&catalog));
+    match poisoned {
+        Err(ServiceError::Internal { payload }) => {
+            assert!(payload.contains("panic at ordinal 0"), "{payload}");
+        }
+        other => panic!("expected Internal, got {other:?}"),
+    }
+    // The same worker thread survived the panic and serves the next one.
+    let healthy = service.submit_wait(small_request(&catalog));
+    assert!(healthy.is_ok(), "{healthy:?}");
+    assert_eq!(service.alive_workers(), 1);
+    let metrics = service.shutdown();
+    assert_eq!(metrics.panics_total, 1);
+    assert_eq!(metrics.failed, 1);
+    assert_eq!(metrics.respawns, 0, "no thread died; nothing to respawn");
+}
+
+#[test]
+fn drop_with_dead_pool_answers_the_backlog_instead_of_hanging() {
+    let catalog = moqo_catalog::tpch::catalog(0.01);
+    // One worker, killed by its first job; a glacial supervisor tick so no
+    // replacement arrives before the drop — the queued backlog must be
+    // answered by the shutdown drain, not abandoned to hung `wait()`s.
+    let plan = FaultPlan::builder().kill_worker_at(0).build();
+    let service = OptimizationService::builder(catalog.clone())
+        .workers(1)
+        .supervisor_tick(Duration::from_secs(30))
+        .faults(plan)
+        .build();
+    let first = service.submit(small_request(&catalog)).unwrap();
+    // The kill answers its own request first, then takes the thread down.
+    assert!(first.wait().is_ok());
+    assert!(eventually(Duration::from_secs(5), || service
+        .alive_workers()
+        == 0));
+    let stranded: Vec<_> = (0..3)
+        .map(|_| service.submit(small_request(&catalog)).unwrap())
+        .collect();
+    drop(service);
+    for ticket in stranded {
+        assert!(matches!(ticket.wait(), Err(ServiceError::ShuttingDown)));
+    }
+}
+
+#[test]
+fn brownout_sheds_and_degrades_under_pressure() {
+    let catalog = moqo_catalog::tpch::catalog(0.01);
+    // Every job sleeps 10 ms before processing; the sleep counts as queue
+    // wait, so completed requests push the pressure EWMA far beyond the
+    // 1 µs watermark. With a single worker the backlog guard is easy to
+    // satisfy deterministically.
+    let plan = FaultPlan::parse("delay:10ms@*/1").unwrap();
+    let service = OptimizationService::builder(catalog.clone())
+        .workers(1)
+        .brownout(BrownoutConfig {
+            watermark: Some(Duration::from_micros(1)),
+            ..BrownoutConfig::default()
+        })
+        .faults(plan)
+        .build();
+    // Distinct queries so the backlog stays cache-miss work (cache hits
+    // never degrade — serving a certified front is already cheap).
+    let pool = [3u8, 6, 12, 14, 4, 3, 6, 12];
+    let tickets: Vec<_> = pool
+        .iter()
+        .map(|q| {
+            let request =
+                OptimizationRequest::new(moqo_tpch::query(&catalog, *q), weighted_pref(), 2.0);
+            service.submit(request).unwrap()
+        })
+        .collect();
+    // Wait until pressure is measured (a completion) while a real backlog
+    // still exists, then submit: the valve must shed.
+    assert!(
+        eventually(Duration::from_secs(10), || service.metrics().completed >= 1
+            && service.queued() >= 1),
+        "never reached the pressured-with-backlog state"
+    );
+    match service.submit(small_request(&catalog)) {
+        Err(ServiceError::Shed) => {}
+        Err(other) => panic!("expected Shed, got {other:?}"),
+        Ok(_) => panic!("expected Shed, got an accepted submission"),
+    }
+
+    let mut degraded_blocks_seen = 0;
+    for ticket in tickets {
+        if let Ok(response) = ticket.wait() {
+            for block in &response.blocks {
+                if block.report.degraded_by_pressure {
+                    degraded_blocks_seen += 1;
+                    assert!(
+                        block.achieved_alpha.is_infinite(),
+                        "a browned-out block must not claim a guarantee"
+                    );
+                }
+            }
+        }
+    }
+    // Shed is retryable, and with the backlog drained the valve reopens
+    // (the queue-length guard keeps a stale EWMA from shedding forever):
+    // a retrying submit goes straight through.
+    assert!(moqo_service::is_retryable(&ServiceError::Shed));
+    let retried = service
+        .submit_with_retry(&small_request(&catalog), &RetryPolicy::default())
+        .and_then(moqo_service::Ticket::wait);
+    assert!(retried.is_ok(), "{retried:?}");
+
+    let metrics = service.shutdown();
+    assert!(metrics.shed >= 1, "{:?}", metrics.shed);
+    assert!(
+        metrics.degraded_blocks >= 1 && degraded_blocks_seen >= 1,
+        "pressured cache-miss blocks should degrade: counter={}, seen={degraded_blocks_seen}",
+        metrics.degraded_blocks
+    );
+}

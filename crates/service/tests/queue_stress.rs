@@ -95,6 +95,94 @@ fn more_consumers_than_shards() {
     run_stress(2, 3, 6, 3_000);
 }
 
+/// A consumer dying mid-stream must not strand its shard's backlog: the
+/// survivors steal it and exactly-once delivery still holds. This is the
+/// queue-level half of the service's worker-death story (the supervisor
+/// respawn is the other half) — correctness must not depend on the
+/// replacement arriving.
+#[test]
+fn dead_consumer_shard_is_drained_by_survivors_exactly_once() {
+    let shards = 4;
+    let per_producer: u64 = 4_000;
+    let producers: u64 = 4;
+    let queue = BoundedQueue::with_shards(256, shards);
+    let accepted = AtomicU64::new(0);
+    let delivered: Mutex<Vec<u64>> = Mutex::new(Vec::new());
+
+    thread::scope(|s| {
+        for p in 0..producers {
+            let queue = &queue;
+            let accepted = &accepted;
+            s.spawn(move || {
+                for i in 0..per_producer {
+                    let item = p * per_producer + i;
+                    loop {
+                        match queue.try_push(item) {
+                            Ok(()) => {
+                                accepted.fetch_add(1, Ordering::Relaxed);
+                                break;
+                            }
+                            Err(PushError::Full) => thread::yield_now(),
+                            Err(PushError::Closed) => {
+                                panic!("queue closed while producers were live")
+                            }
+                        }
+                    }
+                }
+            });
+        }
+        // Consumer 0 "dies" early: it exits after a few hundred pops while
+        // its shard still has (and keeps receiving) items. No replacement
+        // is spawned — the other three must pick up the slack.
+        {
+            let queue = &queue;
+            let delivered = &delivered;
+            s.spawn(move || {
+                let mut local = Vec::new();
+                while local.len() < 300 {
+                    match queue.pop_blocking_from(0) {
+                        Some(item) => local.push(item),
+                        None => break,
+                    }
+                }
+                delivered.lock().unwrap().append(&mut local);
+            });
+        }
+        for c in 1..shards {
+            let queue = &queue;
+            let delivered = &delivered;
+            s.spawn(move || {
+                let mut local = Vec::new();
+                while let Some(item) = queue.pop_blocking_from(c) {
+                    local.push(item);
+                }
+                delivered.lock().unwrap().append(&mut local);
+            });
+        }
+        let queue = &queue;
+        let accepted = &accepted;
+        s.spawn(move || {
+            let total = producers * per_producer;
+            while accepted.load(Ordering::Relaxed) < total {
+                thread::yield_now();
+            }
+            queue.close();
+        });
+    });
+
+    let delivered = delivered.into_inner().unwrap();
+    let total = producers * per_producer;
+    assert_eq!(
+        delivered.len() as u64,
+        total,
+        "dead consumer stranded items: delivered {} of {total}",
+        delivered.len()
+    );
+    let unique: HashSet<u64> = delivered.iter().copied().collect();
+    assert_eq!(unique.len() as u64, total, "duplicate deliveries");
+    assert!(queue.is_empty());
+}
+
 #[test]
 fn full_is_the_only_preclose_failure_and_reports_backpressure() {
     let queue: BoundedQueue<u64> = BoundedQueue::with_shards(4, 2);
