@@ -22,6 +22,7 @@
 //! | `MOQO_SL_SEED` | 2024 | trace RNG seed |
 //! | `MOQO_SL_REPLAY` | unset | deterministic replay: `1` = one worker, submit-after-wait; `2` = two workers, warmed barrier pairs |
 //! | `MOQO_SL_FAULTS` | unset | deterministic fault plan (see [`FaultPlan::parse`] grammar) |
+//! | `MOQO_SL_TRACE` | unset | `1`: enable the flight recorder. Under replay 1 the trace checksum cells are emitted for `bench_diff`; under the free-running mode the whole trace is driven twice — untraced then traced — and the binary asserts the traced wall time stays within 5% (+0.5 s slack) of the untraced run |
 //!
 //! Under concurrency the *completion* results are deterministic but the
 //! cache hit/miss counters race (whichever worker reaches a cold key first
@@ -62,6 +63,7 @@ use moqo_core::Algorithm;
 use moqo_cost::{Objective, ObjectiveSet, Preference};
 use moqo_service::{
     FaultAction, FaultPlan, OptimizationRequest, OptimizationService, ServiceError, Ticket,
+    TraceConfig,
 };
 use moqo_tpch::{large_query_with, query, Topology};
 use rand::rngs::StdRng;
@@ -137,6 +139,85 @@ struct Outcomes {
     injected_full: u64,
 }
 
+/// Drives the trace against `service` under the given replay mode (see
+/// the module docs) and returns the observed outcomes plus the wall time
+/// of the submission loop. `chaos` tolerates the two fault-injected
+/// failure shapes (`Internal` responses, injected queue-full bounces).
+fn drive(
+    service: &OptimizationService,
+    pool: &[OptimizationRequest],
+    trace: &[usize],
+    replay: u32,
+    chaos: bool,
+) -> (Outcomes, Duration) {
+    let mut outcomes = Outcomes::default();
+    let settle =
+        |outcomes: &mut Outcomes,
+         result: Result<moqo_service::OptimizationResponse, ServiceError>| {
+            match result {
+                Ok(response) => {
+                    assert!(response.weighted_cost.is_finite());
+                    outcomes.completed += 1;
+                }
+                Err(ServiceError::Internal { .. }) if chaos => outcomes.internal += 1,
+                Err(error) => panic!("unexpected error in the trace: {error}"),
+            }
+        };
+    // Submission wrapper tolerating injected queue-full rejections (the
+    // only submit-time fault; the trace carries no deadlines and brownout
+    // is off).
+    let submit = |outcomes: &mut Outcomes, request: &OptimizationRequest| -> Option<Ticket> {
+        match service.submit(request.clone()) {
+            Ok(ticket) => Some(ticket),
+            Err(ServiceError::QueueFull) if chaos => {
+                outcomes.injected_full += 1;
+                None
+            }
+            Err(error) => panic!("unexpected submit failure: {error}"),
+        }
+    };
+
+    let started = Instant::now();
+    if replay == 1 {
+        // Submit-after-wait: exactly one request in flight, so every cache
+        // probe sees the deterministic state the trace prefix produced.
+        for &i in trace {
+            if let Some(ticket) = submit(&mut outcomes, &pool[i]) {
+                settle(&mut outcomes, ticket.wait());
+            }
+        }
+    } else if replay == 2 {
+        // Warm-up: touch every pool entry once, solo, driving each cache
+        // key to its fixed point (see module docs).
+        for request in pool {
+            if let Some(ticket) = submit(&mut outcomes, request) {
+                settle(&mut outcomes, ticket.wait());
+            }
+        }
+        // Barrier pairs: two requests genuinely in flight across the two
+        // workers, yet the counter deltas stay order-independent because
+        // every key's servability is already stable.
+        for pair in trace.chunks(2) {
+            let tickets: Vec<_> = pair
+                .iter()
+                .filter_map(|&i| submit(&mut outcomes, &pool[i]))
+                .collect();
+            for t in tickets {
+                settle(&mut outcomes, t.wait());
+            }
+        }
+    } else {
+        let tickets: Vec<_> = trace
+            .iter()
+            .filter_map(|&i| submit(&mut outcomes, &pool[i]))
+            .collect();
+        for t in tickets {
+            settle(&mut outcomes, t.wait());
+        }
+    }
+    (outcomes, started.elapsed())
+}
+
 fn main() {
     let smoke = std::env::var("MOQO_SMOKE").is_ok_and(|v| v != "0");
     let env_usize = |key: &str, default: usize| -> usize {
@@ -150,6 +231,7 @@ fn main() {
         .and_then(|s| s.trim().parse().ok())
         .unwrap_or(0);
     assert!(replay <= 2, "MOQO_SL_REPLAY must be 0, 1 or 2");
+    let trace_on = std::env::var("MOQO_SL_TRACE").is_ok_and(|v| v != "0");
     let requests = env_usize("MOQO_SL_REQUESTS", if smoke { 128 } else { 512 });
     let workers = match replay {
         1 => 1,
@@ -168,6 +250,15 @@ fn main() {
         .cache_capacity(256);
     if let Some(plan) = faults.clone() {
         builder = builder.faults(plan);
+    }
+    if trace_on {
+        // The logical clock makes the replay-mode event stream (and its
+        // checksum) byte-deterministic; free-running mode keeps wall-clock
+        // timestamps for real latency attribution.
+        builder = builder.tracing(TraceConfig {
+            logical_clock: replay > 0,
+            ..TraceConfig::default()
+        });
     }
     let service = builder.build();
     let pool = pool(&catalog, rmq_samples);
@@ -201,73 +292,40 @@ fn main() {
             }
         }
     }
-    let mut outcomes = Outcomes::default();
-    let settle =
-        |outcomes: &mut Outcomes,
-         result: Result<moqo_service::OptimizationResponse, ServiceError>| {
-            match result {
-                Ok(response) => {
-                    assert!(response.weighted_cost.is_finite());
-                    outcomes.completed += 1;
-                }
-                Err(ServiceError::Internal { .. }) if faults.is_some() => outcomes.internal += 1,
-                Err(error) => panic!("unexpected error in the trace: {error}"),
-            }
-        };
-    // Submission wrapper tolerating injected queue-full rejections (the
-    // only submit-time fault; the trace carries no deadlines and brownout
-    // is off).
-    let submit = |outcomes: &mut Outcomes, request: &OptimizationRequest| -> Option<Ticket> {
-        match service.submit(request.clone()) {
-            Ok(ticket) => Some(ticket),
-            Err(ServiceError::QueueFull) if faults.is_some() => {
-                outcomes.injected_full += 1;
-                None
-            }
-            Err(error) => panic!("unexpected submit failure: {error}"),
-        }
+    // In-binary tracing-overhead gate: the free-running (concurrent) trace
+    // is driven twice against two fresh services — untraced first, then
+    // traced — and the traced wall time must stay within 5% plus a fixed
+    // slack absorbing scheduler noise on short smoke runs. Replay modes
+    // skip the double run; their purpose is checksums, not throughput.
+    let untraced_wall = if trace_on && replay == 0 && faults.is_none() {
+        let untraced = OptimizationService::builder(catalog.clone())
+            .workers(workers)
+            .queue_capacity(requests.max(16))
+            .cache_capacity(256)
+            .build();
+        let (_, wall) = drive(&untraced, &pool, &trace, replay, false);
+        drop(untraced.shutdown());
+        Some(wall)
+    } else {
+        None
     };
 
-    let started = Instant::now();
-    if replay == 1 {
-        // Submit-after-wait: exactly one request in flight, so every cache
-        // probe sees the deterministic state the trace prefix produced.
-        for &i in &trace {
-            if let Some(ticket) = submit(&mut outcomes, &pool[i]) {
-                settle(&mut outcomes, ticket.wait());
-            }
-        }
-    } else if replay == 2 {
-        // Warm-up: touch every pool entry once, solo, driving each cache
-        // key to its fixed point (see module docs).
-        for request in &pool {
-            if let Some(ticket) = submit(&mut outcomes, request) {
-                settle(&mut outcomes, ticket.wait());
-            }
-        }
-        // Barrier pairs: two requests genuinely in flight across the two
-        // workers, yet the counter deltas stay order-independent because
-        // every key's servability is already stable.
-        for pair in trace.chunks(2) {
-            let tickets: Vec<_> = pair
-                .iter()
-                .filter_map(|&i| submit(&mut outcomes, &pool[i]))
-                .collect();
-            for t in tickets {
-                settle(&mut outcomes, t.wait());
-            }
-        }
-    } else {
-        let tickets: Vec<_> = trace
-            .iter()
-            .filter_map(|&i| submit(&mut outcomes, &pool[i]))
-            .collect();
-        for t in tickets {
-            settle(&mut outcomes, t.wait());
-        }
-    }
-    let wall = started.elapsed();
+    let (outcomes, wall) = drive(&service, &pool, &trace, replay, faults.is_some());
     let completed = outcomes.completed;
+
+    if let Some(baseline) = untraced_wall {
+        let limit = baseline.mul_f64(1.05) + Duration::from_millis(500);
+        println!(
+            "  trace overhead: untraced {:.1} ms vs traced {:.1} ms (limit {:.1} ms)",
+            baseline.as_secs_f64() * 1e3,
+            wall.as_secs_f64() * 1e3,
+            limit.as_secs_f64() * 1e3,
+        );
+        assert!(
+            wall <= limit,
+            "tracing overhead exceeded 5% (+0.5 s slack): untraced {baseline:?}, traced {wall:?}"
+        );
+    }
 
     // Chaos runs: wait for the supervisor to finish replacing every
     // injected worker death before snapshotting, so the respawn counter is
@@ -280,6 +338,9 @@ fn main() {
             std::thread::sleep(Duration::from_millis(2));
         }
     }
+    // Captured before shutdown (which consumes the service); only `Some`
+    // when `MOQO_SL_TRACE` enabled the recorder.
+    let trace_snapshot = service.trace_snapshot();
     let metrics = service.shutdown();
     let hit_ratio = metrics.cache.hit_ratio();
 
@@ -470,6 +531,37 @@ fn main() {
                 median_ms: value as f64,
                 checksum: value,
             });
+        }
+    }
+    if let Some(snapshot) = &trace_snapshot {
+        println!(
+            "  trace: {} events total ({} overwritten in the ring), {} error exemplars, \
+             stream checksum {:#018x}",
+            snapshot.events_total,
+            snapshot.dropped_events,
+            snapshot.error_exemplars.len(),
+            snapshot.stream_checksum,
+        );
+        if replay == 1 {
+            // Single-worker replay is the only mode where the *ordered*
+            // event stream is interleaving-free, so its checksum (and the
+            // event counts) are machine-independent integers bench_diff
+            // can gate byte-for-byte.
+            for (counter, value) in [
+                ("events_total", snapshot.events_total),
+                ("dropped_events", snapshot.dropped_events),
+                ("error_exemplars", snapshot.error_exemplars.len() as u64),
+                ("stream_checksum", snapshot.stream_checksum),
+            ] {
+                let mut params = base_params.clone();
+                params.push(("counter", counter.to_owned()));
+                cells.push(Cell {
+                    name: "service_trace_replay",
+                    params,
+                    median_ms: 0.0,
+                    checksum: value,
+                });
+            }
         }
     }
 

@@ -66,6 +66,38 @@ pub struct BlockReport {
 }
 
 impl BlockReport {
+    /// A deterministic FNV-1a digest over the report's *reproducible*
+    /// fields — everything except `elapsed`, which is wall-clock noise.
+    /// Two runs of the same block under the same algorithm, seed and
+    /// pruning mode produce the same digest, so a serving layer can embed
+    /// it in replay-checksummed trace events as a compact `DpStats`
+    /// summary.
+    #[must_use]
+    pub fn trace_digest(&self) -> u64 {
+        let mut acc = 0xCBF2_9CE4_8422_2325u64;
+        let mut fold = |value: u64| {
+            for byte in value.to_le_bytes() {
+                acc ^= u64::from(byte);
+                acc = acc.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+        };
+        fold(u64::from(self.timed_out));
+        fold(self.peak_memory_bytes as u64);
+        fold(self.pareto_last_complete as u64);
+        fold(self.max_group_size as u64);
+        fold(self.considered_plans);
+        fold(self.frontier_grid_hits);
+        fold(self.frontier_scan_probes);
+        fold(u64::from(self.iterations));
+        fold(self.alpha_final.to_bits());
+        fold(match self.prune_mode {
+            PruneMode::CostOnly => 0,
+            PruneMode::PropsAware => 1,
+        });
+        fold(u64::from(self.degraded_by_pressure));
+        acc
+    }
+
     /// Builds a report from DP statistics plus timing.
     #[must_use]
     pub fn from_stats(
@@ -176,6 +208,26 @@ mod tests {
         assert_eq!(report.pareto_last_complete(), 8);
         assert_eq!(report.iterations(), 4);
         assert_eq!(report.considered_plans(), 20);
+    }
+
+    #[test]
+    fn trace_digest_ignores_elapsed_only() {
+        let a = block(5, 100, 3, 1, false);
+        let slower = BlockReport {
+            elapsed: Duration::from_secs(9),
+            ..a.clone()
+        };
+        assert_eq!(a.trace_digest(), slower.trace_digest());
+        let different = BlockReport {
+            considered_plans: 11,
+            ..a.clone()
+        };
+        assert_ne!(a.trace_digest(), different.trace_digest());
+        let degraded = BlockReport {
+            degraded_by_pressure: true,
+            ..a
+        };
+        assert_ne!(a.trace_digest(), degraded.trace_digest());
     }
 
     #[test]

@@ -72,6 +72,9 @@ struct CacheEntry {
 
 struct Shard {
     map: HashMap<CacheKey, CacheEntry>,
+    /// Evictions out of this shard (under its own lock; the per-shard
+    /// view exposed by [`CacheSnapshot::per_shard`]).
+    evictions: u64,
 }
 
 /// Aggregate cache counters (monotonic; scraped by `ServiceMetrics`).
@@ -91,8 +94,17 @@ pub struct CacheCounters {
     pub evictions: AtomicU64,
 }
 
-/// Point-in-time snapshot of [`CacheCounters`] plus occupancy.
+/// Occupancy and evictions of one cache shard.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ShardCacheSnapshot {
+    /// Entries resident in this shard.
+    pub entries: usize,
+    /// Entries evicted out of this shard by LRU pressure.
+    pub evictions: u64,
+}
+
+/// Point-in-time snapshot of [`CacheCounters`] plus occupancy.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct CacheSnapshot {
     /// Direct serves.
     pub hits: u64,
@@ -106,6 +118,8 @@ pub struct CacheSnapshot {
     pub evictions: u64,
     /// Entries currently resident.
     pub entries: usize,
+    /// Per-shard occupancy and eviction totals, indexed by shard.
+    pub per_shard: Vec<ShardCacheSnapshot>,
 }
 
 impl CacheSnapshot {
@@ -187,6 +201,7 @@ impl PlanCache {
                 .map(|_| {
                     Mutex::new(Shard {
                         map: HashMap::new(),
+                        evictions: 0,
                     })
                 })
                 .collect(),
@@ -418,6 +433,7 @@ impl PlanCache {
                 .map(|(k, _)| *k)
                 .expect("non-empty shard has an LRU entry");
             shard.map.remove(&lru);
+            shard.evictions += 1;
             self.counters.evictions.fetch_add(1, Ordering::Relaxed);
         }
     }
@@ -444,16 +460,29 @@ impl PlanCache {
         self.len() == 0
     }
 
-    /// Counter + occupancy snapshot.
+    /// Counter + occupancy snapshot, including the per-shard view (one
+    /// short lock acquisition per shard).
     #[must_use]
     pub fn snapshot(&self) -> CacheSnapshot {
+        let per_shard: Vec<ShardCacheSnapshot> = self
+            .shards
+            .iter()
+            .map(|s| {
+                let shard = s.lock().expect("cache lock poisoned");
+                ShardCacheSnapshot {
+                    entries: shard.map.len(),
+                    evictions: shard.evictions,
+                }
+            })
+            .collect();
         CacheSnapshot {
             hits: self.counters.hits.load(Ordering::Relaxed),
             misses: self.counters.misses.load(Ordering::Relaxed),
             warm_starts: self.counters.warm_starts.load(Ordering::Relaxed),
             insertions: self.counters.insertions.load(Ordering::Relaxed),
             evictions: self.counters.evictions.load(Ordering::Relaxed),
-            entries: self.len(),
+            entries: per_shard.iter().map(|s| s.entries).sum(),
+            per_shard,
         }
     }
 }

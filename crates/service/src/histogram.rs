@@ -50,6 +50,10 @@ pub const BUCKETS: usize = SUB + (64 - SUB_BITS as usize) * SUB;
 pub struct LogHistogram {
     buckets: [AtomicU64; BUCKETS],
     count: AtomicU64,
+    /// Exact sum of every recorded value (µs): the Prometheus `_sum`
+    /// series — the exposition can report a true mean even though the
+    /// buckets are lossy.
+    sum_us: AtomicU64,
 }
 
 impl Default for LogHistogram {
@@ -57,6 +61,7 @@ impl Default for LogHistogram {
         LogHistogram {
             buckets: std::array::from_fn(|_| AtomicU64::new(0)),
             count: AtomicU64::new(0),
+            sum_us: AtomicU64::new(0),
         }
     }
 }
@@ -97,7 +102,7 @@ impl LogHistogram {
     }
 
     /// Records one duration (saturating at `u64::MAX` microseconds).
-    /// Wait-free: two relaxed `fetch_add`s, no lock, no allocation.
+    /// Wait-free: three relaxed `fetch_add`s, no lock, no allocation.
     pub fn record(&self, value: Duration) {
         self.record_us(u64::try_from(value.as_micros()).unwrap_or(u64::MAX));
     }
@@ -106,6 +111,7 @@ impl LogHistogram {
     pub fn record_us(&self, us: u64) {
         self.buckets[bucket_index(us)].fetch_add(1, Ordering::Relaxed);
         self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum_us.fetch_add(us, Ordering::Relaxed);
     }
 
     /// Number of recorded values.
@@ -121,6 +127,7 @@ impl LogHistogram {
     pub fn snapshot(&self) -> HistogramSnapshot {
         HistogramSnapshot {
             buckets: std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed)),
+            sum_us: self.sum_us.load(Ordering::Relaxed),
         }
     }
 
@@ -136,6 +143,7 @@ impl LogHistogram {
 /// An owned copy of the bucket counters (see [`LogHistogram::snapshot`]).
 pub struct HistogramSnapshot {
     buckets: [u64; BUCKETS],
+    sum_us: u64,
 }
 
 impl HistogramSnapshot {
@@ -143,6 +151,25 @@ impl HistogramSnapshot {
     #[must_use]
     pub fn count(&self) -> u64 {
         self.buckets.iter().sum()
+    }
+
+    /// Exact sum of every recorded value, in microseconds (the
+    /// Prometheus `_sum` series).
+    #[must_use]
+    pub fn sum_us(&self) -> u64 {
+        self.sum_us
+    }
+
+    /// Cumulative bucket view in ascending value order: each item is the
+    /// bucket's inclusive upper bound (µs; `u64::MAX` for the top bucket)
+    /// and the count of values at or below it — exactly the shape of a
+    /// Prometheus `_bucket{le=...}` series.
+    pub fn cumulative_buckets(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        let mut cumulative = 0u64;
+        self.buckets.iter().enumerate().map(move |(i, &c)| {
+            cumulative += c;
+            (bucket_range(i).1, cumulative)
+        })
     }
 
     /// The `p`-quantile (`0.0 ≤ p ≤ 1.0`) as the lower bound of the bucket
@@ -260,6 +287,28 @@ mod tests {
         let h = LogHistogram::new();
         assert_eq!(h.snapshot().quantile(0.99), Duration::ZERO);
         assert_eq!(h.count(), 0);
+        assert_eq!(h.snapshot().sum_us(), 0);
+    }
+
+    #[test]
+    fn sum_is_exact_and_cumulative_buckets_partition() {
+        let h = LogHistogram::new();
+        for us in [3u64, 9, 1_000, 1_000_000] {
+            h.record_us(us);
+        }
+        let snap = h.snapshot();
+        assert_eq!(snap.sum_us(), 3 + 9 + 1_000 + 1_000_000);
+        let series: Vec<(u64, u64)> = snap.cumulative_buckets().collect();
+        assert_eq!(series.len(), BUCKETS);
+        // Upper bounds strictly ascend; the cumulative count never drops
+        // and ends at the total.
+        assert!(series
+            .windows(2)
+            .all(|w| w[0].0 < w[1].0 && w[0].1 <= w[1].1));
+        assert_eq!(series.last().unwrap(), &(u64::MAX, 4));
+        // A value is counted at (and beyond) its own bucket's bound.
+        let at_9 = series.iter().find(|(hi, _)| *hi >= 9).unwrap();
+        assert!(at_9.1 >= 2, "3 and 9 both at or below {at_9:?}");
     }
 
     #[test]

@@ -56,6 +56,16 @@
 //!   rejections and worker kills keyed on exact submission ordinals (or
 //!   the `MOQO_SL_FAULTS` env grammar), so fault runs replay byte-stable
 //!   and CI can gate the robustness counters.
+//! * **End-to-end tracing** ([`ServiceBuilder::tracing`]) — a lock-free
+//!   flight recorder ([`TraceConfig`]): per-worker bounded seqlock rings
+//!   of fixed-size span events covering the whole request lifecycle
+//!   (submit/admission, enqueue, queue wait, cache probes, per-block
+//!   optimize with algorithm + achieved α + report digest, faults, panics,
+//!   kills, completion), tail-based exemplar retention (every error-class
+//!   trace plus the rolling slowest-k), a JSON [`TraceSnapshot`] dump and
+//!   a Prometheus-style text exposition ([`render_prometheus`]) over the
+//!   entire metrics surface. Under a logical clock the event stream is
+//!   byte-deterministic and checksum-gateable in CI.
 //!
 //! Everything is std-only — no async runtime — and deterministic under a
 //! test configuration (one worker, fixed RMQ seed, no deadlines).
@@ -96,6 +106,7 @@
 #![warn(missing_docs)]
 
 mod cache;
+mod export;
 mod fault;
 mod histogram;
 mod metrics;
@@ -105,8 +116,10 @@ mod request;
 mod retry;
 mod service;
 mod supervisor;
+mod trace;
 
-pub use cache::{CacheKey, CacheLookup, CacheSnapshot, EntryStats, PlanCache};
+pub use cache::{CacheKey, CacheLookup, CacheSnapshot, EntryStats, PlanCache, ShardCacheSnapshot};
+pub use export::{render_prometheus, TraceSnapshot};
 pub use fault::{FaultAction, FaultPlan, FaultPlanBuilder};
 pub use histogram::{HistogramSnapshot, LogHistogram, BUCKETS as HISTOGRAM_BUCKETS};
 pub use metrics::{AlgorithmKind, MetricsSnapshot, PressureGauge, ServiceMetrics};
@@ -121,3 +134,7 @@ pub use request::{
 };
 pub use retry::{is_retryable, retry_with, RetryClock, RetryPolicy, SystemClock};
 pub use service::{OptimizationService, ServiceBuilder, ServiceConfig, Ticket};
+pub use trace::{
+    commutative_checksum, error_code, stream_checksum, EventKind, Exemplar, ExemplarClass,
+    TraceConfig, TraceEvent, TraceStats,
+};

@@ -55,6 +55,37 @@ impl AlgorithmKind {
             AlgorithmKind::CacheServe => 4,
         }
     }
+
+    /// Stable wire code, packed into trace events.
+    #[must_use]
+    pub fn as_u8(self) -> u8 {
+        u8::try_from(self.index()).expect("five kinds fit a byte")
+    }
+
+    /// Decodes [`AlgorithmKind::as_u8`]; `None` for garbage.
+    #[must_use]
+    pub fn from_u8(code: u8) -> Option<Self> {
+        Some(match code {
+            0 => AlgorithmKind::Exa,
+            1 => AlgorithmKind::Rta,
+            2 => AlgorithmKind::Ira,
+            3 => AlgorithmKind::Rmq,
+            4 => AlgorithmKind::CacheServe,
+            _ => return None,
+        })
+    }
+
+    /// Stable lower-case name for export surfaces.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            AlgorithmKind::Exa => "exa",
+            AlgorithmKind::Rta => "rta",
+            AlgorithmKind::Ira => "ira",
+            AlgorithmKind::Rmq => "rmq",
+            AlgorithmKind::CacheServe => "cached",
+        }
+    }
 }
 
 /// Live counters; cheap to update from every worker, safe to share via
@@ -175,6 +206,25 @@ impl ServiceMetrics {
         &self.pressure
     }
 
+    /// Point-in-time copy of the end-to-end latency histogram (for the
+    /// Prometheus cumulative-bucket exposition).
+    #[must_use]
+    pub fn latency_snapshot(&self) -> crate::histogram::HistogramSnapshot {
+        self.latency.snapshot()
+    }
+
+    /// Point-in-time copy of the queue-wait histogram.
+    #[must_use]
+    pub fn queue_wait_snapshot(&self) -> crate::histogram::HistogramSnapshot {
+        self.queue_wait.snapshot()
+    }
+
+    /// Point-in-time copy of the processing-time histogram.
+    #[must_use]
+    pub fn service_time_snapshot(&self) -> crate::histogram::HistogramSnapshot {
+        self.service_time.snapshot()
+    }
+
     /// Counts one optimized (or cache-served) block.
     pub fn on_block(&self, kind: AlgorithmKind, downgraded: bool) {
         self.algo_blocks[kind.index()].fetch_add(1, Ordering::Relaxed);
@@ -205,7 +255,7 @@ impl ServiceMetrics {
     /// reports its live rate instead of a lifetime average diluted by
     /// idle uptime.
     #[must_use]
-    pub fn snapshot(&self, cache: CacheSnapshot) -> MetricsSnapshot {
+    pub fn snapshot(&self, cache: CacheSnapshot, alive_workers: usize) -> MetricsSnapshot {
         let latency = self.latency.snapshot();
         let queue_wait = self.queue_wait.snapshot();
         let service_time = self.service_time.snapshot();
@@ -266,6 +316,8 @@ impl ServiceMetrics {
             blocks_ira: self.algo_blocks[2].load(Ordering::Relaxed),
             blocks_rmq: self.algo_blocks[3].load(Ordering::Relaxed),
             blocks_cached: self.algo_blocks[4].load(Ordering::Relaxed),
+            pressure: self.pressure.current(),
+            alive_workers,
             cache,
         }
     }
@@ -277,7 +329,7 @@ impl ServiceMetrics {
 /// bound of the histogram bucket containing the exact order statistic, so
 /// it never exceeds the true percentile and undershoots by at most 12.5%
 /// (one bucket; exact below 8 µs) — see [`crate::histogram`].
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct MetricsSnapshot {
     /// Time since the service started.
     pub uptime: Duration,
@@ -344,7 +396,13 @@ pub struct MetricsSnapshot {
     pub blocks_rmq: u64,
     /// Blocks served straight from the plan cache.
     pub blocks_cached: u64,
-    /// Plan-cache counters.
+    /// Live [`PressureGauge`] value — the EWMA of recent queue waits the
+    /// brownout controller reads — `None` before the first completion.
+    pub pressure: Option<Duration>,
+    /// Workers registered as live at snapshot time (transiently below the
+    /// configured count while the supervisor replaces one).
+    pub alive_workers: usize,
+    /// Plan-cache counters, including the per-shard view.
     pub cache: CacheSnapshot,
 }
 
@@ -440,7 +498,7 @@ mod tests {
         for ms in 1..=100u64 {
             m.on_completed(Duration::ZERO, Duration::from_millis(ms));
         }
-        let snap = m.snapshot(CacheSnapshot::default());
+        let snap = m.snapshot(CacheSnapshot::default(), 0);
         assert_eq!(snap.completed, 100);
         // Log-bucket quantiles: within one bucket below the exact answer.
         for (got, exact_ms) in [(snap.p50, 51u64), (snap.p95, 95), (snap.p99, 99)] {
@@ -462,7 +520,7 @@ mod tests {
     #[test]
     fn empty_metrics_are_zero() {
         let m = ServiceMetrics::default();
-        let snap = m.snapshot(CacheSnapshot::default());
+        let snap = m.snapshot(CacheSnapshot::default(), 0);
         assert_eq!(snap.p50, Duration::ZERO);
         assert_eq!(snap.completed, 0);
         assert_eq!(snap.errors_total(), 0);
@@ -474,7 +532,7 @@ mod tests {
         m.on_block(AlgorithmKind::Exa, false);
         m.on_block(AlgorithmKind::Rmq, true);
         m.on_block(AlgorithmKind::CacheServe, false);
-        let snap = m.snapshot(CacheSnapshot::default());
+        let snap = m.snapshot(CacheSnapshot::default(), 0);
         assert_eq!(snap.blocks_exa, 1);
         assert_eq!(snap.blocks_rmq, 1);
         assert_eq!(snap.blocks_cached, 1);
@@ -489,10 +547,8 @@ mod tests {
         m.on_error(&ServiceError::DeadlineExceeded);
         m.on_error(&ServiceError::WorkerLost);
         m.on_error(&ServiceError::Shed);
-        m.on_error(&ServiceError::Internal {
-            payload: "boom".into(),
-        });
-        let snap = m.snapshot(CacheSnapshot::default());
+        m.on_error(&ServiceError::internal("boom".into()));
+        let snap = m.snapshot(CacheSnapshot::default(), 0);
         assert_eq!(snap.rejected, 1);
         assert_eq!(snap.timed_out, 2);
         assert_eq!(snap.failed, 2, "WorkerLost and Internal both fail");
@@ -508,7 +564,7 @@ mod tests {
         m.on_respawn();
         m.on_stall();
         m.on_degraded_block();
-        let snap = m.snapshot(CacheSnapshot::default());
+        let snap = m.snapshot(CacheSnapshot::default(), 0);
         assert_eq!(snap.respawns, 2);
         assert_eq!(snap.stalls_detected, 1);
         assert_eq!(snap.degraded_blocks, 1);
@@ -518,13 +574,13 @@ mod tests {
     fn back_to_back_snapshots_never_report_absurd_throughput() {
         let m = ServiceMetrics::default();
         std::thread::sleep(Duration::from_millis(2));
-        let _ = m.snapshot(CacheSnapshot::default());
+        let _ = m.snapshot(CacheSnapshot::default(), 0);
         // One completion, then an immediate snapshot: the old swap-based
         // window could divide 1 completion by a microsecond-scale window
         // and report ~1M rps. The clamped denominator bounds the rate to
         // completions-per-minimum-window.
         m.on_completed(Duration::ZERO, Duration::from_micros(5));
-        let spike = m.snapshot(CacheSnapshot::default());
+        let spike = m.snapshot(CacheSnapshot::default(), 0);
         assert!(
             spike.throughput_rps <= 1_000.0,
             "1 completion in a sub-ms window must cap at 1/1ms = 1000 rps, \
@@ -534,7 +590,7 @@ mod tests {
         // The short window stayed open: once it is long enough, the same
         // completion still closes a window (not lost to the guard).
         std::thread::sleep(Duration::from_millis(2));
-        let settled = m.snapshot(CacheSnapshot::default());
+        let settled = m.snapshot(CacheSnapshot::default(), 0);
         assert!(settled.throughput_rps > 0.0);
     }
 
@@ -562,12 +618,12 @@ mod tests {
             m.on_completed(Duration::ZERO, Duration::from_micros(10));
         }
         std::thread::sleep(Duration::from_millis(5));
-        let first = m.snapshot(CacheSnapshot::default());
+        let first = m.snapshot(CacheSnapshot::default(), 0);
         assert!(first.throughput_rps > 0.0, "first window covers startup");
         // An idle window right after: the live rate drops to ~0 instead of
         // reporting the diluted lifetime average.
         std::thread::sleep(Duration::from_millis(5));
-        let second = m.snapshot(CacheSnapshot::default());
+        let second = m.snapshot(CacheSnapshot::default(), 0);
         assert!(
             second.throughput_rps < first.throughput_rps / 2.0,
             "idle window must not inherit lifetime throughput \
@@ -592,7 +648,7 @@ mod tests {
             (0..5)
                 .map(|_| {
                     let started = Instant::now();
-                    let snap = m.snapshot(CacheSnapshot::default());
+                    let snap = m.snapshot(CacheSnapshot::default(), 0);
                     assert_eq!(snap.completed, recordings);
                     started.elapsed()
                 })

@@ -43,6 +43,18 @@ pub enum Admission {
     Reject,
 }
 
+impl Admission {
+    /// The admitted algorithm, `None` on a rejection — the shape trace
+    /// events and admission fast paths branch on.
+    #[must_use]
+    pub fn admitted_algorithm(&self) -> Option<Algorithm> {
+        match self {
+            Admission::Run { algorithm, .. } => Some(*algorithm),
+            Admission::Reject => None,
+        }
+    }
+}
+
 /// Pluggable admission policy. Implementations must be callable from every
 /// worker thread.
 pub trait AlgorithmPolicy: Send + Sync {

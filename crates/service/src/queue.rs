@@ -238,21 +238,24 @@ impl<T> BoundedQueue<T> {
         self.shared.shards.len()
     }
 
-    /// Non-blocking, lock-free push; fails on a full or closed queue.
+    /// Non-blocking, lock-free push; fails on a full or closed queue. A
+    /// failed push hands the item back alongside the error — the caller
+    /// keeps whatever state rides inside it (e.g. a request's trace span)
+    /// instead of losing it to the rejected queue.
     ///
     /// # Errors
     ///
     /// [`PushError::Full`] at capacity, [`PushError::Closed`] after
-    /// [`BoundedQueue::close`].
-    pub fn try_push(&self, item: T) -> Result<(), PushError> {
+    /// [`BoundedQueue::close`]; both return the item.
+    pub fn try_push(&self, item: T) -> Result<(), (PushError, T)> {
         let shared = &*self.shared;
         if shared.closed.load(Ordering::Acquire) {
-            return Err(PushError::Closed);
+            return Err((PushError::Closed, item));
         }
         // Reserve capacity before touching a ring; back out on overflow.
         if shared.len.fetch_add(1, Ordering::AcqRel) >= shared.capacity {
             shared.len.fetch_sub(1, Ordering::AcqRel);
-            return Err(PushError::Full);
+            return Err((PushError::Full, item));
         }
         let shard = shared.next_shard.fetch_add(1, Ordering::Relaxed) % shared.shards.len();
         shared.shards[shard]
@@ -367,7 +370,7 @@ mod tests {
         let q = BoundedQueue::new(2);
         q.try_push(1).unwrap();
         q.try_push(2).unwrap();
-        assert_eq!(q.try_push(3), Err(PushError::Full));
+        assert_eq!(q.try_push(3), Err((PushError::Full, 3)));
         assert_eq!(q.pop_blocking(), Some(1));
         assert_eq!(q.pop_blocking(), Some(2));
         assert!(q.is_empty());
@@ -378,7 +381,7 @@ mod tests {
         let q = BoundedQueue::new(4);
         q.try_push(7).unwrap();
         q.close();
-        assert_eq!(q.try_push(8), Err(PushError::Closed));
+        assert_eq!(q.try_push(8), Err((PushError::Closed, 8)));
         assert_eq!(q.pop_blocking(), Some(7));
         assert_eq!(q.pop_blocking(), None);
     }
@@ -425,7 +428,7 @@ mod tests {
                 })
                 .collect();
             for v in 1..=32usize {
-                while q.try_push(v) == Err(PushError::Full) {
+                while q.try_push(v) == Err((PushError::Full, v)) {
                     std::thread::yield_now();
                 }
             }

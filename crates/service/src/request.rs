@@ -244,12 +244,40 @@ pub enum ServiceError {
     /// the job boundary, the worker survived, and the payload is delivered
     /// here instead of killing the thread (and, transitively, the pool).
     Internal {
-        /// The panic payload, rendered to a string.
+        /// The panic payload, rendered to a string and capped at
+        /// [`ServiceError::MAX_INTERNAL_PAYLOAD`] bytes — a pathological
+        /// panic message cannot bloat responders or trace events.
         payload: String,
+        /// Whether `payload` was truncated to fit the byte budget.
+        payload_truncated: bool,
     },
     /// The worker processing the request disappeared (service dropped
     /// while the ticket was outstanding).
     WorkerLost,
+}
+
+impl ServiceError {
+    /// Byte budget for [`ServiceError::Internal`] panic payloads.
+    pub const MAX_INTERNAL_PAYLOAD: usize = 512;
+
+    /// Builds an [`ServiceError::Internal`] from a caught panic payload,
+    /// truncating it to [`ServiceError::MAX_INTERNAL_PAYLOAD`] bytes (on
+    /// a character boundary) and flagging the cut.
+    #[must_use]
+    pub fn internal(mut payload: String) -> Self {
+        let payload_truncated = payload.len() > Self::MAX_INTERNAL_PAYLOAD;
+        if payload_truncated {
+            let mut cut = Self::MAX_INTERNAL_PAYLOAD;
+            while !payload.is_char_boundary(cut) {
+                cut -= 1;
+            }
+            payload.truncate(cut);
+        }
+        ServiceError::Internal {
+            payload,
+            payload_truncated,
+        }
+    }
 }
 
 impl std::fmt::Display for ServiceError {
@@ -267,8 +295,12 @@ impl std::fmt::Display for ServiceError {
                     "request shed: queue-wait pressure above the brownout watermark"
                 )
             }
-            ServiceError::Internal { payload } => {
-                write!(f, "internal error: worker panicked: {payload}")
+            ServiceError::Internal {
+                payload,
+                payload_truncated,
+            } => {
+                let marker = if *payload_truncated { "…" } else { "" };
+                write!(f, "internal error: worker panicked: {payload}{marker}")
             }
             ServiceError::WorkerLost => write!(f, "worker terminated before responding"),
         }
@@ -280,6 +312,39 @@ impl std::error::Error for ServiceError {}
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn internal_payloads_are_capped_at_the_byte_budget() {
+        let short = ServiceError::internal("boom".into());
+        assert_eq!(
+            short,
+            ServiceError::Internal {
+                payload: "boom".into(),
+                payload_truncated: false,
+            }
+        );
+        assert!(!short.to_string().ends_with('…'));
+
+        let long = ServiceError::internal("x".repeat(100_000));
+        let ServiceError::Internal {
+            payload,
+            payload_truncated,
+        } = &long
+        else {
+            panic!("expected Internal");
+        };
+        assert_eq!(payload.len(), ServiceError::MAX_INTERNAL_PAYLOAD);
+        assert!(payload_truncated);
+        assert!(long.to_string().ends_with('…'));
+
+        // The cut lands on a char boundary even for multi-byte payloads.
+        let multibyte = ServiceError::internal("é".repeat(400));
+        let ServiceError::Internal { payload, .. } = &multibyte else {
+            panic!("expected Internal");
+        };
+        assert!(payload.len() <= ServiceError::MAX_INTERNAL_PAYLOAD);
+        assert!(payload.chars().all(|c| c == 'é'));
+    }
 
     #[test]
     fn certificate_rules() {

@@ -256,8 +256,6 @@ mod tests {
         assert!(!is_retryable(&ServiceError::ShuttingDown));
         assert!(!is_retryable(&ServiceError::DeadlineExceeded));
         assert!(!is_retryable(&ServiceError::WorkerLost));
-        assert!(!is_retryable(&ServiceError::Internal {
-            payload: "boom".into()
-        }));
+        assert!(!is_retryable(&ServiceError::internal("boom".into())));
     }
 }

@@ -11,6 +11,7 @@ use moqo_core::{select_best, Algorithm, BlockReport, Optimizer, PruneMode};
 use moqo_costmodel::CostModelParams;
 
 use crate::cache::{CacheKey, CacheLookup, CacheSnapshot, EntryStats, PlanCache};
+use crate::export::{render_prometheus, TraceSnapshot};
 use crate::fault::{guarded_catch, FaultAction, FaultPlan};
 use crate::metrics::{AlgorithmKind, MetricsSnapshot, ServiceMetrics};
 use crate::policy::{
@@ -24,6 +25,9 @@ use crate::request::{
 };
 use crate::retry::{retry_with, RetryPolicy, SystemClock};
 use crate::supervisor::{Finding, Supervision, WorkerSlot};
+use crate::trace::{
+    error_code, EventKind, FlightRecorder, RequestTrace, SpanCollector, TraceConfig, TraceStats,
+};
 
 /// Tuning knobs of one [`OptimizationService`].
 #[derive(Debug, Clone)]
@@ -76,10 +80,15 @@ type Responder = mpsc::Sender<Result<OptimizationResponse, ServiceError>>;
 struct Job {
     request: OptimizationRequest,
     submitted: Instant,
-    /// 0-based submission index; the key into the fault plan.
+    /// 0-based submission index; the key into the fault plan — and, when
+    /// tracing is on, the request's trace id.
     ordinal: u64,
     /// Worker-side fault scheduled for this ordinal, if any.
     fault: Option<FaultAction>,
+    /// The request's span collector, when the flight recorder is on: the
+    /// submit-path events ride through the queue with the job so the
+    /// worker appends to the same trace.
+    span: Option<SpanCollector>,
     responder: Responder,
 }
 
@@ -104,6 +113,10 @@ struct ServiceInner {
     ordinals: AtomicU64,
     /// Pool size the supervisor restores towards (== shard count).
     workers_target: usize,
+    /// The flight recorder, when tracing is enabled (see
+    /// [`ServiceBuilder::tracing`]); `None` keeps every request path
+    /// byte-identical to the untraced service.
+    recorder: Option<FlightRecorder>,
 }
 
 impl ServiceInner {
@@ -142,7 +155,7 @@ impl ServiceInner {
                 remaining: Some(share),
                 hint: request.hint,
             });
-            if decision == Admission::Reject {
+            if decision.admitted_algorithm().is_none() {
                 return Err(ServiceError::Rejected(format!(
                     "deadline budget {share:?} admits no algorithm for a {}-relation block",
                     graph.n_rels()
@@ -192,6 +205,7 @@ pub struct ServiceBuilder {
     config: ServiceConfig,
     policy: Box<dyn AlgorithmPolicy>,
     faults: Option<FaultPlan>,
+    tracing: Option<TraceConfig>,
 }
 
 impl ServiceBuilder {
@@ -203,6 +217,7 @@ impl ServiceBuilder {
             config: ServiceConfig::default(),
             policy: Box::new(DeadlineAwarePolicy::default()),
             faults: None,
+            tracing: None,
         }
     }
 
@@ -279,6 +294,18 @@ impl ServiceBuilder {
         self
     }
 
+    /// Enables the flight recorder (see [`TraceConfig`]): per-worker
+    /// event rings, span-structured lifecycle events, and tail-based
+    /// exemplar retention, all exportable through
+    /// [`OptimizationService::trace_snapshot`]. Tracing is off by
+    /// default; the untraced service records nothing and behaves
+    /// byte-identically to builds before the recorder existed.
+    #[must_use]
+    pub fn tracing(mut self, config: TraceConfig) -> Self {
+        self.tracing = Some(config);
+        self
+    }
+
     /// Spawns the workers and the supervisor, and returns the running
     /// service.
     #[must_use]
@@ -301,6 +328,10 @@ impl ServiceBuilder {
             faults: self.faults,
             ordinals: AtomicU64::new(0),
             workers_target: workers,
+            recorder: self
+                .tracing
+                .as_ref()
+                .map(|config| FlightRecorder::new(config, workers)),
         });
         for shard in 0..workers {
             spawn_worker(&inner, shard);
@@ -362,13 +393,37 @@ impl OptimizationService {
     /// [`ServiceError::Shed`] from the brownout valve,
     /// [`ServiceError::ShuttingDown`] after shutdown began.
     pub fn submit(&self, request: OptimizationRequest) -> Result<Ticket, ServiceError> {
+        self.submit_attempt(request, 0)
+    }
+
+    /// The submit path proper; `attempt > 0` marks a retry of the same
+    /// logical request (stamped on the trace as a `retry_attempt` event).
+    #[allow(clippy::cast_possible_truncation)]
+    fn submit_attempt(
+        &self,
+        request: OptimizationRequest,
+        attempt: u64,
+    ) -> Result<Ticket, ServiceError> {
         // Ordinals are assigned to every submission — including ones that
         // are then rejected or shed — so a fault plan keyed on submission
-        // order replays exactly.
+        // order replays exactly. The ordinal doubles as the trace id.
         let ordinal = self.inner.ordinals.fetch_add(1, Ordering::Relaxed);
+        let recorder = self.inner.recorder.as_ref();
+        let mut rt = RequestTrace::started(recorder, ordinal);
+        rt.event(
+            EventKind::Submitted,
+            request.query.blocks.len() as u64,
+            request.alpha.to_bits(),
+            u64::from(request.deadline.is_some()),
+        );
+        if attempt > 0 {
+            rt.event(EventKind::RetryAttempt, attempt, 0, 0);
+        }
         if let Some(deadline) = request.deadline {
             if let Err(error) = self.inner.admit_all_blocks(&request, deadline) {
                 self.inner.metrics.on_error(&error);
+                rt.event(EventKind::Rejected, 0, 0, 0);
+                rt.finish(Err(&error), 0);
                 return Err(error);
             }
         }
@@ -381,19 +436,29 @@ impl OptimizationService {
         {
             let error = ServiceError::Shed;
             self.inner.metrics.on_error(&error);
+            rt.event(EventKind::Shed, 0, 0, 0);
+            rt.finish(Err(&error), 0);
             return Err(error);
         }
         let fault = self.inner.faults.as_ref().and_then(|plan| plan.at(ordinal));
         if fault == Some(FaultAction::QueueFull) {
             self.inner.metrics.on_queue_full();
-            return Err(ServiceError::QueueFull);
+            let error = ServiceError::QueueFull;
+            rt.event(EventKind::QueueFull, 1, 0, 0);
+            rt.finish(Err(&error), 0);
+            return Err(error);
         }
         let (tx, rx) = mpsc::channel();
+        // `enqueued` is stamped before the push (the span rides inside the
+        // job through the queue); a bounced push hands the job — and its
+        // span — back, and the trace closes with a `queue_full` event.
+        rt.event(EventKind::Enqueued, 0, 0, 0);
         let job = Job {
             request,
             submitted: Instant::now(),
             ordinal,
             fault,
+            span: rt.into_span(),
             responder: tx,
         };
         match self.inner.queue.try_push(job) {
@@ -401,11 +466,15 @@ impl OptimizationService {
                 self.inner.metrics.on_submitted();
                 Ok(Ticket { receiver: rx })
             }
-            Err(PushError::Full) => {
+            Err((PushError::Full, mut job)) => {
                 self.inner.metrics.on_queue_full();
-                Err(ServiceError::QueueFull)
+                let error = ServiceError::QueueFull;
+                let mut rt = RequestTrace::resumed(recorder, usize::MAX, ordinal, job.span.take());
+                rt.event(EventKind::QueueFull, 0, 0, 0);
+                rt.finish(Err(&error), 0);
+                Err(error)
             }
-            Err(PushError::Closed) => Err(ServiceError::ShuttingDown),
+            Err((PushError::Closed, _)) => Err(ServiceError::ShuttingDown),
         }
     }
 
@@ -435,15 +504,52 @@ impl OptimizationService {
         request: &OptimizationRequest,
         policy: &RetryPolicy,
     ) -> Result<Ticket, ServiceError> {
+        let mut attempt = 0u64;
         retry_with(policy, &mut SystemClock::new(), || {
-            self.submit(request.clone())
+            let result = self.submit_attempt(request.clone(), attempt);
+            attempt += 1;
+            result
         })
     }
 
-    /// Metrics snapshot including cache counters.
+    /// Metrics snapshot including cache counters and the live gauges
+    /// (pressure, alive workers, per-shard cache occupancy).
     #[must_use]
     pub fn metrics(&self) -> MetricsSnapshot {
-        self.inner.metrics.snapshot(self.inner.cache.snapshot())
+        self.inner
+            .metrics
+            .snapshot(self.inner.cache.snapshot(), self.inner.supervision.alive())
+    }
+
+    /// Point-in-time flight-recorder snapshot: ring events (sorted), the
+    /// retained error exemplars and slowest-`k` traces, and the stream
+    /// checksum. `None` when the service was built without
+    /// [`ServiceBuilder::tracing`].
+    #[must_use]
+    pub fn trace_snapshot(&self) -> Option<TraceSnapshot> {
+        self.inner.recorder.as_ref().map(TraceSnapshot::capture)
+    }
+
+    /// Cheap counter-only view of the flight recorder; `None` when tracing
+    /// is disabled.
+    #[must_use]
+    pub fn trace_stats(&self) -> Option<TraceStats> {
+        self.inner.recorder.as_ref().map(FlightRecorder::stats)
+    }
+
+    /// Renders the full metrics surface — every counter, gauge, and
+    /// histogram of [`MetricsSnapshot`] plus the flight-recorder counters —
+    /// in the Prometheus text exposition format.
+    #[must_use]
+    pub fn render_prometheus(&self) -> String {
+        render_prometheus(
+            &self.metrics(),
+            &self.inner.metrics.latency_snapshot(),
+            &self.inner.metrics.queue_wait_snapshot(),
+            &self.inner.metrics.service_time_snapshot(),
+            self.queued(),
+            self.trace_stats(),
+        )
     }
 
     /// Cache-only snapshot.
@@ -503,9 +609,17 @@ impl OptimizationService {
         // Backstop: if workers died without draining (e.g. every worker
         // was killed by a fault plan), no ticket may hang forever — answer
         // whatever is left. The queue is closed, so this terminates.
-        while let Some(job) = self.inner.queue.pop_blocking() {
+        while let Some(mut job) = self.inner.queue.pop_blocking() {
             let error = ServiceError::ShuttingDown;
             self.inner.metrics.on_error(&error);
+            let mut rt = RequestTrace::resumed(
+                self.inner.recorder.as_ref(),
+                usize::MAX,
+                job.ordinal,
+                job.span.take(),
+            );
+            rt.event(EventKind::Failed, error_code(&error), 0, 0);
+            rt.finish(Err(&error), elapsed_us(job.submitted));
             let _ = job.responder.send(Err(error));
         }
     }
@@ -549,22 +663,46 @@ fn supervisor_loop(inner: &Arc<ServiceInner>) {
                 Finding::Dead { shard } => shard,
                 Finding::Stalled { shard } => {
                     inner.metrics.on_stall();
+                    if let Some(recorder) = &inner.recorder {
+                        recorder.record_system(EventKind::WorkerStalled, shard as u64);
+                    }
                     shard
                 }
             };
             inner.metrics.on_respawn();
+            if let Some(recorder) = &inner.recorder {
+                recorder.record_system(EventKind::WorkerRespawned, shard as u64);
+            }
             spawn_worker(inner, shard);
         }
     }
 }
 
+/// Microseconds elapsed since `start`, saturating.
+fn elapsed_us(start: Instant) -> u64 {
+    u64::try_from(start.elapsed().as_micros()).unwrap_or(u64::MAX)
+}
+
+#[allow(clippy::cast_possible_truncation)]
 fn worker_loop(inner: &ServiceInner, shard: usize, slot: &WorkerSlot) {
     // The heartbeat fires inside the queue's wait loop too (at least once
     // per park timeout), so an idle worker never looks wedged.
-    while let Some(job) = inner.queue.pop_blocking_from_with(shard, || slot.beat()) {
+    while let Some(mut job) = inner.queue.pop_blocking_from_with(shard, || slot.beat()) {
+        let queue_wait_us = elapsed_us(job.submitted);
+        let mut rt =
+            RequestTrace::resumed(inner.recorder.as_ref(), shard, job.ordinal, job.span.take());
+        rt.event(EventKind::Popped, queue_wait_us, 0, 0);
         let mut die_after = false;
         match job.fault {
-            Some(FaultAction::Delay(delay)) => std::thread::sleep(delay),
+            Some(FaultAction::Delay(delay)) => {
+                rt.event(
+                    EventKind::FaultDelay,
+                    u64::try_from(delay.as_millis()).unwrap_or(u64::MAX),
+                    0,
+                    0,
+                );
+                std::thread::sleep(delay);
+            }
             Some(FaultAction::KillWorker) => die_after = true,
             _ => {}
         }
@@ -577,20 +715,57 @@ fn worker_loop(inner: &ServiceInner, shard: usize, slot: &WorkerSlot) {
             if inject_panic {
                 panic!("injected fault: panic at ordinal {ordinal}");
             }
-            process(inner, &job.request, job.submitted)
+            process(inner, &job.request, job.submitted, &mut rt)
         })
-        .unwrap_or_else(|payload| Err(ServiceError::Internal { payload }));
+        .unwrap_or_else(|payload| {
+            let error = ServiceError::internal(payload);
+            if let ServiceError::Internal {
+                payload,
+                payload_truncated,
+            } = &error
+            {
+                rt.event(
+                    EventKind::PanicCaught,
+                    payload.len() as u64,
+                    u64::from(*payload_truncated),
+                    0,
+                );
+            }
+            Err(error)
+        });
         match &result {
             // Queue wait and processing time are recorded as separate
             // histogram series, both derived from the one submission
             // `Instant` — there are no dueling clocks to reconcile.
-            Ok(response) => inner
-                .metrics
-                .on_completed(response.queue_wait, response.service_time),
+            Ok(response) => {
+                inner
+                    .metrics
+                    .on_completed(response.queue_wait, response.service_time);
+                rt.event(
+                    EventKind::Completed,
+                    elapsed_us(job.submitted),
+                    response.blocks.len() as u64,
+                    u64::from(response.fully_cached()),
+                );
+            }
             // Each error variant lands in its own counter; `rejected`
             // stays a pure admission-control number.
-            Err(error) => inner.metrics.on_error(error),
+            Err(error) => {
+                inner.metrics.on_error(error);
+                rt.event(EventKind::Failed, error_code(error), 0, 0);
+            }
         }
+        if die_after {
+            // Stamped before `finish` so exemplar classification sees it:
+            // the killed worker's last request completes Ok, and this event
+            // is what marks its trace as a kill exemplar.
+            rt.event(EventKind::WorkerKilled, shard as u64, 0, 0);
+        }
+        let finished = match &result {
+            Ok(_) => Ok(()),
+            Err(error) => Err(error),
+        };
+        rt.finish(finished, elapsed_us(job.submitted));
         // A dropped ticket is fine; the work (and the cache fill) still
         // happened.
         let _ = job.responder.send(result);
@@ -605,10 +780,12 @@ fn worker_loop(inner: &ServiceInner, shard: usize, slot: &WorkerSlot) {
     slot.mark_exited();
 }
 
+#[allow(clippy::cast_possible_truncation)]
 fn process(
     inner: &ServiceInner,
     request: &OptimizationRequest,
     submitted: Instant,
+    rt: &mut RequestTrace<'_>,
 ) -> Result<OptimizationResponse, ServiceError> {
     let queue_wait = submitted.elapsed();
     let processing_started = Instant::now();
@@ -658,6 +835,7 @@ fn process(
             // The clock ran out before this block could start (queue wait
             // or earlier blocks consumed everything): a timeout, not an
             // admission decision.
+            rt.event(EventKind::DeadlineExceeded, block_idx as u64, 0, 0);
             return Err(ServiceError::DeadlineExceeded);
         }
         let remaining = budget_left.map(|total| block_share(total, &estimates[block_idx..]));
@@ -668,6 +846,19 @@ fn process(
         let lookup = inner
             .cache
             .lookup(&key, graph, request.alpha, bounded, required_mode);
+        // Probe outcome codes: 0 hit, 1 resident-but-not-servable, 2 miss;
+        // arg1 carries the resident entry's α (0 on a plain miss).
+        let (probe_outcome, probe_alpha) = match &lookup {
+            CacheLookup::Hit { alpha, .. } => (0u64, alpha.to_bits()),
+            CacheLookup::NotServable { alpha, .. } => (1, alpha.to_bits()),
+            CacheLookup::Miss => (2, 0),
+        };
+        rt.event(
+            EventKind::CacheProbe,
+            block_idx as u64 | (probe_outcome << 32),
+            probe_alpha,
+            0,
+        );
         if let CacheLookup::Hit {
             arena,
             frontier,
@@ -785,6 +976,20 @@ fn process(
         inner
             .metrics
             .on_block(AlgorithmKind::of(algorithm), downgraded);
+        // arg0 packs block index (bits 0..32), algorithm kind (32..40) and
+        // flags (40: degraded by pressure, 41: admission downgraded,
+        // 42: warm-started); arg2 is the report's deterministic `DpStats`
+        // digest, so replay checksums pin the whole optimization outcome.
+        rt.event(
+            EventKind::BlockOptimized,
+            block_idx as u64
+                | (u64::from(AlgorithmKind::of(algorithm).as_u8()) << 32)
+                | (u64::from(degraded) << 40)
+                | (u64::from(downgraded) << 41)
+                | (u64::from(warm_alpha.is_some()) << 42),
+            achieved_alpha.to_bits(),
+            report.trace_digest(),
+        );
         blocks.push(BlockOutcome {
             source: match warm_alpha {
                 Some(cached_alpha) => BlockSource::WarmStarted {

@@ -10,7 +10,8 @@ use std::time::{Duration, Instant};
 use moqo_catalog::Catalog;
 use moqo_cost::{Objective, ObjectiveSet, Preference};
 use moqo_service::{
-    BrownoutConfig, FaultPlan, OptimizationRequest, OptimizationService, RetryPolicy, ServiceError,
+    BrownoutConfig, ExemplarClass, FaultPlan, OptimizationRequest, OptimizationService,
+    RetryPolicy, ServiceError, TraceConfig,
 };
 
 fn weighted_pref() -> Preference {
@@ -35,7 +36,8 @@ fn eventually(deadline: Duration, mut probe: impl FnMut() -> bool) -> bool {
     probe()
 }
 
-/// The counters one chaos run must reproduce exactly.
+/// The counters — and trace reconstruction — one chaos run must reproduce
+/// exactly.
 #[derive(Debug, PartialEq, Eq)]
 struct ChaosOutcome {
     ok: u64,
@@ -47,26 +49,45 @@ struct ChaosOutcome {
     panics_total: u64,
     shed: u64,
     respawns: u64,
+    /// Every injected panic must survive as a full-trace exemplar.
+    panic_exemplars: usize,
+    /// Both worker kills must be reconstructed (their requests complete
+    /// `Ok`; the `worker_killed` event classifies the trace).
+    kill_exemplars: usize,
+    /// Interleaving-independent checksum over all retained error
+    /// exemplars; byte-stable across runs of the same fault plan.
+    error_checksum: u64,
 }
 
 fn run_chaos_trace(catalog: &Catalog) -> ChaosOutcome {
     const REQUESTS: u64 = 512;
     const WORKERS: usize = 4;
-    // Panic on every 4th ordinal; kill the serving worker after ordinals
-    // 100 and 300 (both ≡ 0 mod 4 — the exact kill overrides the periodic
-    // panic, so the panic count is 128 - 2 = 126).
+    // Panic on every 4th ordinal starting at 1; kill the serving worker
+    // after ordinals 101 and 301 (both ≡ 1 mod 4 — the exact kill
+    // overrides the periodic panic, so the panic count is 128 - 2 = 126).
+    // Ordinal 0 is a fault-free warm-up that is waited on before the
+    // storm: every later identical request probes a warm cache, so each
+    // exemplar's event list is independent of worker interleaving and the
+    // error checksum replays byte-stable.
     let plan = FaultPlan::builder()
-        .panic_every(4, 0)
-        .kill_worker_at(100)
-        .kill_worker_at(300)
+        .panic_every(4, 1)
+        .kill_worker_at(101)
+        .kill_worker_at(301)
         .build();
     let service = OptimizationService::builder(catalog.clone())
         .workers(WORKERS)
         .queue_capacity(REQUESTS as usize + WORKERS)
         .supervisor_tick(Duration::from_millis(1))
         .faults(plan)
+        .tracing(TraceConfig {
+            logical_clock: true,
+            ..TraceConfig::default()
+        })
         .build();
 
+    service
+        .submit_wait(small_request(catalog))
+        .expect("warm-up request succeeds");
     let mut tickets = Vec::with_capacity(REQUESTS as usize);
     for _ in 0..REQUESTS {
         tickets.push(
@@ -82,7 +103,7 @@ fn run_chaos_trace(catalog: &Catalog) -> ChaosOutcome {
     for ticket in tickets {
         match ticket.wait() {
             Ok(_) => ok += 1,
-            Err(ServiceError::Internal { payload }) => {
+            Err(ServiceError::Internal { payload, .. }) => {
                 assert!(
                     payload.contains("injected fault"),
                     "unexpected panic payload: {payload}"
@@ -106,6 +127,26 @@ fn run_chaos_trace(catalog: &Catalog) -> ChaosOutcome {
         service.metrics().respawns
     );
 
+    let trace = service
+        .trace_snapshot()
+        .expect("tracing was enabled for the chaos run");
+    assert_eq!(
+        trace.error_exemplars_dropped, 0,
+        "the exemplar store must hold every error-class trace of this run"
+    );
+    // Exemplars carry the full lifecycle: a panicked request must show its
+    // submit-side and worker-side events plus the caught panic.
+    for exemplar in trace.exemplars_of(ExemplarClass::Panicked) {
+        let kinds: Vec<&str> = exemplar.events.iter().map(|e| e.kind.name()).collect();
+        for expected in ["submitted", "enqueued", "popped", "panic_caught", "failed"] {
+            assert!(
+                kinds.contains(&expected),
+                "panic exemplar {} missing {expected}: {kinds:?}",
+                exemplar.trace_id
+            );
+        }
+    }
+
     let metrics = service.shutdown();
     ChaosOutcome {
         ok,
@@ -117,6 +158,9 @@ fn run_chaos_trace(catalog: &Catalog) -> ChaosOutcome {
         panics_total: metrics.panics_total,
         shed: metrics.shed,
         respawns: metrics.respawns,
+        panic_exemplars: trace.exemplars_of(ExemplarClass::Panicked).len(),
+        kill_exemplars: trace.exemplars_of(ExemplarClass::WorkerKilled).len(),
+        error_checksum: trace.error_checksum(),
     }
 }
 
@@ -124,22 +168,24 @@ fn run_chaos_trace(catalog: &Catalog) -> ChaosOutcome {
 fn chaos_trace_answers_every_request_and_heals_the_pool() {
     let catalog = moqo_catalog::tpch::catalog(0.01);
     let outcome = run_chaos_trace(&catalog);
-    // 128 ordinals ≡ 0 mod 4, minus the two exact kills that override the
-    // periodic panic rule.
-    assert_eq!(
-        outcome,
-        ChaosOutcome {
-            ok: 512 - 126,
-            internal: 126,
-            other: 0,
-            submitted: 512,
-            completed: 512 - 126,
-            failed: 126,
-            panics_total: 126,
-            shed: 0,
-            respawns: 2,
-        }
-    );
+    // 128 ordinals ≡ 1 mod 4, minus the two exact kills that override the
+    // periodic panic rule; the checksum itself is pinned by the
+    // replay-stability test, not an absolute value here.
+    let expected = ChaosOutcome {
+        ok: 512 - 126,
+        internal: 126,
+        other: 0,
+        submitted: 513,
+        completed: 513 - 126,
+        failed: 126,
+        panics_total: 126,
+        shed: 0,
+        respawns: 2,
+        panic_exemplars: 126,
+        kill_exemplars: 2,
+        error_checksum: outcome.error_checksum,
+    };
+    assert_eq!(outcome, expected);
 }
 
 #[test]
@@ -162,7 +208,7 @@ fn panic_isolation_keeps_a_single_worker_serving() {
         .build();
     let poisoned = service.submit_wait(small_request(&catalog));
     match poisoned {
-        Err(ServiceError::Internal { payload }) => {
+        Err(ServiceError::Internal { payload, .. }) => {
             assert!(payload.contains("panic at ordinal 0"), "{payload}");
         }
         other => panic!("expected Internal, got {other:?}"),
@@ -219,6 +265,7 @@ fn brownout_sheds_and_degrades_under_pressure() {
             ..BrownoutConfig::default()
         })
         .faults(plan)
+        .tracing(TraceConfig::default())
         .build();
     // Distinct queries so the backlog stays cache-miss work (cache hits
     // never degrade — serving a certified front is already cheap).
@@ -266,6 +313,22 @@ fn brownout_sheds_and_degrades_under_pressure() {
         .submit_with_retry(&small_request(&catalog), &RetryPolicy::default())
         .and_then(moqo_service::Ticket::wait);
     assert!(retried.is_ok(), "{retried:?}");
+
+    // The shed submission never took a queue slot, yet its trace survives
+    // as a full exemplar (tail-based retention keeps every error class).
+    let trace = service.trace_snapshot().expect("tracing enabled");
+    let shed_exemplars = trace.exemplars_of(ExemplarClass::Shed);
+    assert!(
+        !shed_exemplars.is_empty(),
+        "a shed request must be retained as an exemplar"
+    );
+    assert!(
+        shed_exemplars[0]
+            .events
+            .iter()
+            .any(|e| e.kind.name() == "shed"),
+        "the shed exemplar carries the shed event"
+    );
 
     let metrics = service.shutdown();
     assert!(metrics.shed >= 1, "{:?}", metrics.shed);

@@ -32,8 +32,8 @@ fn run_stress(shards: usize, producers: u64, consumers: usize, per_producer: u64
                                 accepted.fetch_add(1, Ordering::Relaxed);
                                 break;
                             }
-                            Err(PushError::Full) => thread::yield_now(),
-                            Err(PushError::Closed) => {
+                            Err((PushError::Full, _)) => thread::yield_now(),
+                            Err((PushError::Closed, _)) => {
                                 panic!("queue closed while producers were live")
                             }
                         }
@@ -122,8 +122,8 @@ fn dead_consumer_shard_is_drained_by_survivors_exactly_once() {
                                 accepted.fetch_add(1, Ordering::Relaxed);
                                 break;
                             }
-                            Err(PushError::Full) => thread::yield_now(),
-                            Err(PushError::Closed) => {
+                            Err((PushError::Full, _)) => thread::yield_now(),
+                            Err((PushError::Closed, _)) => {
                                 panic!("queue closed while producers were live")
                             }
                         }
@@ -189,10 +189,10 @@ fn full_is_the_only_preclose_failure_and_reports_backpressure() {
     for i in 0..4 {
         queue.try_push(i).unwrap();
     }
-    assert!(matches!(queue.try_push(99), Err(PushError::Full)));
+    assert!(matches!(queue.try_push(99), Err((PushError::Full, 99))));
     assert_eq!(queue.len(), 4);
     queue.close();
-    assert!(matches!(queue.try_push(5), Err(PushError::Closed)));
+    assert!(matches!(queue.try_push(5), Err((PushError::Closed, 5))));
     // The backlog survives close and drains in full.
     let mut drained = Vec::new();
     while let Some(v) = queue.pop_blocking() {
