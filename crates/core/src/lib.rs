@@ -31,6 +31,7 @@
 //! [`complexity`]; and a user-facing facade over multi-block queries in
 //! [`Optimizer`].
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod complexity;

@@ -53,6 +53,7 @@
 //! # let _ = objs;
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod objective;

@@ -24,6 +24,7 @@
 //! transformed (commutativity, associativity, operator swaps) and
 //! re-inserted; see [`tree`].
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod arena;

@@ -24,9 +24,9 @@
 //!   mutexed maps, each evicting its least-recently-used entry beyond its
 //!   capacity share, so concurrent workers rarely contend on the same lock.
 
+use moqo_sync::atomic::{AtomicU64, Ordering};
+use moqo_sync::Mutex;
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
 
 use moqo_catalog::{GraphSignature, JoinGraph};
 use moqo_core::{PlanEntry, PruneMode};

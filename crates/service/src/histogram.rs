@@ -34,7 +34,7 @@
 //! against the exact sorted-vector answer on random latency streams
 //! (`tests/histogram_properties.rs`).
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use moqo_sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 
 /// Sub-bucket resolution: each octave is split into `2^SUB_BITS` buckets.
@@ -108,6 +108,7 @@ impl LogHistogram {
     }
 
     /// Records one raw microsecond value.
+    #[moqo::hot_path]
     pub fn record_us(&self, us: u64) {
         self.buckets[bucket_index(us)].fetch_add(1, Ordering::Relaxed);
         self.count.fetch_add(1, Ordering::Relaxed);

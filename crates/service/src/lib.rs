@@ -138,3 +138,13 @@ pub use trace::{
     commutative_checksum, error_code, stream_checksum, EventKind, Exemplar, ExemplarClass,
     TraceConfig, TraceEvent, TraceStats,
 };
+
+/// Model-suite surface: internals the `tests/model_*.rs` suites drive
+/// directly, plus the seeded-bug injection knobs. Compiled only under
+/// `--cfg moqo_model`, so the normal public API is unchanged.
+#[cfg(moqo_model)]
+pub mod model_internals {
+    pub use crate::queue::model_hooks as queue_hooks;
+    pub use crate::trace::model_hooks as trace_hooks;
+    pub use crate::trace::EventRing;
+}

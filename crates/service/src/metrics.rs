@@ -8,7 +8,7 @@
 //! request count. `snapshot()` cost is likewise independent of how many
 //! requests completed (a `bench_snapshot` cell and a unit test pin this).
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use moqo_sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
 use moqo_core::Algorithm;
@@ -226,6 +226,7 @@ impl ServiceMetrics {
     }
 
     /// Counts one optimized (or cache-served) block.
+    #[moqo::hot_path]
     pub fn on_block(&self, kind: AlgorithmKind, downgraded: bool) {
         self.algo_blocks[kind.index()].fetch_add(1, Ordering::Relaxed);
         if downgraded {
@@ -237,6 +238,7 @@ impl ServiceMetrics {
     /// separate histogram series, their sum to the end-to-end series. All
     /// three are measured from the same submission `Instant`, so no
     /// cross-clock reconciliation is needed (or performed).
+    #[moqo::hot_path]
     pub fn on_completed(&self, queue_wait: Duration, service_time: Duration) {
         self.completed.fetch_add(1, Ordering::Relaxed);
         self.queue_wait.record(queue_wait);
@@ -442,6 +444,7 @@ impl PressureGauge {
 
     /// Folds one measured queue wait in (short CAS loop; a lost race
     /// drops one sample of smoothing, never corrupts the estimate).
+    #[moqo::hot_path]
     pub fn record(&self, queue_wait: Duration) {
         let sample_us = queue_wait.as_secs_f64() * 1e6;
         let mut current = self.ewma_us.load(Ordering::Relaxed);

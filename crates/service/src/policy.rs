@@ -8,7 +8,7 @@
 //! remaining deadline budget rules a scheme out, and rejects only when even
 //! the anytime randomized search cannot start before the deadline.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use moqo_sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 
 use moqo_core::Algorithm;
@@ -115,6 +115,7 @@ impl LearnedBlockTimes {
     /// Folds one measured optimization wall time into the estimate for
     /// `block_size`-relation blocks. Lock-free (a short CAS loop; a lost
     /// race drops one sample of smoothing, never corrupts the estimate).
+    #[moqo::hot_path]
     pub fn record(&self, block_size: usize, wall: Duration) {
         if self.smoothing <= 0.0 {
             return;

@@ -23,16 +23,44 @@
 //! parks); the bounded `wait_timeout` turns that race into at most one
 //! timeout tick of extra latency on an otherwise idle queue instead of a
 //! hang — and under load nobody sleeps at all.
+//!
+//! Every synchronization primitive here comes from the [`moqo_sync`]
+//! facade, so `RUSTFLAGS="--cfg moqo_model"` swaps the whole structure
+//! onto the model checker: `tests/model_queue.rs` exhaustively explores
+//! the push/pop/steal/park interleavings and pins exactly-once delivery,
+//! the `Full` item-return contract, close-then-drain completeness and the
+//! lost-wakeup backstop. The memory orderings below are the *minimal*
+//! ones those model suites prove sufficient.
 
-use std::cell::UnsafeCell;
 use std::mem::MaybeUninit;
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
 use std::time::Duration;
+
+use moqo_sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use moqo_sync::cell::UnsafeCell;
+use moqo_sync::hint::spin_loop;
+use moqo_sync::{Arc, Condvar, Mutex};
 
 /// How long an idle consumer parks before re-scanning the shards; bounds
 /// the cost of the producer-side lock-free wakeup protocol.
 const PARK_TIMEOUT: Duration = Duration::from_millis(5);
+
+/// Model-checker steering knobs; compiled only under `--cfg moqo_model`.
+/// Seeded-bug injection for the model suite.
+///
+/// `tests/model_seeded.rs` flips [`WEAKEN_PUBLISH`] to demote the
+/// producer's slot-publish store to `Relaxed` and asserts the checker
+/// reports the resulting race with a replayable schedule. The knob
+/// lives on [`moqo_sync::raw`] so reading it is invisible to the
+/// checker itself.
+#[cfg(moqo_model)]
+pub mod model_hooks {
+    use moqo_sync::raw::AtomicBool;
+
+    /// When `true`, [`super::Ring::push`] publishes a filled slot with
+    /// `Ordering::Relaxed` instead of `Release` — the canonical
+    /// "forgot the release fence" bug.
+    pub static WEAKEN_PUBLISH: AtomicBool = AtomicBool::new(false);
+}
 
 /// One slot of a Vyukov ring. `seq` is the hand-off protocol: it equals
 /// the slot index when the slot is free for the producer of lap `L`, and
@@ -52,12 +80,20 @@ struct Ring<T> {
     dequeue_pos: AtomicUsize,
 }
 
-// SAFETY: slots are handed between threads through the `seq` protocol —
-// a value written under an enqueue reservation is only read by the single
-// consumer that wins the matching dequeue CAS, with release/acquire
-// ordering on `seq` publishing the write. `T: Send` is all that moving
-// values across threads requires.
+// SAFETY: slots are handed between threads through the `seq` protocol.
+// For position `pos` (slot index `pos & mask`), `seq == pos` means the
+// slot is free for the producer that claims `pos`; `seq == pos + 1`
+// means a value is ready for the consumer that claims `pos`; and
+// `seq == pos + mask + 1` re-arms the slot for the producer one lap
+// later. A value written under an enqueue reservation is only read by
+// the single consumer that wins the matching dequeue CAS, with
+// release/acquire ordering on `seq` publishing the write. `T: Send` is
+// all that moving values across threads requires. The protocol itself
+// (exclusive access between CAS win and `seq` bump, exactly-once
+// delivery) is model-checked in `tests/model_queue.rs`.
 unsafe impl<T: Send> Send for Ring<T> {}
+// SAFETY: see the `Send` impl above; `&Ring` only exposes the slots
+// through the seq-gated push/pop protocol, never directly.
 unsafe impl<T: Send> Sync for Ring<T> {}
 
 impl<T> Ring<T> {
@@ -78,6 +114,7 @@ impl<T> Ring<T> {
 
     /// Lock-free push; `Err(item)` only when the ring itself is full
     /// (which capacity reservation makes unreachable in this crate).
+    #[moqo::hot_path]
     fn push(&self, item: T) -> Result<(), T> {
         let mut pos = self.enqueue_pos.load(Ordering::Relaxed);
         loop {
@@ -93,10 +130,23 @@ impl<T> Ring<T> {
                     Ordering::Relaxed,
                 ) {
                     Ok(_) => {
-                        // SAFETY: the CAS gave this thread exclusive write
-                        // access to the slot until `seq` is bumped.
-                        unsafe { (*slot.value.get()).write(item) };
-                        slot.seq.store(pos.wrapping_add(1), Ordering::Release);
+                        // Protocol invariant: winning the enqueue CAS on
+                        // `pos` while `seq == pos` grants exclusive write
+                        // access; no other producer can claim `pos` again
+                        // and no consumer reads until `seq = pos + 1`.
+                        debug_assert_eq!(
+                            slot.seq.load(Ordering::Relaxed),
+                            pos,
+                            "enqueue CAS won but the slot is not in the free-for-lap state",
+                        );
+                        // SAFETY: per the invariant above, this thread has
+                        // exclusive access to the slot's value until the
+                        // `seq` bump below; writing a fresh `MaybeUninit`
+                        // payload needs no drop of the old (consumed or
+                        // never-initialized) contents.
+                        slot.value.with_mut(|p| unsafe { (*p).write(item) });
+                        slot.seq
+                            .store(pos.wrapping_add(1), Self::publish_ordering());
                         return Ok(());
                     }
                     Err(current) => pos = current,
@@ -109,7 +159,19 @@ impl<T> Ring<T> {
         }
     }
 
+    /// Ordering for the producer's slot-publish store: `Release`, unless
+    /// the model suite injects the seeded weakening bug.
+    #[inline(always)]
+    fn publish_ordering() -> Ordering {
+        #[cfg(moqo_model)]
+        if model_hooks::WEAKEN_PUBLISH.load(moqo_sync::raw::Ordering::Relaxed) {
+            return Ordering::Relaxed;
+        }
+        Ordering::Release
+    }
+
     /// Lock-free pop; `None` when the ring is empty.
+    #[moqo::hot_path]
     fn pop(&self) -> Option<T> {
         let mut pos = self.dequeue_pos.load(Ordering::Relaxed);
         loop {
@@ -124,10 +186,22 @@ impl<T> Ring<T> {
                     Ordering::Relaxed,
                 ) {
                     Ok(_) => {
-                        // SAFETY: the CAS gave this thread exclusive read
-                        // access to a slot whose value the producer
-                        // published with the Release store seen above.
-                        let item = unsafe { (*slot.value.get()).assume_init_read() };
+                        // Protocol invariant: winning the dequeue CAS on
+                        // `pos` while `seq == pos + 1` grants exclusive
+                        // read access to a fully-written value; the
+                        // producer's Release store on `seq` (seen by the
+                        // Acquire load above) publishes the payload.
+                        debug_assert_eq!(
+                            slot.seq.load(Ordering::Relaxed),
+                            pos.wrapping_add(1),
+                            "dequeue CAS won but the slot is not in the value-ready state",
+                        );
+                        // SAFETY: per the invariant above, the value was
+                        // fully initialized by the producer of this lap
+                        // and this thread is its only reader; moving it
+                        // out leaves the slot logically uninitialized,
+                        // which the `seq` re-arm below advertises.
+                        let item = slot.value.with_mut(|p| unsafe { (*p).assume_init_read() });
                         slot.seq
                             .store(pos.wrapping_add(self.mask + 1), Ordering::Release);
                         return Some(item);
@@ -247,20 +321,32 @@ impl<T> BoundedQueue<T> {
     ///
     /// [`PushError::Full`] at capacity, [`PushError::Closed`] after
     /// [`BoundedQueue::close`]; both return the item.
+    #[moqo::hot_path]
     pub fn try_push(&self, item: T) -> Result<(), (PushError, T)> {
         let shared = &*self.shared;
         if shared.closed.load(Ordering::Acquire) {
             return Err((PushError::Closed, item));
         }
         // Reserve capacity before touching a ring; back out on overflow.
-        if shared.len.fetch_add(1, Ordering::AcqRel) >= shared.capacity {
-            shared.len.fetch_sub(1, Ordering::AcqRel);
+        // Relaxed suffices on both RMWs: `len` is a pure occupancy gate —
+        // no payload is published through it (the value handoff
+        // synchronizes on `Slot::seq`), and atomic RMWs observe a single
+        // total modification order per location regardless of ordering,
+        // so reservations can never over-admit. Pinned by
+        // `tests/model_queue.rs::try_push_full_returns_item` and
+        // `::pushes_pop_exactly_once`.
+        if shared.len.fetch_add(1, Ordering::Relaxed) >= shared.capacity {
+            shared.len.fetch_sub(1, Ordering::Relaxed);
             return Err((PushError::Full, item));
         }
         let shard = shared.next_shard.fetch_add(1, Ordering::Relaxed) % shared.shards.len();
         shared.shards[shard]
             .push(item)
             .unwrap_or_else(|_| unreachable!("reserved capacity guarantees ring space"));
+        // SeqCst pairs with the consumer's SeqCst raise of `sleepers`
+        // before its final re-scan (a store/load Dekker handshake): either
+        // the producer sees the sleeper and notifies, or the consumer's
+        // re-scan sees the pushed item.
         if shared.sleepers.load(Ordering::SeqCst) > 0 {
             // Bare notify — see the module docs for why this needs no
             // mutex and how the park timeout bounds the race.
@@ -270,12 +356,20 @@ impl<T> BoundedQueue<T> {
     }
 
     /// Scans every shard once, `hint` first.
+    #[moqo::hot_path]
     fn scan(&self, hint: usize) -> Option<T> {
         let shared = &*self.shared;
         let n = shared.shards.len();
         for k in 0..n {
             if let Some(item) = shared.shards[(hint + k) % n].pop() {
-                shared.len.fetch_sub(1, Ordering::AcqRel);
+                // Relaxed: retiring a reservation needs no ordering — the
+                // item itself was acquired through `Slot::seq`, and `len`
+                // only ever reads high transiently (reserve happens
+                // before insert, remove happens after extraction), so the
+                // close-then-drain loop can never see 0 with items still
+                // queued. Pinned by
+                // `tests/model_queue.rs::close_then_drain_conserves_items`.
+                shared.len.fetch_sub(1, Ordering::Relaxed);
                 return Some(item);
             }
         }
@@ -314,15 +408,22 @@ impl<T> BoundedQueue<T> {
                 if shared.len.load(Ordering::Acquire) == 0 {
                     return None;
                 }
-                std::hint::spin_loop();
+                spin_loop();
                 continue;
             }
             // Park. The sleeper count is raised *before* the final
             // re-scan so a producer that pushes in between sees it and
-            // notifies; the timeout covers the bare-notify race.
+            // notifies; the timeout covers the bare-notify race. The
+            // raise must stay SeqCst — it is the consumer half of the
+            // Dekker handshake with `try_push`'s SeqCst `sleepers` load
+            // (store/load visibility, which release/acquire cannot give).
             shared.sleepers.fetch_add(1, Ordering::SeqCst);
             if let Some(item) = self.scan(hint) {
-                shared.sleepers.fetch_sub(1, Ordering::SeqCst);
+                // Relaxed: retiring the sleeper flag publishes nothing;
+                // the cost of a stale nonzero read by a producer is one
+                // spurious `notify_one`. Pinned by
+                // `tests/model_queue.rs::parked_consumer_always_wakes`.
+                shared.sleepers.fetch_sub(1, Ordering::Relaxed);
                 return Some(item);
             }
             if !shared.closed.load(Ordering::Acquire) {
@@ -332,7 +433,8 @@ impl<T> BoundedQueue<T> {
                     .wait_timeout(guard, PARK_TIMEOUT)
                     .expect("park lock poisoned");
             }
-            shared.sleepers.fetch_sub(1, Ordering::SeqCst);
+            // Relaxed: same argument as the early-exit decrement above.
+            shared.sleepers.fetch_sub(1, Ordering::Relaxed);
         }
     }
 

@@ -1,8 +1,8 @@
 //! The optimization service: submission, scheduling, and the worker pool.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use moqo_sync::atomic::{AtomicU64, Ordering};
+use moqo_sync::Arc;
 use std::sync::mpsc;
-use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 

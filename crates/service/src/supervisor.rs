@@ -23,9 +23,9 @@
 //! The registry mutex is cold: only the supervisor tick, respawn, and
 //! shutdown touch it — never the submit or completion hot paths.
 
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::Arc;
-use std::sync::{Condvar, Mutex};
+use moqo_sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use moqo_sync::Arc;
+use moqo_sync::{Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
@@ -41,6 +41,7 @@ pub(crate) struct WorkerSlot {
 impl WorkerSlot {
     /// Stamps one heartbeat; called at the top of every worker-loop
     /// iteration (relaxed — the supervisor only compares for *change*).
+    #[moqo::hot_path]
     pub(crate) fn beat(&self) {
         self.epoch.fetch_add(1, Ordering::Relaxed);
     }

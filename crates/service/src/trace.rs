@@ -11,10 +11,11 @@
 //! * **Per-worker ring buffers** ([`EventRing`]): bounded, oldest
 //!   overwritten, with a `dropped_events` count derived from the head
 //!   position (no extra hot-path atomic). A write is one `fetch_add` slot
-//!   claim plus one commit stamp — the two ordering-relevant atomics —
-//!   with six relaxed payload-word stores in between (seqlock per slot:
-//!   readers revalidate the stamp and skip torn slots). Zero allocation
-//!   per event.
+//!   claim, six payload-word stores and a commit stamp (seqlock per slot:
+//!   readers revalidate the stamp and skip torn slots; the word stores
+//!   are Release — plain `mov`s on x86 — because fully relaxed payloads
+//!   admit a torn read past the recheck, see [`EventRing::record`]). Zero
+//!   allocation per event.
 //! * **A per-request span collector** ([`SpanCollector`]): a small
 //!   buffer riding inside the job, so the *complete* trace of a request
 //!   survives ring overwrite. At completion the recorder applies
@@ -31,9 +32,9 @@
 //! hashes commutatively, so it is independent of worker interleaving —
 //! that is what lets CI gate a 4-worker chaos run byte-stable.
 
+use moqo_sync::atomic::{AtomicU64, Ordering};
+use moqo_sync::Mutex;
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
 use std::time::Instant;
 
 use crate::request::ServiceError;
@@ -41,6 +42,23 @@ use crate::request::ServiceError;
 /// Trace id used by events that belong to no request (supervisor respawn
 /// and stall findings).
 pub const SYSTEM_TRACE_ID: u64 = u64::MAX;
+
+/// Model-checker steering knobs; compiled only under `--cfg moqo_model`.
+/// Seeded-bug injection for the model suite.
+///
+/// `tests/model_seeded.rs` flips [`WEAKEN_COMMIT`] to demote the
+/// seqlock commit stamp to `Relaxed` and asserts the checker reports
+/// the resulting torn read. The knob lives on [`moqo_sync::raw`] so
+/// reading it is invisible to the checker itself.
+#[cfg(moqo_model)]
+pub mod model_hooks {
+    use moqo_sync::raw::AtomicBool;
+
+    /// When `true`, [`super::EventRing::record`] publishes the commit
+    /// stamp with `Ordering::Relaxed` instead of `Release`, so a reader
+    /// can validate a slot whose payload words it never actually saw.
+    pub static WEAKEN_COMMIT: AtomicBool = AtomicBool::new(false);
+}
 
 /// Payload words per ring slot (the encoded [`TraceEvent`] size).
 const WORDS: usize = 6;
@@ -325,14 +343,15 @@ struct Slot {
 /// A bounded multi-producer event ring, oldest overwritten. Writers are
 /// lock-free and allocation-free; readers (snapshot only) revalidate the
 /// per-slot stamp and skip anything torn or overwritten mid-read.
-pub(crate) struct EventRing {
+pub struct EventRing {
     head: AtomicU64,
     mask: u64,
     slots: Box<[Slot]>,
 }
 
 impl EventRing {
-    fn new(capacity: usize) -> Self {
+    /// A ring of `capacity` slots (rounded up to a power of two, min 2).
+    pub fn new(capacity: usize) -> Self {
         let capacity = capacity.max(2).next_power_of_two();
         EventRing {
             head: AtomicU64::new(0),
@@ -346,29 +365,57 @@ impl EventRing {
         }
     }
 
-    /// Records one event: claim (`fetch_add`), six relaxed payload
-    /// stores, commit stamp. No lock, no allocation, no wait.
-    fn record(&self, event: &TraceEvent) {
+    /// Records one event: claim (`fetch_add`), six payload stores, commit
+    /// stamp. No lock, no allocation, no wait.
+    ///
+    /// Per-slot seqlock: the odd stamp (`2·pos + 1`, Release) opens the
+    /// write, then the payload words, then the even stamp (`2·pos + 2`,
+    /// Release) commits. The payload words are *Release* stores paired
+    /// with the reader's Acquire loads — not the folklore Relaxed: a
+    /// relaxed payload load may be satisfied by a **later** write session
+    /// while the stamp recheck still observes the old committed stamp
+    /// (nothing orders a relaxed data load before a subsequent load of a
+    /// different location), which is the classic seqlock torn-read
+    /// window. With the Release/Acquire pair, a reader that sees any
+    /// word of session `k` has synchronized with it, and therefore must
+    /// also see session `k`'s odd stamp at the recheck — the slot is
+    /// rejected instead of returned torn. On x86-64 both compile to the
+    /// same plain `mov` as Relaxed. The no-torn-read property is
+    /// model-checked in `tests/model_trace.rs`, which found the original
+    /// relaxed-payload window.
+    #[moqo::hot_path]
+    pub fn record(&self, event: &TraceEvent) {
         let pos = self.head.fetch_add(1, Ordering::Relaxed);
         #[allow(clippy::cast_possible_truncation)]
         let slot = &self.slots[(pos & self.mask) as usize];
         slot.seq
             .store(pos.wrapping_mul(2).wrapping_add(1), Ordering::Release);
         for (word, value) in slot.words.iter().zip(event.encode()) {
-            word.store(value, Ordering::Relaxed);
+            word.store(value, Ordering::Release);
         }
         slot.seq
-            .store(pos.wrapping_mul(2).wrapping_add(2), Ordering::Release);
+            .store(pos.wrapping_mul(2).wrapping_add(2), Self::commit_ordering());
+    }
+
+    /// Ordering for the seqlock commit stamp: `Release`, unless the model
+    /// suite injects the seeded weakening bug.
+    #[inline(always)]
+    fn commit_ordering() -> Ordering {
+        #[cfg(moqo_model)]
+        if model_hooks::WEAKEN_COMMIT.load(moqo_sync::raw::Ordering::Relaxed) {
+            return Ordering::Relaxed;
+        }
+        Ordering::Release
     }
 
     /// Events recorded over this ring's lifetime.
-    fn recorded(&self) -> u64 {
+    pub fn recorded(&self) -> u64 {
         self.head.load(Ordering::Relaxed)
     }
 
     /// The still-resident suffix of the stream in ring order, plus how
     /// many older events were overwritten.
-    fn snapshot(&self) -> (Vec<TraceEvent>, u64) {
+    pub fn snapshot(&self) -> (Vec<TraceEvent>, u64) {
         let head = self.head.load(Ordering::Acquire);
         let capacity = self.mask + 1;
         let start = head.saturating_sub(capacity);
@@ -382,7 +429,11 @@ impl EventRing {
             }
             let mut words = [0u64; WORDS];
             for (out, word) in words.iter_mut().zip(slot.words.iter()) {
-                *out = word.load(Ordering::Relaxed);
+                // Acquire pairs with the writer's Release word stores: a
+                // read that observes a later session's word synchronizes
+                // with it and so cannot revalidate against the stale
+                // stamp below (see `record` for the full argument).
+                *out = word.load(Ordering::Acquire);
             }
             if slot.seq.load(Ordering::Acquire) != committed {
                 continue; // overwritten while reading

@@ -5,9 +5,9 @@
 //! push fails before `close()`, and closing drains the backlog before
 //! consumers observe `None`.
 
+use moqo_sync::atomic::{AtomicU64, Ordering};
+use moqo_sync::Mutex;
 use std::collections::HashSet;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
 use std::thread;
 
 use moqo_service::{BoundedQueue, PushError};

@@ -1,0 +1,1403 @@
+//! Deterministic concurrency model checker (compiled under `--cfg moqo_model`).
+//!
+//! [`explore`] runs a closure many times. Inside each run, the `moqo_sync`
+//! shims serialize all spawned threads — exactly one thread executes at any
+//! moment, and at every synchronization operation the active thread asks the
+//! scheduler whether to continue or hand off. Which thread runs, and (under
+//! the relaxed-memory model) which prior store a load observes, are
+//! *decisions*; an execution is fully described by its decision sequence, so
+//! any failure can be replayed exactly.
+//!
+//! Exploration happens in two phases:
+//!
+//! 1. **Bounded-exhaustive DFS**: systematic backtracking over every decision
+//!    sequence, subject to a preemption budget (switching away from a
+//!    runnable thread at a non-blocking operation spends one preemption;
+//!    switches at blocking or yield points are free — the CHESS insight that
+//!    most concurrency bugs need very few preemptions). For small tests (≤3
+//!    threads) this typically enumerates the whole bounded space.
+//! 2. **Seeded random walk**: if the DFS budget runs out (or to top up the
+//!    execution count), further schedules are drawn from a SplitMix64 stream
+//!    so coverage keeps growing while staying reproducible.
+//!
+//! What the checker models, beyond plain interleavings:
+//!
+//! * **Happens-before via vector clocks.** Release stores publish the
+//!   writer's clock; acquire loads that read them join it. Unlock→lock and
+//!   spawn/join edges do the same.
+//! * **Stale reads.** Each atomic location keeps a bounded store history.
+//!   A non-SeqCst load may observe any sufficiently-recent store not yet
+//!   outrun by coherence or happens-before — so classic store-buffering
+//!   outcomes that no interleaving-only checker can produce are explored.
+//!   RMWs always operate on the newest store, preserving their atomicity.
+//! * **Data races.** [`crate::cell::UnsafeCell`] accesses are checked
+//!   FastTrack-style: two accesses to the same cell, at least one a write,
+//!   with neither ordered before the other, abort the execution with both
+//!   call sites named.
+//! * **Lost wakeups.** `Condvar::wait_timeout` waiters stay schedulable (the
+//!   timeout can always fire), so schedules where a notification is missed
+//!   are explored rather than hanging.
+//!
+//! Deliberate simplifications, chosen to keep the state space tractable:
+//! SeqCst loads always observe the newest store (no weaker SC fences are
+//! modeled), `compare_exchange_weak` never fails spuriously, and at most
+//! [`MAX_THREADS`] threads per execution.
+
+use std::cell::{Cell, RefCell};
+use std::collections::HashMap;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::Ordering;
+use std::sync::{Arc, Condvar as StdCondvar, Mutex as StdMutex, MutexGuard as StdMutexGuard, Once};
+
+/// Maximum threads (including the main thread) per modeled execution.
+pub const MAX_THREADS: usize = 8;
+
+/// Per-location store history kept for stale-read exploration.
+const HISTORY: usize = 16;
+
+/// How many of the newest visible stores a load may choose among. Bounding
+/// this keeps the branch factor sane; coherence makes very old stores the
+/// least interesting anyway.
+const STALE_CHOICES: u64 = 3;
+
+// ---------------------------------------------------------------------------
+// Vector clocks
+// ---------------------------------------------------------------------------
+
+/// Fixed-width vector clock, one logical-time component per thread slot.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct VClock([u64; MAX_THREADS]);
+
+impl VClock {
+    fn join(&mut self, other: &VClock) {
+        for i in 0..MAX_THREADS {
+            self.0[i] = self.0[i].max(other.0[i]);
+        }
+    }
+
+    /// True if an event at `(tid, ts)` happens-before a thread whose clock is
+    /// `self`.
+    fn covers(&self, tid: usize, ts: u64) -> bool {
+        self.0[tid] >= ts
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Explorer: the source of scheduling decisions
+// ---------------------------------------------------------------------------
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// One decision: which option was chosen, out of how many.
+type Decision = (u32, u32);
+
+enum Explorer {
+    /// Systematic DFS: follow `prefix`, then take option 0 at fresh points.
+    Dfs {
+        prefix: Vec<Decision>,
+        cursor: usize,
+        recorded: Vec<Decision>,
+    },
+    /// Seeded random walk.
+    Random { state: u64, recorded: Vec<Decision> },
+    /// Replay a recorded schedule (out-of-range points default to 0).
+    Replay {
+        schedule: Vec<u32>,
+        cursor: usize,
+        recorded: Vec<Decision>,
+    },
+}
+
+impl Explorer {
+    /// Picks one of `n` options. Single-option points are not recorded, so
+    /// decision sequences stay short and DFS only branches where it matters.
+    fn choose(&mut self, n: usize) -> usize {
+        debug_assert!(n >= 1);
+        if n == 1 {
+            return 0;
+        }
+        let n32 = n as u32;
+        match self {
+            Explorer::Dfs {
+                prefix,
+                cursor,
+                recorded,
+            } => {
+                let pick = if *cursor < prefix.len() {
+                    prefix[*cursor].0.min(n32 - 1)
+                } else {
+                    0
+                };
+                *cursor += 1;
+                recorded.push((pick, n32));
+                pick as usize
+            }
+            Explorer::Random { state, recorded } => {
+                let pick = (splitmix64(state) % n as u64) as u32;
+                recorded.push((pick, n32));
+                pick as usize
+            }
+            Explorer::Replay {
+                schedule,
+                cursor,
+                recorded,
+            } => {
+                let pick = schedule.get(*cursor).copied().unwrap_or(0).min(n32 - 1);
+                *cursor += 1;
+                recorded.push((pick, n32));
+                pick as usize
+            }
+        }
+    }
+
+    fn into_recorded(self) -> Vec<Decision> {
+        match self {
+            Explorer::Dfs { recorded, .. }
+            | Explorer::Random { recorded, .. }
+            | Explorer::Replay { recorded, .. } => recorded,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Execution state
+// ---------------------------------------------------------------------------
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Status {
+    Runnable,
+    /// Waiting for a mutex; woken (made runnable) by the unlocker.
+    BlockedMutex(usize),
+    /// In a condvar wait. `timed` waits stay schedulable: the timeout can
+    /// always fire, which is exactly how lost-wakeup bugs become explorable
+    /// instead of hangs.
+    Waiting {
+        timed: bool,
+        notified: bool,
+    },
+    /// Waiting for another thread to finish.
+    BlockedJoin(usize),
+    Finished,
+}
+
+struct ThreadState {
+    status: Status,
+    clock: VClock,
+    /// How many times this thread may still wake from a timed wait *without*
+    /// a notification. Bounding futile timeouts keeps DFS from drowning in
+    /// park/rescan/park tails; real lost-wakeup schedules need only one.
+    timeout_budget: u32,
+}
+
+impl ThreadState {
+    fn schedulable(&self) -> bool {
+        match self.status {
+            Status::Runnable | Status::Waiting { notified: true, .. } => true,
+            Status::Waiting {
+                timed: true,
+                notified: false,
+            } => self.timeout_budget > 0,
+            _ => false,
+        }
+    }
+}
+
+/// Per-execution allowance of spurious (un-notified) timed-wait wakeups.
+const TIMEOUT_BUDGET: u32 = 3;
+
+/// One store to an atomic location.
+struct Store {
+    value: u64,
+    /// Writing thread (`usize::MAX` for the initial value) and its logical
+    /// timestamp at the store.
+    tid: usize,
+    ts: u64,
+    /// Clock published by a Release-or-stronger store (or carried forward
+    /// through a release sequence by RMWs); joined by acquire loads.
+    release: Option<VClock>,
+}
+
+struct AtomicLoc {
+    /// Absolute index of `stores[0]`; old stores are evicted from the front.
+    base: u64,
+    stores: Vec<Store>,
+    /// Per-thread coherence floor: the newest absolute store index each
+    /// thread has observed (or written). A thread never reads older.
+    seen: [u64; MAX_THREADS],
+    /// Consecutive stale reads per thread; after a few, the next read is
+    /// forced to the newest store (models eventual visibility and keeps
+    /// stale-read loops from recursing to the step bound).
+    stale_streak: [u8; MAX_THREADS],
+}
+
+/// Consecutive stale reads of one location a thread may make before the
+/// model forces it to observe the newest store.
+const STALE_STREAK_MAX: u8 = 3;
+
+impl AtomicLoc {
+    fn newest_abs(&self) -> u64 {
+        self.base + self.stores.len() as u64 - 1
+    }
+}
+
+#[derive(Clone, Copy)]
+struct Access {
+    tid: usize,
+    ts: u64,
+    site: &'static std::panic::Location<'static>,
+}
+
+#[derive(Default)]
+struct CellLoc {
+    last_write: Option<Access>,
+    reads: [Option<Access>; MAX_THREADS],
+}
+
+#[derive(Default)]
+struct MutexLoc {
+    held_by: Option<usize>,
+    /// Clock released by the last unlock; joined on acquire.
+    clock: VClock,
+}
+
+#[derive(Default)]
+struct CondvarLoc {
+    /// FIFO wait queue (tids). `notify_one` wakes the head.
+    waiters: Vec<usize>,
+}
+
+struct ExecState {
+    threads: Vec<ThreadState>,
+    active: usize,
+    explorer: Explorer,
+    steps: u64,
+    max_steps: u64,
+    preemptions_left: u32,
+    weak_memory: bool,
+    aborting: bool,
+    pruned: bool,
+    failure: Option<String>,
+    finished: usize,
+    atomics: HashMap<usize, AtomicLoc>,
+    cells: HashMap<usize, CellLoc>,
+    mutexes: HashMap<usize, MutexLoc>,
+    condvars: HashMap<usize, CondvarLoc>,
+    os_handles: Vec<std::thread::JoinHandle<()>>,
+}
+
+/// Shared handle for one modeled execution. The real `Mutex`/`Condvar` pair
+/// implements the one-thread-at-a-time handoff between the OS threads that
+/// carry the modeled threads.
+pub(crate) struct Execution {
+    state: StdMutex<ExecState>,
+    cv: StdCondvar,
+}
+
+/// Panic payload used to tear down an execution (prune or post-failure
+/// unwind). Not a test failure by itself.
+struct AbortToken;
+
+fn lock(exec: &Execution) -> StdMutexGuard<'_, ExecState> {
+    exec.state
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+thread_local! {
+    static CTX: RefCell<Option<Ctx>> = const { RefCell::new(None) };
+    static IN_MODEL: Cell<bool> = const { Cell::new(false) };
+    static LAST_PANIC: RefCell<Option<String>> = const { RefCell::new(None) };
+}
+
+#[derive(Clone)]
+pub(crate) struct Ctx {
+    pub(crate) exec: Arc<Execution>,
+    pub(crate) tid: usize,
+}
+
+pub(crate) fn current_ctx() -> Option<Ctx> {
+    CTX.with(|c| c.borrow().clone())
+}
+
+fn set_ctx(ctx: Option<Ctx>) {
+    CTX.with(|c| *c.borrow_mut() = ctx);
+}
+
+/// Quiet panic reporting: while a model run is active, assertion panics are
+/// captured (message + location) instead of spamming stderr — the first one
+/// becomes the execution's failure.
+fn install_panic_hook() {
+    static ONCE: Once = Once::new();
+    ONCE.call_once(|| {
+        let prev = panic::take_hook();
+        panic::set_hook(Box::new(move |info| {
+            if IN_MODEL.with(Cell::get) {
+                LAST_PANIC.with(|c| *c.borrow_mut() = Some(format!("{info}")));
+                return;
+            }
+            prev(info);
+        }));
+    });
+}
+
+// ---------------------------------------------------------------------------
+// Scheduling core
+// ---------------------------------------------------------------------------
+
+fn begin_abort(exec: &Execution, st: &mut ExecState) {
+    st.aborting = true;
+    exec.cv.notify_all();
+}
+
+/// Records the first failure and aborts the execution. Panics (AbortToken).
+fn fail(exec: &Execution, mut st: StdMutexGuard<'_, ExecState>, msg: String) -> ! {
+    if st.failure.is_none() {
+        st.failure = Some(msg);
+    }
+    begin_abort(exec, &mut st);
+    drop(st);
+    panic::panic_any(AbortToken)
+}
+
+/// Blocks the calling OS thread until its modeled thread is active again.
+fn wait_active<'a>(
+    exec: &'a Execution,
+    mut st: StdMutexGuard<'a, ExecState>,
+    tid: usize,
+) -> StdMutexGuard<'a, ExecState> {
+    loop {
+        if st.aborting {
+            drop(st);
+            panic::panic_any(AbortToken);
+        }
+        if st.active == tid {
+            return st;
+        }
+        st = exec
+            .cv
+            .wait(st)
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+    }
+}
+
+/// Scheduling candidates. The primary tier is every thread schedulable under
+/// the futile-timeout budget; when that tier is empty, timed waiters may
+/// fire their timeout regardless of budget (a real timeout always fires
+/// eventually — the budget is a fairness bound, not a semantics change).
+fn candidates(st: &ExecState, exclude: Option<usize>) -> Vec<usize> {
+    let pri: Vec<usize> = (0..st.threads.len())
+        .filter(|&i| Some(i) != exclude && st.threads[i].schedulable())
+        .collect();
+    if !pri.is_empty() {
+        return pri;
+    }
+    (0..st.threads.len())
+        .filter(|&i| {
+            Some(i) != exclude
+                && matches!(
+                    st.threads[i].status,
+                    Status::Waiting {
+                        timed: true,
+                        notified: false
+                    }
+                )
+        })
+        .collect()
+}
+
+/// Picks the next thread to run from the schedulable set and hands off to it.
+/// `include_self=false` is used when the caller just blocked itself.
+/// Returns with the state lock re-held and the caller active again.
+fn reschedule<'a>(
+    exec: &'a Execution,
+    mut st: StdMutexGuard<'a, ExecState>,
+    tid: usize,
+    include_self: bool,
+) -> StdMutexGuard<'a, ExecState> {
+    if st.aborting {
+        drop(st);
+        panic::panic_any(AbortToken);
+    }
+    // Count handoffs toward the step bound too: a mutex ping-pong or a
+    // notify/re-park cycle must eventually hit the livelock cutoff.
+    st.steps += 1;
+    if st.steps > st.max_steps {
+        st.pruned = true;
+        begin_abort(exec, &mut st);
+        drop(st);
+        panic::panic_any(AbortToken);
+    }
+    let cands = candidates(&st, (!include_self).then_some(tid));
+    if cands.is_empty() {
+        let detail: Vec<String> = st
+            .threads
+            .iter()
+            .enumerate()
+            .map(|(i, t)| format!("T{i}:{:?}", t.status))
+            .collect();
+        fail(
+            exec,
+            st,
+            format!("deadlock: no schedulable thread [{}]", detail.join(" ")),
+        );
+    }
+    let pick = st.explorer.choose(cands.len());
+    let next = cands[pick];
+    if next == tid {
+        return st;
+    }
+    st.active = next;
+    exec.cv.notify_all();
+    wait_active(exec, st, tid)
+}
+
+/// The schedule point executed at the top of every modeled operation.
+///
+/// `voluntary` marks yield points (`spin_loop`, `yield_now`, `sleep`): there
+/// the scheduler *must* move to another runnable thread if one exists (free
+/// of preemption budget), which is what guarantees progress through spin
+/// loops. At involuntary points, switching away from the still-runnable
+/// current thread costs one preemption from the budget.
+fn schedule(exec: &Execution, tid: usize, voluntary: bool) {
+    let mut st = lock(exec);
+    if st.aborting {
+        drop(st);
+        panic::panic_any(AbortToken);
+    }
+    st.steps += 1;
+    if st.steps > st.max_steps {
+        st.pruned = true;
+        begin_abort(exec, &mut st);
+        drop(st);
+        panic::panic_any(AbortToken);
+    }
+    let (options, costs_preemption): (Vec<usize>, bool) = if voluntary {
+        // Yield points must consider budget-exhausted timed waiters too, so
+        // a spin loop waiting on a parked peer keeps making progress.
+        let others = candidates(&st, Some(tid));
+        if others.is_empty() {
+            return;
+        }
+        (others, false)
+    } else {
+        let others: Vec<usize> = (0..st.threads.len())
+            .filter(|&i| i != tid && st.threads[i].schedulable())
+            .collect();
+        if others.is_empty() || st.preemptions_left == 0 {
+            return;
+        }
+        let mut v = vec![tid];
+        v.extend(others);
+        (v, true)
+    };
+    let pick = st.explorer.choose(options.len());
+    let next = options[pick];
+    if next == tid {
+        return;
+    }
+    if costs_preemption {
+        st.preemptions_left -= 1;
+    }
+    st.active = next;
+    exec.cv.notify_all();
+    let st = wait_active(exec, st, tid);
+    drop(st);
+}
+
+/// Marks `tid` finished, wakes joiners, and hands off. Never panics: it runs
+/// during thread teardown, possibly while the execution is aborting.
+fn finish_thread(exec: &Execution, tid: usize) {
+    let mut st = lock(exec);
+    st.threads[tid].status = Status::Finished;
+    st.finished += 1;
+    for i in 0..st.threads.len() {
+        if st.threads[i].status == Status::BlockedJoin(tid) {
+            st.threads[i].status = Status::Runnable;
+        }
+    }
+    if st.finished == st.threads.len() || st.aborting {
+        exec.cv.notify_all();
+        return;
+    }
+    let cands = candidates(&st, None);
+    if cands.is_empty() {
+        let detail: Vec<String> = st
+            .threads
+            .iter()
+            .enumerate()
+            .map(|(i, t)| format!("T{i}:{:?}", t.status))
+            .collect();
+        if st.failure.is_none() {
+            st.failure = Some(format!("deadlock after thread exit [{}]", detail.join(" ")));
+        }
+        begin_abort(exec, &mut st);
+        return;
+    }
+    let pick = st.explorer.choose(cands.len());
+    st.active = cands[pick];
+    exec.cv.notify_all();
+}
+
+fn bump(st: &mut ExecState, tid: usize) -> u64 {
+    let t = &mut st.threads[tid];
+    t.clock.0[tid] += 1;
+    t.clock.0[tid]
+}
+
+// ---------------------------------------------------------------------------
+// Atomic operations
+// ---------------------------------------------------------------------------
+
+fn has_acquire(ord: Ordering) -> bool {
+    matches!(ord, Ordering::Acquire | Ordering::AcqRel | Ordering::SeqCst)
+}
+
+fn has_release(ord: Ordering) -> bool {
+    matches!(ord, Ordering::Release | Ordering::AcqRel | Ordering::SeqCst)
+}
+
+fn ensure_atomic(st: &mut ExecState, addr: usize, init: u64) {
+    st.atomics.entry(addr).or_insert_with(|| AtomicLoc {
+        base: 0,
+        stores: vec![Store {
+            value: init,
+            tid: usize::MAX,
+            ts: 0,
+            release: None,
+        }],
+        seen: [0; MAX_THREADS],
+        stale_streak: [0; MAX_THREADS],
+    });
+}
+
+fn push_store(st: &mut ExecState, addr: usize, tid: usize, value: u64, release: Option<VClock>) {
+    let ts = st.threads[tid].clock.0[tid];
+    let loc = st.atomics.get_mut(&addr).expect("location ensured");
+    loc.stores.push(Store {
+        value,
+        tid,
+        ts,
+        release,
+    });
+    while loc.stores.len() > HISTORY {
+        loc.stores.remove(0);
+        loc.base += 1;
+    }
+    let newest = loc.newest_abs();
+    loc.seen[tid] = newest;
+}
+
+/// Atomic load. Non-SeqCst loads may observe stale stores (an explorer
+/// decision); acquire loads join the release clock of the store they read.
+pub(crate) fn op_atomic_load(ctx: &Ctx, addr: usize, init: u64, ord: Ordering) -> u64 {
+    let tid = ctx.tid;
+    schedule(&ctx.exec, tid, false);
+    let mut st = lock(&ctx.exec);
+    ensure_atomic(&mut st, addr, init);
+    let (newest, floor) = {
+        let clock = st.threads[tid].clock;
+        let loc = &st.atomics[&addr];
+        let newest = loc.newest_abs();
+        // Coherence floor: nothing older than what this thread already saw,
+        // nothing older than the newest store that happens-before us, and
+        // nothing already evicted from the history window.
+        let mut floor = loc.seen[tid].max(loc.base);
+        for (i, s) in loc.stores.iter().enumerate() {
+            let abs = loc.base + i as u64;
+            if abs > floor && (s.tid == usize::MAX || clock.covers(s.tid, s.ts)) {
+                floor = abs;
+            }
+        }
+        (newest, floor)
+    };
+    let streak_hit = st.atomics[&addr].stale_streak[tid] >= STALE_STREAK_MAX;
+    let span = if st.weak_memory && ord != Ordering::SeqCst && !streak_hit {
+        (newest - floor + 1).min(STALE_CHOICES)
+    } else {
+        1
+    };
+    let offset = st.explorer.choose(span as usize) as u64;
+    let abs = newest - offset;
+    let loc = st.atomics.get_mut(&addr).expect("location ensured");
+    let idx = (abs - loc.base) as usize;
+    let value = loc.stores[idx].value;
+    let release = loc.stores[idx].release;
+    loc.seen[tid] = loc.seen[tid].max(abs);
+    loc.stale_streak[tid] = if offset == 0 {
+        0
+    } else {
+        loc.stale_streak[tid] + 1
+    };
+    if has_acquire(ord) {
+        if let Some(rc) = release {
+            st.threads[tid].clock.join(&rc);
+        }
+    }
+    value
+}
+
+/// Atomic store. Release-or-stronger stores publish the writer's clock.
+pub(crate) fn op_atomic_store(ctx: &Ctx, addr: usize, init: u64, value: u64, ord: Ordering) {
+    let tid = ctx.tid;
+    schedule(&ctx.exec, tid, false);
+    let mut st = lock(&ctx.exec);
+    ensure_atomic(&mut st, addr, init);
+    bump(&mut st, tid);
+    let release = has_release(ord).then(|| st.threads[tid].clock);
+    push_store(&mut st, addr, tid, value, release);
+}
+
+/// Atomic read-modify-write: always operates on the newest store (RMW
+/// atomicity), carries release sequences forward, and returns the old value.
+pub(crate) fn op_atomic_rmw(
+    ctx: &Ctx,
+    addr: usize,
+    init: u64,
+    ord: Ordering,
+    f: impl FnOnce(u64) -> u64,
+) -> u64 {
+    let tid = ctx.tid;
+    schedule(&ctx.exec, tid, false);
+    let mut st = lock(&ctx.exec);
+    ensure_atomic(&mut st, addr, init);
+    let (old, prev_release) = {
+        let loc = &st.atomics[&addr];
+        let s = loc.stores.last().expect("history never empty");
+        (s.value, s.release)
+    };
+    if has_acquire(ord) {
+        if let Some(rc) = prev_release {
+            st.threads[tid].clock.join(&rc);
+        }
+    }
+    bump(&mut st, tid);
+    let release = if has_release(ord) {
+        let mut c = st.threads[tid].clock;
+        if let Some(rc) = prev_release {
+            c.join(&rc);
+        }
+        Some(c)
+    } else {
+        // A relaxed RMW continues the release sequence headed by the store it
+        // replaces: acquire loads of the new value still synchronize with the
+        // original release store.
+        prev_release
+    };
+    push_store(&mut st, addr, tid, f(old), release);
+    old
+}
+
+/// Atomic compare-exchange (weak is modeled as strong — no spurious failure).
+pub(crate) fn op_atomic_cas(
+    ctx: &Ctx,
+    addr: usize,
+    init: u64,
+    current: u64,
+    new: u64,
+    success: Ordering,
+    failure: Ordering,
+) -> Result<u64, u64> {
+    let tid = ctx.tid;
+    schedule(&ctx.exec, tid, false);
+    let mut st = lock(&ctx.exec);
+    ensure_atomic(&mut st, addr, init);
+    let (old, prev_release, newest) = {
+        let loc = &st.atomics[&addr];
+        let s = loc.stores.last().expect("history never empty");
+        (s.value, s.release, loc.newest_abs())
+    };
+    if old != current {
+        if has_acquire(failure) {
+            if let Some(rc) = prev_release {
+                st.threads[tid].clock.join(&rc);
+            }
+        }
+        let loc = st.atomics.get_mut(&addr).expect("location ensured");
+        loc.seen[tid] = loc.seen[tid].max(newest);
+        return Err(old);
+    }
+    if has_acquire(success) {
+        if let Some(rc) = prev_release {
+            st.threads[tid].clock.join(&rc);
+        }
+    }
+    bump(&mut st, tid);
+    let release = if has_release(success) {
+        let mut c = st.threads[tid].clock;
+        if let Some(rc) = prev_release {
+            c.join(&rc);
+        }
+        Some(c)
+    } else {
+        prev_release
+    };
+    push_store(&mut st, addr, tid, new, release);
+    Ok(old)
+}
+
+/// Forgets per-location model state when an instrumented value is dropped,
+/// so a later allocation at the same address starts fresh.
+pub(crate) fn forget_location(addr: usize) {
+    if let Some(ctx) = current_ctx() {
+        let mut st = lock(&ctx.exec);
+        st.atomics.remove(&addr);
+        st.cells.remove(&addr);
+        st.mutexes.remove(&addr);
+        st.condvars.remove(&addr);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// UnsafeCell access checking
+// ---------------------------------------------------------------------------
+
+/// Race-checks one access to a [`crate::cell::UnsafeCell`].
+pub(crate) fn op_cell_access(
+    ctx: &Ctx,
+    addr: usize,
+    is_write: bool,
+    site: &'static std::panic::Location<'static>,
+) {
+    let tid = ctx.tid;
+    schedule(&ctx.exec, tid, false);
+    let mut st = lock(&ctx.exec);
+    let clock = st.threads[tid].clock;
+    let cell = st.cells.entry(addr).or_default();
+    let conflict = |a: &Access, kind: &str| -> Option<String> {
+        if a.tid != tid && !clock.covers(a.tid, a.ts) {
+            Some(format!(
+                "data race on UnsafeCell {addr:#x}: {} at {} (T{tid}) is unordered with {kind} at {} (T{})",
+                if is_write { "write" } else { "read" },
+                site,
+                a.site,
+                a.tid,
+            ))
+        } else {
+            None
+        }
+    };
+    let mut race = None;
+    if let Some(w) = &cell.last_write {
+        race = race.or_else(|| conflict(w, "write"));
+    }
+    if is_write {
+        for r in cell.reads.iter().flatten() {
+            race = race.or_else(|| conflict(r, "read"));
+        }
+    }
+    if let Some(msg) = race {
+        fail(&ctx.exec, st, msg);
+    }
+    let ts = bump(&mut st, tid);
+    let access = Access { tid, ts, site };
+    let cell = st.cells.entry(addr).or_default();
+    if is_write {
+        // Earlier reads happen-before this write (just checked), and any
+        // access ordered after this write is transitively ordered after them,
+        // so the write subsumes the read set.
+        cell.last_write = Some(access);
+        cell.reads = [None; MAX_THREADS];
+    } else {
+        cell.reads[tid] = Some(access);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Mutex / Condvar operations
+// ---------------------------------------------------------------------------
+
+/// Acquires the modeled mutex at `addr` (blocking in the model, not the OS).
+pub(crate) fn op_mutex_lock(ctx: &Ctx, addr: usize) {
+    let tid = ctx.tid;
+    schedule(&ctx.exec, tid, false);
+    loop {
+        let mut st = lock(&ctx.exec);
+        if st.aborting {
+            drop(st);
+            panic::panic_any(AbortToken);
+        }
+        let m = st.mutexes.entry(addr).or_default();
+        if m.held_by.is_none() {
+            m.held_by = Some(tid);
+            let mclock = m.clock;
+            st.threads[tid].clock.join(&mclock);
+            return;
+        }
+        st.threads[tid].status = Status::BlockedMutex(addr);
+        let st = reschedule(&ctx.exec, st, tid, false);
+        drop(st);
+    }
+}
+
+fn release_mutex(st: &mut ExecState, addr: usize, tid: usize) {
+    bump(st, tid);
+    let clock = st.threads[tid].clock;
+    let m = st.mutexes.entry(addr).or_default();
+    debug_assert_eq!(m.held_by, Some(tid), "unlock by non-owner");
+    m.held_by = None;
+    m.clock.join(&clock);
+    for i in 0..st.threads.len() {
+        if st.threads[i].status == Status::BlockedMutex(addr) {
+            st.threads[i].status = Status::Runnable;
+        }
+    }
+}
+
+/// Releases the modeled mutex (a schedule point in normal flow).
+pub(crate) fn op_mutex_unlock(ctx: &Ctx, addr: usize) {
+    let tid = ctx.tid;
+    schedule(&ctx.exec, tid, false);
+    let mut st = lock(&ctx.exec);
+    release_mutex(&mut st, addr, tid);
+}
+
+/// Unlock during unwinding: releases state and wakes waiters but never
+/// panics and never reschedules (panicking inside `Drop` while unwinding
+/// would abort the process).
+pub(crate) fn op_mutex_unlock_quiet(ctx: &Ctx, addr: usize) {
+    let mut st = lock(&ctx.exec);
+    if st
+        .mutexes
+        .get(&addr)
+        .is_some_and(|m| m.held_by == Some(ctx.tid))
+    {
+        release_mutex(&mut st, addr, ctx.tid);
+        ctx.exec.cv.notify_all();
+    }
+}
+
+/// Condvar wait: atomically releases the mutex and joins the wait queue,
+/// hands off, and on wake-up reacquires the mutex. Returns `true` if the
+/// wake-up came from a notification (vs. the modeled timeout).
+pub(crate) fn op_condvar_wait(ctx: &Ctx, cv_addr: usize, mutex_addr: usize, timed: bool) -> bool {
+    let tid = ctx.tid;
+    schedule(&ctx.exec, tid, false);
+    let notified = {
+        let mut st = lock(&ctx.exec);
+        // Release + enqueue under one state lock: the model must not lose a
+        // notification sent between unlocking and waiting, same as std.
+        release_mutex(&mut st, mutex_addr, tid);
+        st.condvars.entry(cv_addr).or_default().waiters.push(tid);
+        st.threads[tid].status = Status::Waiting {
+            timed,
+            notified: false,
+        };
+        let mut st = reschedule(&ctx.exec, st, tid, timed);
+        let notified = matches!(
+            st.threads[tid].status,
+            Status::Waiting { notified: true, .. }
+        );
+        if !notified {
+            // Woke via the modeled timeout: spend one unit of the futile-
+            // wakeup allowance.
+            let t = &mut st.threads[tid];
+            t.timeout_budget = t.timeout_budget.saturating_sub(1);
+        }
+        st.threads[tid].status = Status::Runnable;
+        if let Some(cv) = st.condvars.get_mut(&cv_addr) {
+            cv.waiters.retain(|&w| w != tid);
+        }
+        notified
+    };
+    op_mutex_lock(ctx, mutex_addr);
+    notified
+}
+
+/// Wakes the head of the wait queue, if any.
+pub(crate) fn op_condvar_notify(ctx: &Ctx, cv_addr: usize, all: bool) {
+    let tid = ctx.tid;
+    schedule(&ctx.exec, tid, false);
+    let mut st = lock(&ctx.exec);
+    let waiters = match st.condvars.get_mut(&cv_addr) {
+        Some(cv) => {
+            if all {
+                std::mem::take(&mut cv.waiters)
+            } else if cv.waiters.is_empty() {
+                Vec::new()
+            } else {
+                vec![cv.waiters.remove(0)]
+            }
+        }
+        None => Vec::new(),
+    };
+    for w in waiters {
+        if let Status::Waiting { timed, .. } = st.threads[w].status {
+            st.threads[w].status = Status::Waiting {
+                timed,
+                notified: true,
+            };
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Threads
+// ---------------------------------------------------------------------------
+
+/// Voluntary yield point (`spin_loop`, `yield_now`, modeled `sleep`).
+pub(crate) fn op_yield(ctx: &Ctx) {
+    schedule(&ctx.exec, ctx.tid, true);
+}
+
+pub(crate) struct ModelJoin<T> {
+    exec: Arc<Execution>,
+    tid: usize,
+    result: Arc<StdMutex<Option<std::thread::Result<T>>>>,
+}
+
+impl<T> ModelJoin<T> {
+    /// Blocks (in the model) until the thread finishes; merges its clock.
+    pub(crate) fn join(self) -> std::thread::Result<T> {
+        let ctx = current_ctx().expect("model join outside a model run");
+        let tid = ctx.tid;
+        schedule(&ctx.exec, tid, false);
+        loop {
+            let mut st = lock(&ctx.exec);
+            if st.aborting {
+                drop(st);
+                panic::panic_any(AbortToken);
+            }
+            if st.threads[self.tid].status == Status::Finished {
+                let target_clock = st.threads[self.tid].clock;
+                st.threads[tid].clock.join(&target_clock);
+                drop(st);
+                break;
+            }
+            st.threads[tid].status = Status::BlockedJoin(self.tid);
+            let st = reschedule(&ctx.exec, st, tid, false);
+            drop(st);
+        }
+        self.result
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .take()
+            .expect("finished model thread must have stored its result")
+    }
+
+    pub(crate) fn is_finished(&self) -> bool {
+        if let Some(ctx) = current_ctx() {
+            schedule(&ctx.exec, ctx.tid, false);
+        }
+        lock(&self.exec).threads[self.tid].status == Status::Finished
+    }
+}
+
+fn record_failure_from_payload(exec: &Execution, payload: &(dyn std::any::Any + Send)) {
+    let msg = LAST_PANIC
+        .with(|c| c.borrow_mut().take())
+        .or_else(|| payload.downcast_ref::<String>().cloned())
+        .or_else(|| payload.downcast_ref::<&str>().map(|s| (*s).to_string()))
+        .unwrap_or_else(|| "thread panicked (non-string payload)".to_string());
+    let mut st = lock(exec);
+    if st.failure.is_none() {
+        st.failure = Some(msg);
+    }
+    begin_abort(exec, &mut st);
+}
+
+/// Spawns a modeled thread. Hands the closure back when called outside a
+/// model run (the shim then falls back to a real `std::thread::spawn`).
+pub(crate) fn spawn_model<F, T>(name: Option<String>, f: F) -> Result<ModelJoin<T>, F>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    let Some(ctx) = current_ctx() else {
+        return Err(f);
+    };
+    let parent = ctx.tid;
+    let exec = ctx.exec.clone();
+    let result: Arc<StdMutex<Option<std::thread::Result<T>>>> = Arc::new(StdMutex::new(None));
+    let child = {
+        let mut st = lock(&exec);
+        if st.threads.len() >= MAX_THREADS {
+            fail(
+                &exec,
+                st,
+                format!("model supports at most {MAX_THREADS} threads per execution"),
+            );
+        }
+        bump(&mut st, parent);
+        let child = st.threads.len();
+        let clock = st.threads[parent].clock;
+        st.threads.push(ThreadState {
+            status: Status::Runnable,
+            clock,
+            timeout_budget: TIMEOUT_BUDGET,
+        });
+        child
+    };
+    let child_ctx = Ctx {
+        exec: exec.clone(),
+        tid: child,
+    };
+    let result2 = result.clone();
+    let exec2 = exec.clone();
+    let os = std::thread::Builder::new()
+        .name(name.unwrap_or_else(|| format!("moqo-model-{child}")))
+        .spawn(move || {
+            IN_MODEL.with(|c| c.set(true));
+            set_ctx(Some(child_ctx));
+            let run = panic::catch_unwind(AssertUnwindSafe(|| {
+                // Wait for first activation before touching user code.
+                let st = lock(&exec2);
+                drop(wait_active(&exec2, st, child));
+                f()
+            }));
+            match run {
+                Ok(v) => {
+                    *result2
+                        .lock()
+                        .unwrap_or_else(std::sync::PoisonError::into_inner) = Some(Ok(v));
+                }
+                Err(payload) => {
+                    if !payload.is::<AbortToken>() {
+                        record_failure_from_payload(&exec2, payload.as_ref());
+                    }
+                    *result2
+                        .lock()
+                        .unwrap_or_else(std::sync::PoisonError::into_inner) = Some(Err(payload));
+                }
+            }
+            finish_thread(&exec2, child);
+            set_ctx(None);
+            IN_MODEL.with(|c| c.set(false));
+        })
+        .expect("failed to spawn OS carrier thread for model");
+    {
+        let mut st = lock(&exec);
+        st.os_handles.push(os);
+    }
+    // Schedule point: the child is choosable from here on.
+    schedule(&exec, parent, false);
+    Ok(ModelJoin {
+        exec,
+        tid: child,
+        result,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Exploration driver
+// ---------------------------------------------------------------------------
+
+/// Exploration budgets and semantics knobs.
+#[derive(Clone, Debug)]
+pub struct Config {
+    /// Preemption budget per execution for the DFS phase (CHESS-style).
+    pub preemptions: u32,
+    /// Maximum executions the systematic DFS phase may spend.
+    pub dfs_budget: u64,
+    /// Total executions to reach (DFS + seeded random top-up). The random
+    /// phase is skipped once the DFS completes *and* this count is met.
+    pub min_executions: u64,
+    /// Per-execution operation bound; schedules exceeding it are pruned
+    /// (livelock cutoff for spin/park loops).
+    pub max_steps: u64,
+    /// Base seed for the random-walk phase.
+    pub seed: u64,
+    /// Model stale reads (per-location store histories). When false, loads
+    /// always observe the newest store — plain interleaving semantics.
+    pub weak_memory: bool,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Self {
+            preemptions: 2,
+            dfs_budget: 6_000,
+            min_executions: 10_000,
+            max_steps: 40_000,
+            seed: 0x6D6F_716F, // "moqo"
+            weak_memory: true,
+        }
+    }
+}
+
+impl Config {
+    /// The CI-smoke configuration: ≥10k interleavings per invariant.
+    pub fn smoke() -> Self {
+        Self::default()
+    }
+}
+
+/// A failing execution: the message plus everything needed to replay it.
+#[derive(Clone, Debug)]
+pub struct Failure {
+    /// Assertion/panic/race message from the failing execution.
+    pub message: String,
+    /// Seed of the random-walk execution that failed (`None` for DFS).
+    pub seed: Option<u64>,
+    /// The decision schedule (choice taken at each multi-option point).
+    pub schedule: Vec<u32>,
+}
+
+impl Failure {
+    /// Token accepted by `MOQO_MODEL_REPLAY` to re-run exactly this schedule.
+    pub fn replay_token(&self) -> String {
+        self.schedule
+            .iter()
+            .map(u32::to_string)
+            .collect::<Vec<_>>()
+            .join(",")
+    }
+}
+
+/// Outcome of [`explore`]: coverage counters and the first failure, if any.
+#[derive(Clone, Debug, Default)]
+pub struct Report {
+    /// Executions run (DFS + random + replay).
+    pub executions: u64,
+    /// Executions cut off by `max_steps`.
+    pub pruned: u64,
+    /// True if the DFS phase exhausted the bounded schedule space.
+    pub dfs_complete: bool,
+    /// True if this run replayed a single schedule from `MOQO_MODEL_REPLAY`.
+    pub replayed: bool,
+    /// First failing execution found.
+    pub failure: Option<Failure>,
+}
+
+impl Report {
+    /// Coverage gate used by the test suites: either the bounded space was
+    /// exhausted or at least `n` executions ran (replay runs are exempt).
+    pub fn coverage_ok(&self, n: u64) -> bool {
+        self.replayed || self.dfs_complete || self.executions >= n
+    }
+}
+
+struct RunOutcome {
+    failure: Option<String>,
+    pruned: bool,
+    decisions: Vec<Decision>,
+}
+
+fn run_once(cfg: &Config, f: &(dyn Fn() + Sync), explorer: Explorer) -> RunOutcome {
+    install_panic_hook();
+    let exec = Arc::new(Execution {
+        state: StdMutex::new(ExecState {
+            threads: vec![ThreadState {
+                status: Status::Runnable,
+                clock: VClock::default(),
+                timeout_budget: TIMEOUT_BUDGET,
+            }],
+            active: 0,
+            explorer,
+            steps: 0,
+            max_steps: cfg.max_steps,
+            preemptions_left: cfg.preemptions,
+            weak_memory: cfg.weak_memory,
+            aborting: false,
+            pruned: false,
+            failure: None,
+            finished: 0,
+            atomics: HashMap::new(),
+            cells: HashMap::new(),
+            mutexes: HashMap::new(),
+            condvars: HashMap::new(),
+            os_handles: Vec::new(),
+        }),
+        cv: StdCondvar::new(),
+    });
+    IN_MODEL.with(|c| c.set(true));
+    set_ctx(Some(Ctx {
+        exec: exec.clone(),
+        tid: 0,
+    }));
+    let run = panic::catch_unwind(AssertUnwindSafe(f));
+    if let Err(payload) = run {
+        if !payload.is::<AbortToken>() {
+            record_failure_from_payload(&exec, payload.as_ref());
+        }
+    }
+    finish_thread(&exec, 0);
+    let handles = {
+        let mut st = lock(&exec);
+        while st.finished < st.threads.len() {
+            st = exec
+                .cv
+                .wait(st)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+        }
+        std::mem::take(&mut st.os_handles)
+    };
+    for h in handles {
+        let _ = h.join();
+    }
+    set_ctx(None);
+    IN_MODEL.with(|c| c.set(false));
+    LAST_PANIC.with(|c| *c.borrow_mut() = None);
+    let mut st = lock(&exec);
+    let failure = st.failure.take();
+    let pruned = st.pruned;
+    let explorer = std::mem::replace(
+        &mut st.explorer,
+        Explorer::Replay {
+            schedule: Vec::new(),
+            cursor: 0,
+            recorded: Vec::new(),
+        },
+    );
+    RunOutcome {
+        failure,
+        pruned,
+        decisions: explorer.into_recorded(),
+    }
+}
+
+/// Advances a DFS prefix to the next unexplored branch. Returns `false` when
+/// the bounded space is exhausted.
+fn dfs_advance(prefix: &mut Vec<Decision>) -> bool {
+    while let Some((chosen, options)) = prefix.pop() {
+        if chosen + 1 < options {
+            prefix.push((chosen + 1, options));
+            return true;
+        }
+    }
+    false
+}
+
+/// Explores interleavings of `f` under `cfg`. See the module docs for the
+/// exploration strategy. The closure runs once per execution and must be
+/// deterministic apart from the modeled concurrency.
+pub fn explore(cfg: &Config, f: impl Fn() + Sync) -> Report {
+    let mut report = Report::default();
+    // Phase 1: bounded-exhaustive DFS.
+    let mut prefix: Vec<Decision> = Vec::new();
+    loop {
+        if report.executions >= cfg.dfs_budget {
+            break;
+        }
+        let outcome = run_once(
+            cfg,
+            &f,
+            Explorer::Dfs {
+                prefix: prefix.clone(),
+                cursor: 0,
+                recorded: Vec::new(),
+            },
+        );
+        report.executions += 1;
+        if outcome.pruned {
+            report.pruned += 1;
+        }
+        if let Some(message) = outcome.failure {
+            report.failure = Some(Failure {
+                message,
+                seed: None,
+                schedule: outcome.decisions.iter().map(|d| d.0).collect(),
+            });
+            return report;
+        }
+        prefix = outcome.decisions;
+        if !dfs_advance(&mut prefix) {
+            report.dfs_complete = true;
+            break;
+        }
+    }
+    // Phase 2: seeded random walk until the coverage target.
+    let mut stream = cfg.seed;
+    while report.executions < cfg.min_executions {
+        let seed = splitmix64(&mut stream);
+        let outcome = run_once(
+            cfg,
+            &f,
+            Explorer::Random {
+                state: seed,
+                recorded: Vec::new(),
+            },
+        );
+        report.executions += 1;
+        if outcome.pruned {
+            report.pruned += 1;
+        }
+        if let Some(message) = outcome.failure {
+            report.failure = Some(Failure {
+                message,
+                seed: Some(seed),
+                schedule: outcome.decisions.iter().map(|d| d.0).collect(),
+            });
+            return report;
+        }
+    }
+    report
+}
+
+/// Replays a single decision schedule (as printed by a failure) against `f`.
+pub fn replay(schedule: &[u32], f: impl Fn() + Sync) -> Report {
+    let cfg = Config::default();
+    let outcome = run_once(
+        &cfg,
+        &f,
+        Explorer::Replay {
+            schedule: schedule.to_vec(),
+            cursor: 0,
+            recorded: Vec::new(),
+        },
+    );
+    Report {
+        executions: 1,
+        pruned: u64::from(outcome.pruned),
+        dfs_complete: false,
+        replayed: true,
+        failure: outcome.failure.map(|message| Failure {
+            message,
+            seed: None,
+            schedule: outcome.decisions.iter().map(|d| d.0).collect(),
+        }),
+    }
+}
+
+/// Parses a `MOQO_MODEL_REPLAY` token ("3,0,1,…") into a schedule.
+pub fn parse_replay_token(token: &str) -> Result<Vec<u32>, String> {
+    token
+        .split(',')
+        .filter(|s| !s.trim().is_empty())
+        .map(|s| {
+            s.trim()
+                .parse::<u32>()
+                .map_err(|e| format!("bad replay token component {s:?}: {e}"))
+        })
+        .collect()
+}
+
+/// Checks an invariant under exploration; panics with a replayable schedule
+/// on failure. When `MOQO_MODEL_REPLAY` is set, runs exactly that schedule
+/// instead (the deterministic re-run path for CI triage).
+pub fn check(name: &str, cfg: &Config, f: impl Fn() + Sync) -> Report {
+    if let Ok(token) = std::env::var("MOQO_MODEL_REPLAY") {
+        if !token.trim().is_empty() {
+            let schedule =
+                parse_replay_token(&token).unwrap_or_else(|e| panic!("model check '{name}': {e}"));
+            let report = replay(&schedule, f);
+            if let Some(fail) = &report.failure {
+                panic!(
+                    "model check '{name}' failed on replayed schedule: {}",
+                    fail.message
+                );
+            }
+            return report;
+        }
+    }
+    let report = explore(cfg, f);
+    if let Some(fail) = &report.failure {
+        panic!(
+            "model check '{name}' failed after {} executions ({} pruned)\n  \
+             failure: {}\n  seed: {}\n  \
+             replay with: MOQO_MODEL_REPLAY=\"{}\"",
+            report.executions,
+            report.pruned,
+            fail.message,
+            fail.seed
+                .map_or_else(|| "dfs".to_string(), |s| format!("{s:#x}")),
+            fail.replay_token(),
+        );
+    }
+    report
+}

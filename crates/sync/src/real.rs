@@ -1,0 +1,68 @@
+//! Normal-build personality: transparent re-exports of `std`.
+//!
+//! Everything here must compile to *exactly* what importing `std::sync`
+//! directly would: the facade's zero-overhead guarantee (and the committed
+//! replay/bench checksums) depend on it.
+
+/// Atomic types and memory orderings (`std::sync::atomic`, verbatim).
+pub mod atomic {
+    pub use std::sync::atomic::*;
+}
+
+/// Interior-mutability cell with closure-based access.
+pub mod cell {
+    /// Drop-in `std::cell::UnsafeCell` with a loom-style closure API.
+    ///
+    /// In normal builds this is `#[repr(transparent)]` over the std cell and
+    /// every method is `#[inline(always)]`: the closure calls compile away
+    /// completely. In model builds the same API routes each access through
+    /// the race detector, which is why callers use `with`/`with_mut` instead
+    /// of touching the raw pointer ad hoc.
+    #[derive(Debug)]
+    #[repr(transparent)]
+    pub struct UnsafeCell<T>(std::cell::UnsafeCell<T>);
+
+    impl<T> UnsafeCell<T> {
+        /// Wraps `value`.
+        #[inline(always)]
+        pub const fn new(value: T) -> Self {
+            Self(std::cell::UnsafeCell::new(value))
+        }
+
+        /// Runs `f` with a shared (read) pointer to the contents.
+        ///
+        /// The pointer is only valid for the duration of the closure; callers
+        /// remain responsible for the aliasing rules when dereferencing it.
+        #[inline(always)]
+        pub fn with<R>(&self, f: impl FnOnce(*const T) -> R) -> R {
+            f(self.0.get())
+        }
+
+        /// Runs `f` with an exclusive (write) pointer to the contents.
+        ///
+        /// The pointer is only valid for the duration of the closure; callers
+        /// remain responsible for the aliasing rules when dereferencing it.
+        #[inline(always)]
+        pub fn with_mut<R>(&self, f: impl FnOnce(*mut T) -> R) -> R {
+            f(self.0.get())
+        }
+
+        /// Raw pointer to the contents (untracked even in model builds).
+        #[inline(always)]
+        pub fn get(&self) -> *mut T {
+            self.0.get()
+        }
+    }
+}
+
+/// Spin-loop hint (`std::hint::spin_loop`); a yield point in model builds.
+pub mod hint {
+    pub use std::hint::spin_loop;
+}
+
+/// Thread spawning and handles (`std::thread`, verbatim).
+pub mod thread {
+    pub use std::thread::*;
+}
+
+pub use std::sync::{Arc, Condvar, Mutex, MutexGuard, Once, OnceLock, WaitTimeoutResult};

@@ -1,0 +1,696 @@
+//! Model-build personality: instrumented drop-in replacements for the types
+//! the normal facade re-exports from `std`.
+//!
+//! Every type keeps a *real* std counterpart inside it. Inside a model run
+//! the shims route through [`crate::model`]; outside one (the same binary
+//! running ordinary code) they fall back to the real operation, so a
+//! `--cfg moqo_model` build still behaves sensibly end to end. State is keyed
+//! by address, so `const fn new` still works and no global registration is
+//! needed.
+
+use crate::model;
+
+pub use std::sync::{Arc, Once, OnceLock};
+
+/// Context for a *live* (non-unwinding) model operation.
+///
+/// Returns `None` while the current thread is panicking, so instrumented
+/// operations reached from `Drop` impls during cleanup (e.g. a lock-free
+/// ring draining its slots) fall back to the real primitive instead of
+/// re-entering the scheduler — a second panic raised inside a destructor
+/// during unwinding would abort the whole process instead of being caught
+/// by the model harness. [`MutexGuard`]'s own `Drop` is the one exception:
+/// it still consults the raw context so it can *quietly* release modeled
+/// lock state (see `op_mutex_unlock_quiet`).
+fn live_ctx() -> Option<model::Ctx> {
+    if std::thread::panicking() {
+        None
+    } else {
+        model::current_ctx()
+    }
+}
+
+/// Instrumented atomic types; `Ordering` is the real std enum.
+pub mod atomic {
+    #![allow(clippy::redundant_closure_call)]
+
+    use super::model;
+    pub use std::sync::atomic::Ordering;
+
+    macro_rules! model_atomic {
+        ($(#[$meta:meta])* $name:ident, $prim:ty, $std:ty, to_u64: $to:expr, from_u64: $from:expr) => {
+            $(#[$meta])*
+            pub struct $name {
+                real: $std,
+            }
+
+            impl $name {
+                /// Creates a new atomic with the given initial value.
+                #[allow(clippy::redundant_closure_call)]
+                pub const fn new(value: $prim) -> Self {
+                    Self { real: <$std>::new(value) }
+                }
+
+                fn addr(&self) -> usize {
+                    self as *const Self as usize
+                }
+
+                fn init(&self) -> u64 {
+                    ($to)(self.real.load(Ordering::Relaxed))
+                }
+
+                /// Atomic load; may observe stale stores in the model.
+                #[allow(clippy::redundant_closure_call)]
+                pub fn load(&self, ord: Ordering) -> $prim {
+                    match super::live_ctx() {
+                        Some(ctx) => {
+                            ($from)(model::op_atomic_load(&ctx, self.addr(), self.init(), ord))
+                        }
+                        None => self.real.load(ord),
+                    }
+                }
+
+                /// Atomic store.
+                #[allow(clippy::redundant_closure_call)]
+                pub fn store(&self, value: $prim, ord: Ordering) {
+                    match super::live_ctx() {
+                        Some(ctx) => {
+                            model::op_atomic_store(&ctx, self.addr(), self.init(), ($to)(value), ord);
+                            self.real.store(value, Ordering::Relaxed);
+                        }
+                        None => self.real.store(value, ord),
+                    }
+                }
+
+                /// Atomic swap; returns the previous value.
+                #[allow(clippy::redundant_closure_call)]
+                pub fn swap(&self, value: $prim, ord: Ordering) -> $prim {
+                    match super::live_ctx() {
+                        Some(ctx) => {
+                            let old = model::op_atomic_rmw(&ctx, self.addr(), self.init(), ord, |_| {
+                                ($to)(value)
+                            });
+                            self.real.store(value, Ordering::Relaxed);
+                            ($from)(old)
+                        }
+                        None => self.real.swap(value, ord),
+                    }
+                }
+
+                /// Atomic compare-and-exchange.
+                #[allow(clippy::redundant_closure_call)]
+                pub fn compare_exchange(
+                    &self,
+                    current: $prim,
+                    new: $prim,
+                    success: Ordering,
+                    failure: Ordering,
+                ) -> Result<$prim, $prim> {
+                    match super::live_ctx() {
+                        Some(ctx) => {
+                            let r = model::op_atomic_cas(
+                                &ctx,
+                                self.addr(),
+                                self.init(),
+                                ($to)(current),
+                                ($to)(new),
+                                success,
+                                failure,
+                            );
+                            match r {
+                                Ok(old) => {
+                                    self.real.store(new, Ordering::Relaxed);
+                                    Ok(($from)(old))
+                                }
+                                Err(old) => Err(($from)(old)),
+                            }
+                        }
+                        None => self.real.compare_exchange(current, new, success, failure),
+                    }
+                }
+
+                /// Like [`Self::compare_exchange`]; the model never fails
+                /// spuriously (weak is modeled as strong).
+                pub fn compare_exchange_weak(
+                    &self,
+                    current: $prim,
+                    new: $prim,
+                    success: Ordering,
+                    failure: Ordering,
+                ) -> Result<$prim, $prim> {
+                    self.compare_exchange(current, new, success, failure)
+                }
+
+                /// Consumes the atomic, returning the inner value.
+                pub fn into_inner(self) -> $prim {
+                    let v = self.real.load(Ordering::Relaxed);
+                    // Drop runs and forgets the model location.
+                    v
+                }
+            }
+
+            impl Drop for $name {
+                fn drop(&mut self) {
+                    model::forget_location(self as *const Self as usize);
+                }
+            }
+
+            impl Default for $name {
+                fn default() -> Self {
+                    Self::new(Default::default())
+                }
+            }
+
+            impl std::fmt::Debug for $name {
+                fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                    f.debug_tuple(stringify!($name))
+                        .field(&self.real.load(Ordering::Relaxed))
+                        .finish()
+                }
+            }
+        };
+    }
+
+    macro_rules! model_atomic_int {
+        ($(#[$meta:meta])* $name:ident, $prim:ty, $std:ty) => {
+            model_atomic!($(#[$meta])* $name, $prim, $std,
+                to_u64: |v: $prim| v as u64,
+                from_u64: |v: u64| v as $prim);
+
+            impl $name {
+                /// Atomic wrapping add; returns the previous value.
+                pub fn fetch_add(&self, value: $prim, ord: Ordering) -> $prim {
+                    match super::live_ctx() {
+                        Some(ctx) => {
+                            let old = model::op_atomic_rmw(&ctx, self.addr(), self.init(), ord, |o| {
+                                (o as $prim).wrapping_add(value) as u64
+                            }) as $prim;
+                            self.real.store(old.wrapping_add(value), Ordering::Relaxed);
+                            old
+                        }
+                        None => self.real.fetch_add(value, ord),
+                    }
+                }
+
+                /// Atomic wrapping subtract; returns the previous value.
+                pub fn fetch_sub(&self, value: $prim, ord: Ordering) -> $prim {
+                    match super::live_ctx() {
+                        Some(ctx) => {
+                            let old = model::op_atomic_rmw(&ctx, self.addr(), self.init(), ord, |o| {
+                                (o as $prim).wrapping_sub(value) as u64
+                            }) as $prim;
+                            self.real.store(old.wrapping_sub(value), Ordering::Relaxed);
+                            old
+                        }
+                        None => self.real.fetch_sub(value, ord),
+                    }
+                }
+
+                /// Atomic maximum; returns the previous value.
+                pub fn fetch_max(&self, value: $prim, ord: Ordering) -> $prim {
+                    match super::live_ctx() {
+                        Some(ctx) => {
+                            let old = model::op_atomic_rmw(&ctx, self.addr(), self.init(), ord, |o| {
+                                (o as $prim).max(value) as u64
+                            }) as $prim;
+                            self.real.store(old.max(value), Ordering::Relaxed);
+                            old
+                        }
+                        None => self.real.fetch_max(value, ord),
+                    }
+                }
+
+                /// Atomic minimum; returns the previous value.
+                pub fn fetch_min(&self, value: $prim, ord: Ordering) -> $prim {
+                    match super::live_ctx() {
+                        Some(ctx) => {
+                            let old = model::op_atomic_rmw(&ctx, self.addr(), self.init(), ord, |o| {
+                                (o as $prim).min(value) as u64
+                            }) as $prim;
+                            self.real.store(old.min(value), Ordering::Relaxed);
+                            old
+                        }
+                        None => self.real.fetch_min(value, ord),
+                    }
+                }
+            }
+        };
+    }
+
+    model_atomic_int!(
+        /// Instrumented `AtomicU64`.
+        AtomicU64, u64, std::sync::atomic::AtomicU64
+    );
+    model_atomic_int!(
+        /// Instrumented `AtomicUsize`.
+        AtomicUsize, usize, std::sync::atomic::AtomicUsize
+    );
+    model_atomic_int!(
+        /// Instrumented `AtomicU32`.
+        AtomicU32, u32, std::sync::atomic::AtomicU32
+    );
+    model_atomic!(
+        /// Instrumented `AtomicBool`.
+        AtomicBool, bool, std::sync::atomic::AtomicBool,
+        to_u64: |v: bool| v as u64,
+        from_u64: |v: u64| v != 0
+    );
+
+    impl AtomicBool {
+        /// Atomic logical OR; returns the previous value.
+        pub fn fetch_or(&self, value: bool, ord: Ordering) -> bool {
+            match super::live_ctx() {
+                Some(ctx) => {
+                    let old = model::op_atomic_rmw(&ctx, self.addr(), self.init(), ord, |o| {
+                        u64::from(o != 0 || value)
+                    }) != 0;
+                    self.real.store(old || value, Ordering::Relaxed);
+                    old
+                }
+                None => self.real.fetch_or(value, ord),
+            }
+        }
+
+        /// Atomic logical AND; returns the previous value.
+        pub fn fetch_and(&self, value: bool, ord: Ordering) -> bool {
+            match super::live_ctx() {
+                Some(ctx) => {
+                    let old = model::op_atomic_rmw(&ctx, self.addr(), self.init(), ord, |o| {
+                        u64::from(o != 0 && value)
+                    }) != 0;
+                    self.real.store(old && value, Ordering::Relaxed);
+                    old
+                }
+                None => self.real.fetch_and(value, ord),
+            }
+        }
+    }
+}
+
+/// Race-checked interior-mutability cell.
+pub mod cell {
+    use super::model;
+
+    /// Instrumented [`crate::cell::UnsafeCell`]: every `with`/`with_mut`
+    /// access is race-checked against concurrent accesses with vector
+    /// clocks. `get` is the untracked escape hatch and sees no checking.
+    #[derive(Debug)]
+    pub struct UnsafeCell<T> {
+        inner: std::cell::UnsafeCell<T>,
+    }
+
+    impl<T> UnsafeCell<T> {
+        /// Wraps `value`.
+        pub const fn new(value: T) -> Self {
+            Self {
+                inner: std::cell::UnsafeCell::new(value),
+            }
+        }
+
+        fn addr(&self) -> usize {
+            self as *const Self as usize
+        }
+
+        /// Runs `f` with a shared (read) pointer; records a read access.
+        #[track_caller]
+        pub fn with<R>(&self, f: impl FnOnce(*const T) -> R) -> R {
+            if let Some(ctx) = super::live_ctx() {
+                model::op_cell_access(&ctx, self.addr(), false, std::panic::Location::caller());
+            }
+            f(self.inner.get())
+        }
+
+        /// Runs `f` with an exclusive (write) pointer; records a write
+        /// access.
+        #[track_caller]
+        pub fn with_mut<R>(&self, f: impl FnOnce(*mut T) -> R) -> R {
+            if let Some(ctx) = super::live_ctx() {
+                model::op_cell_access(&ctx, self.addr(), true, std::panic::Location::caller());
+            }
+            f(self.inner.get())
+        }
+
+        /// Raw pointer to the contents (untracked even in model builds).
+        pub fn get(&self) -> *mut T {
+            self.inner.get()
+        }
+    }
+
+    impl<T> Drop for UnsafeCell<T> {
+        fn drop(&mut self) {
+            model::forget_location(self as *const Self as usize);
+        }
+    }
+}
+
+/// Spin-loop hint: a voluntary yield point in the model.
+pub mod hint {
+    use super::model;
+
+    /// In a model run, forces consideration of other runnable threads (this
+    /// is what guarantees progress through spin loops); otherwise the real
+    /// CPU hint.
+    pub fn spin_loop() {
+        match super::live_ctx() {
+            Some(ctx) => model::op_yield(&ctx),
+            None => std::hint::spin_loop(),
+        }
+    }
+}
+
+/// `lock()`/`into_inner` error: the model never poisons, so this is a plain
+/// marker compatible with the `.expect(…)` call sites written against std.
+#[derive(Debug)]
+pub struct Poisoned;
+
+impl std::fmt::Display for Poisoned {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("poisoned lock")
+    }
+}
+
+/// Instrumented mutex: logical ownership is arbitrated by the model
+/// scheduler; the inner std mutex only carries the data.
+#[derive(Debug, Default)]
+pub struct Mutex<T> {
+    inner: std::sync::Mutex<T>,
+}
+
+impl<T> Mutex<T> {
+    /// Creates a new mutex.
+    pub const fn new(value: T) -> Self {
+        Self {
+            inner: std::sync::Mutex::new(value),
+        }
+    }
+
+    fn addr(&self) -> usize {
+        self as *const Self as usize
+    }
+
+    /// Acquires the mutex (model-arbitrated inside a run).
+    pub fn lock(&self) -> Result<MutexGuard<'_, T>, Poisoned> {
+        let model_addr = match live_ctx() {
+            Some(ctx) => {
+                model::op_mutex_lock(&ctx, self.addr());
+                Some(self.addr())
+            }
+            None => None,
+        };
+        // Inside a run the inner lock is always free here: logical ownership
+        // is exclusive and guards release the inner lock before the logical
+        // one.
+        let inner = self.inner.lock().map_err(|_| Poisoned)?;
+        Ok(MutexGuard {
+            lock: self,
+            inner: Some(inner),
+            model_addr,
+        })
+    }
+
+    /// Consumes the mutex, returning the inner value.
+    pub fn into_inner(self) -> Result<T, Poisoned> {
+        model::forget_location(self.addr());
+        self.inner.into_inner().map_err(|_| Poisoned)
+    }
+
+    /// Mutable access without locking (requires exclusive borrow).
+    pub fn get_mut(&mut self) -> Result<&mut T, Poisoned> {
+        self.inner.get_mut().map_err(|_| Poisoned)
+    }
+}
+
+/// Guard returned by [`Mutex::lock`].
+#[derive(Debug)]
+pub struct MutexGuard<'a, T> {
+    lock: &'a Mutex<T>,
+    inner: Option<std::sync::MutexGuard<'a, T>>,
+    model_addr: Option<usize>,
+}
+
+impl<'a, T> MutexGuard<'a, T> {
+    /// Releases the inner (data) lock but *not* the logical one, returning
+    /// the mutex. Used by `Condvar` waits, where the logical release is part
+    /// of the atomic release-and-wait in the model.
+    fn defuse(mut self) -> &'a Mutex<T> {
+        drop(self.inner.take());
+        self.model_addr = None;
+        let lock = self.lock;
+        drop(self);
+        lock
+    }
+}
+
+impl<T> std::ops::Deref for MutexGuard<'_, T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        self.inner.as_ref().expect("guard live until drop")
+    }
+}
+
+impl<T> std::ops::DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.inner.as_mut().expect("guard live until drop")
+    }
+}
+
+impl<T> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        // Release the inner (data) lock before the logical one so the next
+        // logical owner finds it free.
+        drop(self.inner.take());
+        if let Some(addr) = self.model_addr {
+            if let Some(ctx) = model::current_ctx() {
+                if std::thread::panicking() {
+                    // Never reschedule (or panic) inside a Drop that runs
+                    // during unwinding; just release state and wake waiters.
+                    model::op_mutex_unlock_quiet(&ctx, addr);
+                } else {
+                    model::op_mutex_unlock(&ctx, addr);
+                }
+            }
+        }
+    }
+}
+
+/// Result of a [`Condvar::wait_timeout`].
+#[derive(Clone, Copy, Debug)]
+pub struct WaitTimeoutResult {
+    timed_out: bool,
+}
+
+impl WaitTimeoutResult {
+    /// True if the wait ended by timeout rather than notification.
+    pub fn timed_out(&self) -> bool {
+        self.timed_out
+    }
+}
+
+/// Instrumented condition variable.
+///
+/// In the model, `wait_timeout` waiters remain schedulable — the timeout can
+/// always fire — which turns lost-wakeup bugs into explorable schedules
+/// instead of hangs. Durations are ignored inside a run.
+#[derive(Debug, Default)]
+pub struct Condvar {
+    inner: std::sync::Condvar,
+}
+
+impl Condvar {
+    /// Creates a new condition variable.
+    pub const fn new() -> Self {
+        Self {
+            inner: std::sync::Condvar::new(),
+        }
+    }
+
+    fn addr(&self) -> usize {
+        self as *const Self as usize
+    }
+
+    /// Blocks until notified (untimed: a lost notification deadlocks the
+    /// model, which is reported with full thread status).
+    pub fn wait<'a, T>(&self, guard: MutexGuard<'a, T>) -> Result<MutexGuard<'a, T>, Poisoned> {
+        match (live_ctx(), guard.model_addr) {
+            (Some(ctx), Some(mutex_addr)) => {
+                let mutex = guard.defuse();
+                model::op_condvar_wait(&ctx, self.addr(), mutex_addr, false);
+                let inner = mutex.inner.lock().map_err(|_| Poisoned)?;
+                Ok(MutexGuard {
+                    lock: mutex,
+                    inner: Some(inner),
+                    model_addr: Some(mutex_addr),
+                })
+            }
+            _ => {
+                let mut g = guard;
+                let inner = g.inner.take().expect("guard live until drop");
+                let inner = self.inner.wait(inner).map_err(|_| Poisoned)?;
+                g.inner = Some(inner);
+                Ok(g)
+            }
+        }
+    }
+
+    /// Blocks until notified or (in real builds) the timeout elapses. In the
+    /// model the timeout is a schedulable event that can fire at any moment.
+    pub fn wait_timeout<'a, T>(
+        &self,
+        guard: MutexGuard<'a, T>,
+        dur: std::time::Duration,
+    ) -> Result<(MutexGuard<'a, T>, WaitTimeoutResult), Poisoned> {
+        match (live_ctx(), guard.model_addr) {
+            (Some(ctx), Some(mutex_addr)) => {
+                let mutex = guard.defuse();
+                let notified = model::op_condvar_wait(&ctx, self.addr(), mutex_addr, true);
+                let inner = mutex.inner.lock().map_err(|_| Poisoned)?;
+                Ok((
+                    MutexGuard {
+                        lock: mutex,
+                        inner: Some(inner),
+                        model_addr: Some(mutex_addr),
+                    },
+                    WaitTimeoutResult {
+                        timed_out: !notified,
+                    },
+                ))
+            }
+            _ => {
+                let mut g = guard;
+                let inner = g.inner.take().expect("guard live until drop");
+                let (inner, r) = self.inner.wait_timeout(inner, dur).map_err(|_| Poisoned)?;
+                g.inner = Some(inner);
+                Ok((
+                    g,
+                    WaitTimeoutResult {
+                        timed_out: r.timed_out(),
+                    },
+                ))
+            }
+        }
+    }
+
+    /// Wakes one waiter (FIFO in the model).
+    pub fn notify_one(&self) {
+        if let Some(ctx) = live_ctx() {
+            model::op_condvar_notify(&ctx, self.addr(), false);
+        } else {
+            self.inner.notify_one();
+        }
+    }
+
+    /// Wakes all waiters.
+    pub fn notify_all(&self) {
+        if let Some(ctx) = live_ctx() {
+            model::op_condvar_notify(&ctx, self.addr(), true);
+        } else {
+            self.inner.notify_all();
+        }
+    }
+}
+
+/// Thread spawning with model-arbitrated scheduling.
+pub mod thread {
+    use super::model;
+
+    /// Result of joining a thread (same shape as `std::thread::Result`).
+    pub type Result<T> = std::thread::Result<T>;
+
+    /// Thread factory mirroring `std::thread::Builder`.
+    #[derive(Debug, Default)]
+    pub struct Builder {
+        name: Option<String>,
+    }
+
+    impl Builder {
+        /// Creates a builder.
+        pub fn new() -> Self {
+            Self::default()
+        }
+
+        /// Names the thread.
+        #[must_use]
+        pub fn name(mut self, name: String) -> Self {
+            self.name = Some(name);
+            self
+        }
+
+        /// Spawns the thread: model-scheduled inside a run, real otherwise.
+        pub fn spawn<F, T>(self, f: F) -> std::io::Result<JoinHandle<T>>
+        where
+            F: FnOnce() -> T + Send + 'static,
+            T: Send + 'static,
+        {
+            match model::spawn_model(self.name.clone(), f) {
+                Ok(h) => Ok(JoinHandle(Inner::Model(h))),
+                Err(f) => {
+                    let mut b = std::thread::Builder::new();
+                    if let Some(n) = self.name {
+                        b = b.name(n);
+                    }
+                    b.spawn(f).map(|h| JoinHandle(Inner::Real(h)))
+                }
+            }
+        }
+    }
+
+    /// Spawns an unnamed thread.
+    pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+    where
+        F: FnOnce() -> T + Send + 'static,
+        T: Send + 'static,
+    {
+        Builder::new().spawn(f).expect("failed to spawn thread")
+    }
+
+    /// Yield point: voluntary in the model, `std::thread::yield_now`
+    /// otherwise.
+    pub fn yield_now() {
+        match super::live_ctx() {
+            Some(ctx) => model::op_yield(&ctx),
+            None => std::thread::yield_now(),
+        }
+    }
+
+    /// Sleep: modeled as a voluntary yield inside a run (durations carry no
+    /// meaning under a logical scheduler).
+    pub fn sleep(dur: std::time::Duration) {
+        match super::live_ctx() {
+            Some(ctx) => model::op_yield(&ctx),
+            None => std::thread::sleep(dur),
+        }
+    }
+
+    enum Inner<T> {
+        Real(std::thread::JoinHandle<T>),
+        Model(model::ModelJoin<T>),
+    }
+
+    /// Handle to a spawned thread.
+    pub struct JoinHandle<T>(Inner<T>);
+
+    impl<T> JoinHandle<T> {
+        /// Waits for the thread to finish and returns its result.
+        pub fn join(self) -> Result<T> {
+            match self.0 {
+                Inner::Real(h) => h.join(),
+                Inner::Model(h) => h.join(),
+            }
+        }
+
+        /// True once the thread has finished.
+        pub fn is_finished(&self) -> bool {
+            match &self.0 {
+                Inner::Real(h) => h.is_finished(),
+                Inner::Model(h) => h.is_finished(),
+            }
+        }
+    }
+
+    impl<T> std::fmt::Debug for JoinHandle<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str("JoinHandle(..)")
+        }
+    }
+}

@@ -1,0 +1,391 @@
+//! Self-tests for the `moqo_sync` model checker (run with
+//! `RUSTFLAGS="--cfg moqo_model" cargo test -p moqo_sync --test model_self`).
+//!
+//! These pin the checker's own semantics: classic litmus shapes must produce
+//! (or rule out) exactly the behaviors the memory model allows, races and
+//! deadlocks must be detected and reported, and failing schedules must
+//! replay deterministically. The service-level model suites build on these
+//! guarantees.
+#![cfg(moqo_model)]
+
+use moqo_sync::atomic::{AtomicU64, Ordering};
+use moqo_sync::cell::UnsafeCell;
+use moqo_sync::hint::spin_loop;
+use moqo_sync::model::{self, Config};
+use moqo_sync::thread;
+use moqo_sync::{Arc, Condvar, Mutex};
+
+fn failing_config() -> Config {
+    Config {
+        dfs_budget: 3_000,
+        min_executions: 3_000,
+        ..Config::default()
+    }
+}
+
+/// Test-local shared-cell wrapper. Like std's, the facade `UnsafeCell` is
+/// `!Sync`; production structures (e.g. the queue's `Ring`) carry their own
+/// `Sync` impls with documented invariants, and so do these tests.
+struct Shared<T>(UnsafeCell<T>);
+
+// SAFETY: every access goes through `with`/`with_mut`, which the model
+// checker serializes and race-checks. The tests that do race are meant to be
+// flagged by the checker at runtime, not rejected by rustc.
+unsafe impl<T: Send> Sync for Shared<T> {}
+
+impl<T: Copy> Shared<T> {
+    /// Race-checked read of the cell.
+    fn get(&self) -> T {
+        // SAFETY: `with` records the read with the checker and hands out a
+        // pointer valid for the closure's duration; no reference escapes.
+        self.0.with(|p| unsafe { *p })
+    }
+
+    /// Race-checked overwrite of the cell.
+    fn set(&self, v: T) {
+        // SAFETY: as in `get`; `with_mut` records this as a write access.
+        self.0.with_mut(|p| unsafe { *p = v });
+    }
+
+    /// Race-checked in-place update (a single write access, like `set`).
+    fn update(&self, f: impl FnOnce(&mut T)) {
+        // SAFETY: as in `set`; the closure gets the only live reference.
+        self.0.with_mut(|p| unsafe { f(&mut *p) });
+    }
+}
+
+/// Correct message passing: release store / acquire load orders the cell
+/// write before the cell read in every schedule.
+#[test]
+fn message_passing_release_acquire_is_clean() {
+    let report = model::check("message_passing_release_acquire", &Config::smoke(), || {
+        let data = Arc::new(Shared(UnsafeCell::new(0u64)));
+        let flag = Arc::new(AtomicU64::new(0));
+        let reader = {
+            let data = Arc::clone(&data);
+            let flag = Arc::clone(&flag);
+            thread::spawn(move || {
+                while flag.load(Ordering::Acquire) == 0 {
+                    spin_loop();
+                }
+                let v = data.get();
+                assert_eq!(v, 42, "acquire read must see the published write");
+            })
+        };
+        data.set(42);
+        flag.store(1, Ordering::Release);
+        reader.join().expect("reader");
+    });
+    assert!(report.coverage_ok(10_000), "coverage too low: {report:?}");
+}
+
+/// The same shape with a relaxed flag is a data race on the cell, and the
+/// checker must say so (not merely fail an assertion).
+#[test]
+fn message_passing_relaxed_flag_is_a_race() {
+    let report = model::explore(&failing_config(), || {
+        let data = Arc::new(Shared(UnsafeCell::new(0u64)));
+        let flag = Arc::new(AtomicU64::new(0));
+        let reader = {
+            let data = Arc::clone(&data);
+            let flag = Arc::clone(&flag);
+            thread::spawn(move || {
+                while flag.load(Ordering::Relaxed) == 0 {
+                    spin_loop();
+                }
+                data.get()
+            })
+        };
+        data.set(42);
+        flag.store(1, Ordering::Relaxed);
+        let _ = reader.join();
+    });
+    let failure = report.failure.expect("relaxed message passing must race");
+    assert!(
+        failure.message.contains("data race"),
+        "expected a data-race report, got: {}",
+        failure.message
+    );
+}
+
+/// Store-buffering litmus: with relaxed ordering both threads may read the
+/// other's flag as 0 — a weak-memory outcome no plain interleaving produces.
+/// The checker must find it.
+#[test]
+fn store_buffer_relaxed_allows_both_zero() {
+    let report = model::explore(&failing_config(), || {
+        let x = Arc::new(AtomicU64::new(0));
+        let y = Arc::new(AtomicU64::new(0));
+        let t1 = {
+            let x = Arc::clone(&x);
+            let y = Arc::clone(&y);
+            thread::spawn(move || {
+                x.store(1, Ordering::Relaxed);
+                y.load(Ordering::Relaxed)
+            })
+        };
+        let t2 = {
+            let x = Arc::clone(&x);
+            let y = Arc::clone(&y);
+            thread::spawn(move || {
+                y.store(1, Ordering::Relaxed);
+                x.load(Ordering::Relaxed)
+            })
+        };
+        let r1 = t1.join().expect("t1");
+        let r2 = t2.join().expect("t2");
+        assert!(!(r1 == 0 && r2 == 0), "store-buffer outcome observed");
+    });
+    assert!(
+        report.failure.is_some(),
+        "relaxed store-buffering must reach r1 == r2 == 0"
+    );
+}
+
+/// With SeqCst the both-zero outcome is forbidden; the checker must never
+/// produce it.
+#[test]
+fn store_buffer_seqcst_never_both_zero() {
+    let report = model::check("store_buffer_seqcst", &Config::smoke(), || {
+        let x = Arc::new(AtomicU64::new(0));
+        let y = Arc::new(AtomicU64::new(0));
+        let t1 = {
+            let x = Arc::clone(&x);
+            let y = Arc::clone(&y);
+            thread::spawn(move || {
+                x.store(1, Ordering::SeqCst);
+                y.load(Ordering::SeqCst)
+            })
+        };
+        let t2 = {
+            let x = Arc::clone(&x);
+            let y = Arc::clone(&y);
+            thread::spawn(move || {
+                y.store(1, Ordering::SeqCst);
+                x.load(Ordering::SeqCst)
+            })
+        };
+        let r1 = t1.join().expect("t1");
+        let r2 = t2.join().expect("t2");
+        assert!(
+            !(r1 == 0 && r2 == 0),
+            "SeqCst forbids the store-buffer outcome"
+        );
+    });
+    assert!(report.coverage_ok(10_000), "coverage too low: {report:?}");
+}
+
+/// Atomic RMWs never lose updates, under any interleaving.
+#[test]
+fn fetch_add_is_exact() {
+    let report = model::check("fetch_add_exact", &Config::smoke(), || {
+        let n = Arc::new(AtomicU64::new(0));
+        let workers: Vec<_> = (0..2)
+            .map(|_| {
+                let n = Arc::clone(&n);
+                thread::spawn(move || {
+                    n.fetch_add(1, Ordering::Relaxed);
+                })
+            })
+            .collect();
+        for w in workers {
+            w.join().expect("worker");
+        }
+        assert_eq!(n.load(Ordering::Relaxed), 2, "both increments must land");
+    });
+    assert!(report.coverage_ok(10_000), "coverage too low: {report:?}");
+}
+
+/// Mutex-protected cell updates are exact and race-free.
+#[test]
+fn mutex_guards_cell_updates() {
+    let report = model::check("mutex_guards_cell", &Config::smoke(), || {
+        let m = Arc::new(Mutex::new(0u64));
+        let workers: Vec<_> = (0..2)
+            .map(|_| {
+                let m = Arc::clone(&m);
+                thread::spawn(move || {
+                    *m.lock().expect("lock") += 1;
+                })
+            })
+            .collect();
+        for w in workers {
+            w.join().expect("worker");
+        }
+        assert_eq!(*m.lock().expect("lock"), 2, "mutex must serialize updates");
+    });
+    assert!(report.coverage_ok(10_000), "coverage too low: {report:?}");
+}
+
+/// Unsynchronized concurrent cell writes are reported as a race.
+#[test]
+fn unsynchronized_cell_writes_race() {
+    let report = model::explore(&failing_config(), || {
+        let data = Arc::new(Shared(UnsafeCell::new(0u64)));
+        let w = {
+            let data = Arc::clone(&data);
+            thread::spawn(move || {
+                data.update(|v| *v += 1);
+            })
+        };
+        data.update(|v| *v += 1);
+        let _ = w.join();
+    });
+    let failure = report.failure.expect("unsynchronized writes must race");
+    assert!(
+        failure.message.contains("data race"),
+        "got: {}",
+        failure.message
+    );
+}
+
+/// Classic AB/BA lock-order inversion: the checker must report deadlock with
+/// per-thread status, not hang.
+#[test]
+fn lock_order_inversion_reports_deadlock() {
+    let report = model::explore(&failing_config(), || {
+        let a = Arc::new(Mutex::new(()));
+        let b = Arc::new(Mutex::new(()));
+        let t = {
+            let a = Arc::clone(&a);
+            let b = Arc::clone(&b);
+            thread::spawn(move || {
+                let _ga = a.lock().expect("a");
+                let _gb = b.lock().expect("b");
+            })
+        };
+        {
+            let _gb = b.lock().expect("b");
+            let _ga = a.lock().expect("a");
+        }
+        let _ = t.join();
+    });
+    let failure = report
+        .failure
+        .expect("AB/BA must deadlock in some schedule");
+    assert!(
+        failure.message.contains("deadlock"),
+        "got: {}",
+        failure.message
+    );
+}
+
+/// Correctly-used condvar (predicate checked under the mutex, notify under
+/// the mutex) completes in every schedule.
+#[test]
+fn condvar_notify_wakes_untimed_waiter() {
+    let report = model::check("condvar_untimed", &Config::smoke(), || {
+        let state = Arc::new((Mutex::new(false), Condvar::new()));
+        let waiter = {
+            let state = Arc::clone(&state);
+            thread::spawn(move || {
+                let (m, cv) = &*state;
+                let mut guard = m.lock().expect("lock");
+                while !*guard {
+                    guard = cv.wait(guard).expect("wait");
+                }
+            })
+        };
+        {
+            let (m, cv) = &*state;
+            let mut guard = m.lock().expect("lock");
+            *guard = true;
+            cv.notify_one();
+        }
+        waiter.join().expect("waiter");
+    });
+    assert!(report.coverage_ok(10_000), "coverage too low: {report:?}");
+}
+
+/// A *lost* notification is survivable when the waiter uses a timed wait:
+/// the modeled timeout always fires eventually. This is the semantics the
+/// queue's 5 ms park backstop relies on.
+#[test]
+fn timed_wait_survives_lost_notification() {
+    let report = model::check("timed_wait_lost_notify", &Config::smoke(), || {
+        let state = Arc::new((Mutex::new(false), Condvar::new()));
+        let waiter = {
+            let state = Arc::clone(&state);
+            thread::spawn(move || {
+                let (m, cv) = &*state;
+                let mut guard = m.lock().expect("lock");
+                while !*guard {
+                    let (g, _timed_out) = cv
+                        .wait_timeout(guard, std::time::Duration::from_millis(5))
+                        .expect("wait_timeout");
+                    guard = g;
+                }
+            })
+        };
+        {
+            let (m, _cv) = &*state;
+            // Deliberately no notify: the flag flips silently.
+            *m.lock().expect("lock") = true;
+        }
+        waiter.join().expect("waiter must wake via timeout");
+    });
+    assert!(report.coverage_ok(10_000), "coverage too low: {report:?}");
+}
+
+/// A failing schedule replays deterministically: same decisions, same
+/// failure class.
+#[test]
+fn failing_schedule_replays_deterministically() {
+    let scenario = || {
+        let data = Arc::new(Shared(UnsafeCell::new(0u64)));
+        let flag = Arc::new(AtomicU64::new(0));
+        let reader = {
+            let data = Arc::clone(&data);
+            let flag = Arc::clone(&flag);
+            thread::spawn(move || {
+                while flag.load(Ordering::Relaxed) == 0 {
+                    spin_loop();
+                }
+                data.get()
+            })
+        };
+        data.set(42);
+        flag.store(1, Ordering::Relaxed);
+        let _ = reader.join();
+    };
+    let report = model::explore(&failing_config(), scenario);
+    let failure = report.failure.expect("scenario must fail");
+    for _ in 0..3 {
+        let replayed = model::replay(&failure.schedule, scenario);
+        let rf = replayed.failure.expect("replay must reproduce the failure");
+        assert!(
+            rf.message.contains("data race"),
+            "replay diverged from original failure: {}",
+            rf.message
+        );
+    }
+}
+
+/// Exploration is deterministic end to end: same config, same closure, same
+/// report (modulo the failure's address-bearing message).
+#[test]
+fn exploration_is_deterministic() {
+    let scenario = || {
+        let n = Arc::new(AtomicU64::new(0));
+        let t = {
+            let n = Arc::clone(&n);
+            thread::spawn(move || {
+                n.fetch_add(1, Ordering::Release);
+            })
+        };
+        n.fetch_add(1, Ordering::Release);
+        t.join().expect("t");
+        assert_eq!(n.load(Ordering::Acquire), 2);
+    };
+    let cfg = Config {
+        min_executions: 500,
+        dfs_budget: 500,
+        ..Config::default()
+    };
+    let a = model::explore(&cfg, scenario);
+    let b = model::explore(&cfg, scenario);
+    assert_eq!(a.executions, b.executions);
+    assert_eq!(a.pruned, b.pruned);
+    assert_eq!(a.dfs_complete, b.dfs_complete);
+    assert_eq!(a.failure.is_some(), b.failure.is_some());
+}

@@ -11,6 +11,7 @@
 //!   objectives) or as `minimal achievable value × U[1, 2]` (unbounded
 //!   objectives), exactly as described in §8.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod queries;
